@@ -1,0 +1,31 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Write a rendered table to benchmarks/output/<name>.txt and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+def run_and_report(benchmark, table: int, report_writer, *, scale: float, seed: int):
+    """Benchmark one full method table and persist its rendering."""
+    from repro.analysis import render_method_table, run_method_table
+
+    run = benchmark.pedantic(
+        run_method_table,
+        args=(table,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(f"table{table:02d}", render_method_table(run))
+    return run

@@ -1,0 +1,37 @@
+"""Ablation C: faithful python engine vs vectorised numpy engine.
+
+Every method ships both engines with identical results (asserted by the
+test suite); this bench quantifies the speed gap on a smaller couple so
+the pure-python reference stays affordable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import get_algorithm
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator, build_couple
+
+ENGINE_SCALE_DIVISOR = 8  # python engines are O(n^2) interpreter loops
+
+
+@pytest.fixture(scope="module")
+def small_standard_couple(bench_scale, bench_seed):
+    generator = VKGenerator(seed=bench_seed)
+    return build_couple(
+        PAPER_COUPLES[0], generator, scale=bench_scale / ENGINE_SCALE_DIVISOR
+    )
+
+
+@pytest.mark.parametrize("engine", ("python", "numpy"))
+@pytest.mark.parametrize("method", ("ap-minmax", "ex-minmax"))
+def bench_engine(benchmark, method, engine, small_standard_couple):
+    community_b, community_a = small_standard_couple
+    algorithm = get_algorithm(method, VK_EPSILON, engine=engine)
+    result = benchmark.pedantic(
+        algorithm.join,
+        args=(community_b, community_a),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["matched"] = result.n_matched

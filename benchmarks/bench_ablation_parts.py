@@ -1,0 +1,57 @@
+"""Ablation A: the encoding's part count (Section 4's 4-part claim).
+
+The paper argues 4 parts is the best trade-off: fewer parts prune less
+(more full comparisons, more time), more parts cost more memory.  The
+bench sweeps n_parts over {1, 2, 4, 8} on a standard couple, verifying
+the matching is invariant and recording how the pruning effectiveness
+(full d-dimensional comparisons) changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ApMinMax
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator, build_couple
+
+PART_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def standard_couple(bench_scale, bench_seed):
+    generator = VKGenerator(seed=bench_seed)
+    return build_couple(PAPER_COUPLES[0], generator, scale=bench_scale)
+
+
+@pytest.mark.parametrize("n_parts", PART_COUNTS)
+def bench_parts(benchmark, n_parts, standard_couple):
+    community_b, community_a = standard_couple
+    algorithm = ApMinMax(VK_EPSILON, n_parts=n_parts)
+    result = benchmark(algorithm.join, community_b, community_a)
+    benchmark.extra_info["similarity_percent"] = result.similarity_percent
+
+
+def bench_parts_pruning_report(benchmark, standard_couple, report_writer):
+    """Non-timed summary: comparisons saved per part count."""
+    community_b, community_a = standard_couple
+
+    def sweep():
+        rows = []
+        reference = None
+        for n_parts in PART_COUNTS:
+            algorithm = ApMinMax(VK_EPSILON, n_parts=n_parts, engine="python")
+            result = algorithm.join(community_b, community_a)
+            rows.append(
+                f"n_parts={n_parts}: comparisons={result.events.comparisons}, "
+                f"no_overlap={result.events.no_overlap}, "
+                f"similarity={result.similarity_percent:.2f}%"
+            )
+            if reference is None:
+                reference = result.n_matched
+            else:
+                # The matching must not depend on the segmentation.
+                assert result.n_matched == reference
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_writer("ablation_parts", "\n".join(rows))

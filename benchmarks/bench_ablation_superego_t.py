@@ -1,0 +1,50 @@
+"""Ablation D: SuperEGO's segment-size threshold ``t``.
+
+``t`` controls when the divide-and-conquer recursion stops and the
+nested-loop join takes over.  Small ``t`` maximises EGO-strategy pruning
+but pays recursion overhead; large ``t`` degenerates towards the plain
+nested loop.  The bench sweeps ``t`` and verifies the matching count is
+invariant (pruning is exact, only the work distribution changes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExSuperEGO
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator, build_couple
+
+THRESHOLDS = (8, 32, 128, 512)
+
+
+@pytest.fixture(scope="module")
+def standard_couple(bench_scale, bench_seed):
+    generator = VKGenerator(seed=bench_seed)
+    return build_couple(PAPER_COUPLES[0], generator, scale=bench_scale)
+
+
+@pytest.mark.parametrize("t", THRESHOLDS)
+def bench_superego_threshold(benchmark, t, standard_couple):
+    community_b, community_a = standard_couple
+    algorithm = ExSuperEGO(VK_EPSILON, t=t)
+    result = benchmark.pedantic(
+        algorithm.join, args=(community_b, community_a), rounds=2, iterations=1
+    )
+    benchmark.extra_info["matched"] = result.n_matched
+
+
+def bench_superego_threshold_invariance(benchmark, standard_couple, report_writer):
+    community_b, community_a = standard_couple
+
+    def sweep():
+        return {
+            t: ExSuperEGO(VK_EPSILON, t=t).join(community_b, community_a).n_matched
+            for t in THRESHOLDS
+        }
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(set(counts.values())) == 1, "t must not change the join result"
+    report_writer(
+        "ablation_superego_t",
+        "\n".join(f"t={t}: matched={count}" for t, count in counts.items()),
+    )

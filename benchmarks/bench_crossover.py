@@ -1,0 +1,81 @@
+"""Crossover study: which exact method wins at which couple size.
+
+The paper's narrative has Ex-Baseline competitive only at small sizes,
+Ex-MinMax scaling through the mid range, and the SuperEGO-style
+recursion paying off as data grows.  This bench sweeps one couple over
+a range of scales, times the exact contenders at each point, and
+records the winner series — the "where crossovers fall" picture of the
+evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import scale_sweep
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator
+
+SCALES = [1 / 1024, 1 / 512, 1 / 256, 1 / 128]
+CONTENDERS = ("ex-baseline", "ex-minmax", "ex-hybrid")
+
+
+def bench_crossover_series(benchmark, bench_seed, report_writer):
+    generator = VKGenerator(seed=bench_seed)
+    spec = PAPER_COUPLES[0]
+
+    def sweep_all():
+        series = {}
+        for method in CONTENDERS:
+            series[method] = scale_sweep(
+                spec, generator, SCALES, epsilon=VK_EPSILON, method=method
+            )
+        return series
+
+    series = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    # All contenders are exact: identical similarity at every point.
+    for points in zip(*series.values()):
+        assert len({point.n_matched for point in points}) == 1
+
+    lines = ["avg size   " + "  ".join(f"{m:>12s}" for m in CONTENDERS)]
+    for index, scale in enumerate(SCALES):
+        sizes = series[CONTENDERS[0]][index].parameter
+        times = [series[m][index].elapsed_seconds for m in CONTENDERS]
+        winner = CONTENDERS[times.index(min(times))]
+        lines.append(
+            f"{sizes:8,.0f}   "
+            + "  ".join(f"{t:11.3f}s" for t in times)
+            + f"   winner: {winner}"
+        )
+    report_writer("crossover", "\n".join(lines))
+
+    # Emit the runtime-vs-size curves as an SVG figure too.
+    from _shared import OUTPUT_DIR
+
+    from repro.analysis.charts import Series, line_chart, save_chart
+
+    chart_series = [
+        Series(
+            method,
+            tuple(
+                (point.parameter, point.elapsed_seconds)
+                for point in series[method]
+            ),
+        )
+        for method in CONTENDERS
+    ]
+    save_chart(
+        OUTPUT_DIR / "crossover",
+        line_chart(
+            chart_series,
+            title="Exact-method runtime vs couple size (cID 1, VK)",
+            x_label="average couple size",
+            y_label="seconds",
+        ),
+    )
+
+    # The exhaustive baseline must not win at the largest size.
+    largest = [series[m][-1].elapsed_seconds for m in CONTENDERS]
+    assert largest[0] == max(largest), (
+        "Ex-Baseline must be the slowest at the largest scale"
+    )

@@ -1,0 +1,61 @@
+"""Epsilon selectivity sweep (Section 1.1's motivation, as a curve).
+
+CSJ argues for a *meaningful* minimal epsilon instead of the classic
+epsilon-join's selectivity tuning.  The bench sweeps epsilon on couple
+cID 1 and checks the curve's shape: monotone, with a sharp knee at the
+data's meaningful threshold (epsilon = 1 on VK) followed by a plateau.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import epsilon_sweep, render_sweep
+from repro.datasets import PAPER_COUPLES, VKGenerator, build_couple
+
+EPSILONS = [0, 1, 2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def sweep_couple(bench_scale, bench_seed):
+    generator = VKGenerator(seed=bench_seed)
+    return build_couple(PAPER_COUPLES[0], generator, scale=bench_scale)
+
+
+def bench_epsilon_selectivity(benchmark, sweep_couple, report_writer):
+    community_b, community_a = sweep_couple
+    points = benchmark.pedantic(
+        epsilon_sweep,
+        args=(community_b, community_a, EPSILONS),
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("epsilon_sweep", render_sweep(points, parameter_name="epsilon"))
+
+    # Also emit the curve as a standalone SVG figure.
+    from _shared import OUTPUT_DIR
+
+    from repro.analysis.charts import Series, line_chart, save_chart
+
+    series = Series(
+        "similarity %",
+        tuple((point.parameter, point.similarity_percent) for point in points),
+    )
+    save_chart(
+        OUTPUT_DIR / "epsilon_sweep",
+        line_chart(
+            [series],
+            title="CSJ selectivity vs epsilon (couple cID 1, VK)",
+            x_label="epsilon",
+            y_label="similarity %",
+        ),
+    )
+
+    similarities = [point.similarity_percent for point in points]
+    assert similarities == sorted(similarities), "selectivity must be monotone"
+    by_epsilon = {point.parameter: point for point in points}
+    knee_gain = by_epsilon[1].similarity_percent - by_epsilon[0].similarity_percent
+    plateau_gain = by_epsilon[4].similarity_percent - by_epsilon[1].similarity_percent
+    assert knee_gain > 5 * max(plateau_gain, 0.1), (
+        "the meaningful epsilon must dominate the plateau"
+    )

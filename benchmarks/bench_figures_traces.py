@@ -1,0 +1,110 @@
+"""Figures 1–3: the encoding worked example and the MinMax event traces.
+
+Figure 1 is a worked example of the encoding scheme (vector 46/28/73);
+Figures 2 and 3 illustrate Ap-MinMax and Ex-MinMax runs as event
+streams.  The bench regenerates all three: it verifies the Figure 1
+values exactly and records full traces of both MinMax engines on a
+small couple, writing them to benchmarks/output/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ApMinMax, Community, ExMinMax, MinMaxEncoder
+from repro.core.events import EventType
+
+FIGURE1_VECTOR = np.array(
+    [1, 0, 0, 0, 2, 2,
+     0, 0, 2, 1, 1, 5, 4,
+     0, 3, 0, 0, 1, 4, 1,
+     0, 3, 5, 4, 1, 2, 4]
+)
+
+
+def bench_figure1_encoding(benchmark, report_writer):
+    encoder = MinMaxEncoder(epsilon=1, n_parts=4)
+    description = benchmark(encoder.describe, FIGURE1_VECTOR)
+
+    assert description["parts"] == [5, 13, 9, 19]
+    assert description["encoded_id"] == 46
+    assert description["encoded_min"] == 28
+    assert description["encoded_max"] == 73
+    assert description["part_ranges"] == [(2, 11), (8, 20), (5, 16), (13, 26)]
+    report_writer(
+        "figure01",
+        "Figure 1 check: parts=5,13,9,19 encoded_ID=46 "
+        "encoded_Min=28 encoded_Max=73 (all exact)",
+    )
+
+
+def _trace_couple() -> tuple[Community, Community]:
+    rng = np.random.default_rng(12)
+    base = rng.integers(0, 6, size=(12, 8))
+    perturbed = np.maximum(base + rng.integers(-1, 2, size=base.shape), 0)
+    spread = rng.integers(0, 20, size=(12, 8))
+    community_b = Community("B", np.maximum(base + spread // 9, 0))
+    community_a = Community("A", np.concatenate([perturbed[:7], spread[:5]]))
+    return community_b, community_a
+
+
+def bench_figure2_verbatim_replay(benchmark, report_writer):
+    """Replay the paper's exact Figure 2 scenario at the encoded level."""
+    from repro.algorithms import (
+        FIGURE2_A,
+        FIGURE2_B,
+        FIGURE2_ORACLE,
+        replay_ap_minmax,
+    )
+
+    result = benchmark(replay_ap_minmax, FIGURE2_B, FIGURE2_A, FIGURE2_ORACLE)
+    assert len(result.instances) == 8
+    assert result.matches == [("b2", "a3"), ("b5", "a5")]
+    report_writer("figure02_verbatim", result.render())
+
+
+def bench_figure3_verbatim_replay(benchmark, report_writer):
+    """Replay the paper's exact Figure 3 scenario at the encoded level."""
+    from repro.algorithms import (
+        FIGURE3_A,
+        FIGURE3_B,
+        FIGURE3_ORACLE,
+        replay_ex_minmax,
+    )
+
+    result = benchmark(replay_ex_minmax, FIGURE3_B, FIGURE3_A, FIGURE3_ORACLE)
+    assert len(result.instances) == 6
+    assert {b for b, _ in result.matches} == {"b1", "b2", "b3"}
+    report_writer("figure03_verbatim", result.render())
+
+
+def bench_figure2_ap_minmax_trace(benchmark, report_writer):
+    community_b, community_a = _trace_couple()
+    algorithm = ApMinMax(1, n_parts=4, engine="python", record_trace=True)
+    result = benchmark.pedantic(
+        algorithm.join, args=(community_b, community_a), rounds=1, iterations=1
+    )
+    trace = algorithm.last_trace
+    report_writer("figure02", trace.format())
+
+    kinds = {event.kind for event in trace.events}
+    # The walkthrough must exhibit the pruning machinery in action.
+    assert EventType.MATCH in kinds
+    assert EventType.MIN_PRUNE in kinds or EventType.MAX_PRUNE in kinds
+    assert result.n_matched == trace.counts.match
+
+
+def bench_figure3_ex_minmax_trace(benchmark, report_writer):
+    community_b, community_a = _trace_couple()
+    algorithm = ExMinMax(1, n_parts=4, engine="python", record_trace=True)
+    result = benchmark.pedantic(
+        algorithm.join, args=(community_b, community_a), rounds=1, iterations=1
+    )
+    trace = algorithm.last_trace
+    report_writer("figure03", trace.format())
+
+    # Figure 3's distinctive elements: maxV annotations and CSF calls.
+    match_events = [e for e in trace.events if e.kind is EventType.MATCH]
+    assert any(event.detail.startswith("maxV") for event in match_events)
+    assert any(note.startswith("CSF(") for note in trace.notes)
+    assert result.n_matched <= trace.counts.match

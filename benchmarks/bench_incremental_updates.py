@@ -1,0 +1,55 @@
+"""Incremental maintenance bench: absorb a like stream, re-join.
+
+Measures the full maintenance cycle a platform runs between CSJ
+refreshes — replaying a batch of like events into an incremental
+community, snapshotting, and re-joining — and checks that the updates
+behave: counters only grow and drift can only lower an epsilon-bounded
+similarity against a frozen reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IncrementalCommunity, csj_similarity
+from repro.datasets import LikeStreamSimulator, replay
+
+N_USERS = 400
+N_EVENTS = 2_000
+
+
+@pytest.fixture(scope="module")
+def incremental_pair(bench_seed):
+    rng = np.random.default_rng(bench_seed)
+    base = rng.integers(0, 25, size=(N_USERS, 27))
+    frozen = IncrementalCommunity("frozen", 27, vectors=base)
+    living = IncrementalCommunity("living", 27, vectors=base)
+    return frozen, living
+
+
+def bench_replay_and_rejoin(benchmark, incremental_pair, bench_seed, report_writer):
+    frozen, living = incremental_pair
+    simulator = LikeStreamSimulator(living, seed=bench_seed)
+    reference = frozen.snapshot()
+    before = csj_similarity(reference, living.snapshot(), epsilon=1).similarity
+
+    def cycle():
+        applied = replay(living, simulator.events(N_EVENTS))
+        result = csj_similarity(reference, living.snapshot(), epsilon=1)
+        return applied, result
+
+    applied, result = benchmark.pedantic(cycle, rounds=1, iterations=1)
+    report_writer(
+        "incremental_updates",
+        f"applied {applied} events to {N_USERS} users; similarity vs the "
+        f"frozen reference: {100 * before:.2f}% -> "
+        f"{result.similarity_percent:.2f}%",
+    )
+
+    assert applied == N_EVENTS
+    assert before == pytest.approx(1.0)
+    # Drift against a frozen reference can only erode the matching.
+    assert result.similarity <= before
+    # Counters are aggregates: they never decrease.
+    assert (living.snapshot().vectors >= frozen.snapshot().vectors).all()

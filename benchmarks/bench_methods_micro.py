@@ -1,0 +1,27 @@
+"""Micro-benchmark: all six methods on one standard couple.
+
+Gives pytest-benchmark's comparative statistics across the method suite
+on the same input (cID 1, VK, bench scale) — the quickest way to see
+the Table 3/4 time ordering on this machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ALL_METHODS, get_algorithm
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator, build_couple
+
+
+@pytest.fixture(scope="module")
+def standard_couple(bench_scale, bench_seed):
+    generator = VKGenerator(seed=bench_seed)
+    return build_couple(PAPER_COUPLES[0], generator, scale=bench_scale)
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def bench_method(benchmark, method, standard_couple):
+    community_b, community_a = standard_couple
+    algorithm = get_algorithm(method, VK_EPSILON)
+    result = benchmark(algorithm.join, community_b, community_a)
+    assert 0.0 <= result.similarity <= 1.0

@@ -1,0 +1,72 @@
+"""Section 3's pipeline: approximate screening + exact refinement.
+
+The paper prescribes running the fast approximate method over many
+couples first and spending the exact method only on the shortlist —
+"the time-consuming exact method uses the results of the fast
+approximate method as input to alleviate its total execution overhead."
+The bench quantifies the saving over the 20-couple suite: screen all
+couples with Ap-MinMax, refine only those above 25% with Ex-MinMax, and
+compare against the exact-everything cost.  Both strategies must agree
+on the set of above-threshold couples.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import get_algorithm
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator, build_couple
+
+THRESHOLD = 0.25
+
+
+@pytest.fixture(scope="module")
+def suite(bench_scale, bench_seed):
+    generator = VKGenerator(seed=bench_seed)
+    return [
+        (spec, *build_couple(spec, generator, scale=bench_scale / 2))
+        for spec in PAPER_COUPLES
+    ]
+
+
+def bench_screen_then_refine(benchmark, suite, report_writer):
+    def pipeline():
+        shortlist = []
+        for spec, community_b, community_a in suite:
+            screener = get_algorithm("ap-minmax", VK_EPSILON)
+            if screener.join(community_b, community_a).similarity >= THRESHOLD:
+                shortlist.append((spec, community_b, community_a))
+        refined = {}
+        for spec, community_b, community_a in shortlist:
+            refiner = get_algorithm("ex-minmax", VK_EPSILON)
+            refined[spec.c_id] = refiner.join(community_b, community_a).similarity
+        return refined
+
+    started = time.perf_counter()
+    exact_everything = {}
+    for spec, community_b, community_a in suite:
+        refiner = get_algorithm("ex-minmax", VK_EPSILON)
+        exact_everything[spec.c_id] = refiner.join(
+            community_b, community_a
+        ).similarity
+    exact_cost = time.perf_counter() - started
+
+    refined = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    pipeline_cost = benchmark.stats.stats.mean
+
+    # Both strategies must surface the same above-threshold couples.
+    expected = {
+        c_id for c_id, sim in exact_everything.items() if sim >= THRESHOLD
+    }
+    assert set(refined) == expected
+    for c_id, similarity in refined.items():
+        assert similarity == pytest.approx(exact_everything[c_id])
+
+    report_writer(
+        "pipeline_screening",
+        f"exact-everything: {exact_cost:.2f}s over {len(suite)} couples; "
+        f"screen+refine: {pipeline_cost:.2f}s with {len(refined)} couples "
+        f"refined (threshold {THRESHOLD:.0%})",
+    )

@@ -1,0 +1,31 @@
+"""Table 2: the 20 compared community pairs (names and VK page ids).
+
+A metadata table in the paper; here the bench materialises every couple
+from the registry at bench scale to confirm the whole case-study suite
+is constructible, and renders the Table 2 listing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table2
+from repro.datasets import PAPER_COUPLES, VKGenerator, build_couple
+
+
+def bench_table2_materialise_all_couples(
+    benchmark, bench_scale, bench_seed, report_writer
+):
+    generator = VKGenerator(seed=bench_seed)
+
+    def build_all():
+        return [
+            build_couple(spec, generator, scale=bench_scale)
+            for spec in PAPER_COUPLES
+        ]
+
+    couples = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    report_writer("table02", render_table2())
+
+    assert len(couples) == 20
+    for (community_b, community_a), spec in zip(couples, PAPER_COUPLES):
+        assert community_b.name == spec.name_b
+        assert len(community_b) <= len(community_a)

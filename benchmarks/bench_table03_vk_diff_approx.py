@@ -1,0 +1,25 @@
+"""Table 3: approximate methods, VK dataset, different categories.
+
+Paper shape: Ap-MinMax and Ap-Baseline are nearly tied on accuracy,
+Ap-SuperEGO loses accuracy through its normalised aggregate-epsilon
+conversion, and every couple sits in the >= 15% similarity band.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table03(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 3, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    def mean(method: str) -> float:
+        return sum(row.similarity_percent(method) for row in run.rows) / len(run.rows)
+
+    assert mean("ap-superego") < mean("ap-minmax")
+    assert mean("ap-superego") < mean("ap-baseline")
+    assert abs(mean("ap-minmax") - mean("ap-baseline")) < 1.0
+    for row in run.rows:
+        assert row.similarity_percent("ap-minmax") >= 12.0

@@ -1,0 +1,28 @@
+"""Table 4: exact methods, VK dataset, different categories.
+
+Paper shape: Ex-Baseline and Ex-MinMax report identical similarities;
+Ex-MinMax is emphatically faster than Ex-Baseline; Ex-SuperEGO is the
+least accurate (normalised aggregate-epsilon conversion) but fast.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table04(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 4, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    for row in run.rows:
+        assert row.similarity_percent("ex-baseline") == row.similarity_percent(
+            "ex-minmax"
+        )
+        assert (
+            row.similarity_percent("ex-superego")
+            <= row.similarity_percent("ex-minmax") + 1e-9
+        )
+    minmax_time = sum(row.elapsed("ex-minmax") for row in run.rows)
+    baseline_time = sum(row.elapsed("ex-baseline") for row in run.rows)
+    assert minmax_time < baseline_time, "Ex-MinMax must beat Ex-Baseline on time"

@@ -1,0 +1,24 @@
+"""Table 5: approximate methods, VK dataset, same categories.
+
+Same trend as Table 3 but on the >= 30% similarity couples (11–20);
+the higher similarity roughly doubles every method's work.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table05(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 5, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    def mean(method: str) -> float:
+        return sum(row.similarity_percent(method) for row in run.rows) / len(run.rows)
+
+    assert mean("ap-superego") < mean("ap-minmax")
+    for row in run.rows:
+        # Same-category case study: the >= 30% band (loose margin for
+        # the scaled-down communities).
+        assert row.similarity_percent("ap-minmax") >= 25.0

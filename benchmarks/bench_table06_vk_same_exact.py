@@ -1,0 +1,28 @@
+"""Table 6: exact methods, VK dataset, same categories.
+
+Same trend as Table 4 on the >= 30% couples: Ex-Baseline == Ex-MinMax,
+Ex-SuperEGO below both, Ex-MinMax the best accuracy/time trade-off.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table06(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 6, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    for row in run.rows:
+        assert row.similarity_percent("ex-baseline") == row.similarity_percent(
+            "ex-minmax"
+        )
+        assert (
+            row.similarity_percent("ex-superego")
+            <= row.similarity_percent("ex-minmax") + 1e-9
+        )
+        assert row.similarity_percent("ex-minmax") >= 25.0
+    minmax_time = sum(row.elapsed("ex-minmax") for row in run.rows)
+    baseline_time = sum(row.elapsed("ex-baseline") for row in run.rows)
+    assert minmax_time < baseline_time

@@ -1,0 +1,28 @@
+"""Table 8: exact methods, Synthetic dataset, different categories.
+
+Paper shape: zero accuracy loss for Ex-SuperEGO on uniform data — all
+three exact methods report the same similarity on every couple, and
+cID 10 remains the below-15% edge case.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table08(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 8, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    for row in run.rows:
+        values = {
+            round(row.similarity_percent(method), 6) for method in run.methods
+        }
+        assert len(values) == 1, f"cID {row.spec.c_id}: exact methods disagree"
+
+    edge = next(row for row in run.rows if row.spec.c_id == 10)
+    assert edge.similarity_percent("ex-minmax") < 15.0
+    for row in run.rows:
+        if row.spec.c_id != 10:
+            assert row.similarity_percent("ex-minmax") >= 12.0

@@ -1,0 +1,23 @@
+"""Table 9: approximate methods, Synthetic dataset, same categories.
+
+Same trend as Table 7 on the >= 30% couples; execution times rise with
+the doubled similarity, accuracies of the three methods stay close.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table09(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 9, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    def mean(method: str) -> float:
+        return sum(row.similarity_percent(method) for row in run.rows) / len(run.rows)
+
+    values = [mean(method) for method in run.methods]
+    assert max(values) - min(values) < 1.0
+    for row in run.rows:
+        assert row.similarity_percent("ap-minmax") >= 25.0

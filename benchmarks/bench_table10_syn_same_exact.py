@@ -1,0 +1,26 @@
+"""Table 10: exact methods, Synthetic dataset, same categories.
+
+Paper shape: all exact methods agree on every >= 30% couple (zero
+SuperEGO loss on uniform data); Ex-MinMax clearly beats Ex-Baseline on
+time.
+"""
+
+from __future__ import annotations
+
+from _shared import run_and_report
+
+
+def bench_table10(benchmark, bench_scale, bench_seed, report_writer):
+    run = run_and_report(
+        benchmark, 10, report_writer, scale=bench_scale, seed=bench_seed
+    )
+
+    for row in run.rows:
+        values = {
+            round(row.similarity_percent(method), 6) for method in run.methods
+        }
+        assert len(values) == 1
+        assert row.similarity_percent("ex-minmax") >= 25.0
+    minmax_time = sum(row.elapsed("ex-minmax") for row in run.rows)
+    baseline_time = sum(row.elapsed("ex-baseline") for row in run.rows)
+    assert minmax_time < baseline_time

@@ -1,0 +1,37 @@
+"""Table 11: scalability of Ex-MinMax on VK across all 20 categories.
+
+The paper times Ex-MinMax on four couples of growing average size per
+category.  The bench regenerates every cell at bench scale and checks
+the headline shape: runtime grows monotonically-in-trend with size, and
+the largest Entertainment couple is the most expensive cell overall.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_scalability_table, run_scalability
+
+
+def bench_table11(benchmark, bench_scale, bench_seed, report_writer):
+    cells = benchmark.pedantic(
+        run_scalability,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(
+        "table11", render_scalability_table(cells, scale=bench_scale)
+    )
+
+    assert len(cells) == 20 * 4
+    by_category: dict[str, list] = {}
+    for cell in cells:
+        by_category.setdefault(cell.category, []).append(cell)
+    for series in by_category.values():
+        sizes = [cell.average_size for cell in series]
+        assert sizes == sorted(sizes)
+        # Growth trend: the largest couple must cost more than the smallest.
+        assert series[-1].elapsed_seconds >= series[0].elapsed_seconds
+
+    slowest = max(cells, key=lambda cell: cell.elapsed_seconds)
+    assert slowest.category == "Entertainment"
+    assert slowest.step == 4

@@ -1,0 +1,44 @@
+"""Shared configuration of the benchmark harness.
+
+Every bench regenerates one table (or figure/ablation) of the paper at
+``REPRO_BENCH_SCALE`` times the paper's community sizes (default 1/128,
+i.e. couples of roughly 400–2600 users) and writes the rendered table to
+``benchmarks/output/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Raise the scale (e.g. ``REPRO_BENCH_SCALE=0.03``) for numbers closer to
+the paper's regime at the cost of longer runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _shared import write_report  # noqa: E402
+
+#: Fraction of the paper's community sizes used by the benches.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1 / 128))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", 7))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Writes a rendered table to benchmarks/output/<name>.txt."""
+    return write_report

@@ -1,0 +1,53 @@
+"""Epsilon selectivity study (Section 1.1's motivation).
+
+The classic epsilon-join struggles with choosing epsilon "in regards to
+the selectivity of the join"; CSJ instead fixes a *meaningful* minimal
+epsilon.  This script sweeps epsilon on a VK-like couple and prints the
+similarity curve: it saturates sharply around the data's meaningful
+threshold (1 like), after which growing epsilon only adds noise pairs —
+the quantitative version of the paper's argument.
+
+It also demonstrates the per-category epsilon extension: relaxing only
+the heavy Entertainment dimension barely moves the score, relaxing all
+dimensions does.
+
+Run:  python examples/epsilon_selectivity.py
+"""
+
+from __future__ import annotations
+
+from repro import VKGenerator, build_couple
+from repro.analysis import epsilon_sweep, render_sweep
+from repro.datasets import PAPER_COUPLES, category_index
+from repro.extensions import vector_epsilon_similarity
+
+
+def main() -> None:
+    generator = VKGenerator(seed=7)
+    community_b, community_a = build_couple(
+        PAPER_COUPLES[0], generator, scale=1 / 256
+    )
+    print(
+        f"couple cID 1 at |B|={len(community_b)}, |A|={len(community_a)} "
+        "(engineered for epsilon = 1)\n"
+    )
+
+    points = epsilon_sweep(
+        community_b, community_a, epsilons=[0, 1, 2, 4, 8, 16, 32, 64]
+    )
+    print(render_sweep(points, parameter_name="epsilon"))
+
+    print("\nper-category epsilon (extension):")
+    d = community_b.n_dims
+    uniform = vector_epsilon_similarity(community_b, community_a, [1] * d)
+    relaxed_one = [1] * d
+    relaxed_one[category_index("Entertainment")] = 16
+    one_dim = vector_epsilon_similarity(community_b, community_a, relaxed_one)
+    all_dims = vector_epsilon_similarity(community_b, community_a, [16] * d)
+    print(f"  eps = 1 everywhere:              {uniform.similarity_percent:6.2f}%")
+    print(f"  eps = 16 on Entertainment only:  {one_dim.similarity_percent:6.2f}%")
+    print(f"  eps = 16 everywhere:             {all_dims.similarity_percent:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""One-stop walkthrough of the whole reproduction.
+
+Runs, at a small scale, every stage the paper's evaluation consists of:
+
+1. Table 1 — dataset statistics (category rankings, skew);
+2. one couple from Table 2 joined with all six methods (a row of
+   Tables 3+4), with the paper's reported values next to ours;
+3. the pruning-event breakdown behind the MinMax speedups;
+4. a Table 11-style scalability mini-run;
+5. the invariant self-check.
+
+For full tables use the CLI (``repro-csj table4``, ``repro-csj
+experiments``) or the benchmark harness.
+
+Run:  python examples/full_reproduction.py
+"""
+
+from __future__ import annotations
+
+from repro import csj_similarity
+from repro.algorithms import ALL_METHODS, method_display_name
+from repro.analysis import (
+    paper_similarity,
+    profile_events,
+    render_event_report,
+    render_scalability_table,
+    run_scalability,
+    run_selfcheck,
+    run_table1,
+)
+from repro.datasets import PAPER_COUPLES, VK_EPSILON, VKGenerator, build_couple
+
+SCALE = 1 / 256
+
+
+def banner(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def stage_1_table1() -> None:
+    banner("1. Dataset statistics (Table 1)")
+    run = run_table1(n_users=4000, seed=7)
+    head = ", ".join(entry.category for entry in run.vk_ranking[:5])
+    skew = run.vk_ranking[0].total_likes / max(run.vk_ranking[-1].total_likes, 1)
+    print(f"VK top-5 categories: {head}")
+    print(f"VK head-to-tail skew: {skew:,.0f}x (paper: ~4450x at 7.8M users)")
+
+
+def stage_2_methods() -> tuple:
+    banner("2. All six methods on couple cID 1 (Tables 3 and 4, row 1)")
+    generator = VKGenerator(seed=7)
+    spec = PAPER_COUPLES[0]
+    community_b, community_a = build_couple(spec, generator, scale=SCALE)
+    print(f"{spec.name_b!r} vs {spec.name_a!r}: |B|={len(community_b)}, "
+          f"|A|={len(community_a)}, epsilon={VK_EPSILON}\n")
+    print(f"{'method':14s} {'paper':>8s} {'measured':>9s} {'time':>9s}")
+    for method in ALL_METHODS:
+        result = csj_similarity(
+            community_b, community_a, epsilon=VK_EPSILON, method=method
+        )
+        table = 3 if method.startswith("ap") else 4
+        paper = paper_similarity(table, spec.c_id, method)
+        paper_text = f"{paper:.2f}%" if paper is not None else "-"
+        print(
+            f"{method_display_name(method):14s} {paper_text:>8s} "
+            f"{result.similarity_percent:8.2f}% "
+            f"{result.elapsed_seconds * 1000:7.1f}ms"
+        )
+    return community_b, community_a
+
+
+def stage_3_events(community_b, community_a) -> None:
+    banner("3. Why MinMax is fast: the pruning-event breakdown")
+    small_b = community_b.subset(range(min(120, len(community_b))))
+    small_a = community_a.subset(range(min(140, len(community_a))))
+    profiles = profile_events(small_b, small_a, epsilon=VK_EPSILON)
+    print(render_event_report(profiles))
+
+
+def stage_4_scalability() -> None:
+    banner("4. Scalability (Table 11, two categories)")
+    cells = run_scalability(
+        scale=SCALE, categories=("Job_search", "Sport"), steps=(1, 2, 3, 4)
+    )
+    print(render_scalability_table(cells, scale=SCALE))
+
+
+def stage_5_selfcheck(community_b, community_a) -> None:
+    banner("5. Invariant self-check")
+    report = run_selfcheck(
+        community_b.subset(range(min(100, len(community_b)))),
+        community_a.subset(range(min(110, len(community_a)))),
+        epsilon=VK_EPSILON,
+    )
+    verdict = "ALL CHECKS PASSED" if report.passed else "CHECKS FAILED"
+    print(f"{len(report.outcomes)} checks -> {verdict}")
+
+
+def main() -> None:
+    stage_1_table1()
+    community_b, community_a = stage_2_methods()
+    stage_3_events(community_b, community_a)
+    stage_4_scalability()
+    stage_5_selfcheck(community_b, community_a)
+
+
+if __name__ == "__main__":
+    main()

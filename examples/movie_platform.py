@@ -1,0 +1,109 @@
+"""CSJ beyond social networks: a movie-platform scenario (Section 1.1).
+
+The paper notes that category-dimensions exist wherever users
+"constantly consume" content — e-commerce, movie platforms, song
+databases: "when a user views a movie that belongs to categories comedy
+and romance, the counters in dimensions that map to comedy and romance
+increase by one."  This script builds exactly that: per-genre view
+counters for the audiences of two streaming services, grows them with a
+view stream (multi-genre titles bump several counters at once), and
+ranks candidate services by audience similarity.
+
+Run:  python examples/movie_platform.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Community, IncrementalCommunity, csj_similarity
+from repro.apps import PartnerRecommender
+
+GENRES = (
+    "Action", "Comedy", "Drama", "Romance", "Thriller",
+    "SciFi", "Horror", "Documentary", "Animation", "Crime",
+)
+
+#: Catalogue titles with their (multi-)genre tags.
+TITLES = [
+    ("Laugh Lines", ("Comedy", "Romance")),
+    ("Deep Orbit", ("SciFi", "Thriller")),
+    ("The Ledger", ("Crime", "Drama")),
+    ("Painted Seas", ("Animation", "Comedy")),
+    ("Cold Case Files", ("Documentary", "Crime")),
+    ("Starlight Waltz", ("Romance", "Drama")),
+    ("Night Shift", ("Horror", "Thriller")),
+    ("Kick the Sky", ("Action", "SciFi")),
+]
+
+
+def watch_stream(
+    audience: IncrementalCommunity, rng: np.random.Generator, n_views: int,
+    taste: dict[str, float],
+) -> None:
+    """Simulate views: each view bumps every genre of the watched title."""
+    weights = np.array(
+        [sum(taste.get(genre, 0.1) for genre in genres) for _, genres in TITLES]
+    )
+    weights = weights / weights.sum()
+    user_ids = audience.user_ids()
+    for _ in range(n_views):
+        user = int(rng.choice(user_ids))
+        title_index = int(rng.choice(len(TITLES), p=weights))
+        for genre in TITLES[title_index][1]:
+            audience.record_like(user, GENRES.index(genre))
+
+
+def build_service(
+    name: str, n_users: int, taste: dict[str, float], seed: int,
+    shared_with: Community | None = None, shared_fraction: float = 0.0,
+) -> Community:
+    """A streaming service's audience, optionally sharing subscribers."""
+    rng = np.random.default_rng(seed)
+    audience = IncrementalCommunity(name, len(GENRES))
+    for _ in range(n_users):
+        audience.subscribe()
+    watch_stream(audience, rng, n_views=n_users * 40, taste=taste)
+    vectors = audience.snapshot().vectors
+    if shared_with is not None and shared_fraction > 0:
+        n_shared = int(shared_fraction * n_users)
+        rows = rng.choice(len(shared_with), size=n_shared, replace=False)
+        shared = np.maximum(
+            shared_with.vectors[rows] + rng.integers(-2, 3, size=(n_shared, len(GENRES))),
+            0,
+        )
+        vectors = np.concatenate([shared, vectors[: n_users - n_shared]])
+    return Community(name, vectors, category="Streaming")
+
+
+def main() -> None:
+    anchor = build_service(
+        "NebulaFlix", 500, {"SciFi": 3.0, "Thriller": 2.0, "Action": 1.5}, seed=1
+    )
+    candidates = [
+        build_service("OrbitPlay", 520, {"SciFi": 2.5, "Action": 2.0}, seed=2,
+                      shared_with=anchor, shared_fraction=0.3),
+        build_service("HeartStream", 480, {"Romance": 3.0, "Comedy": 2.0}, seed=3,
+                      shared_with=anchor, shared_fraction=0.08),
+        build_service("TrueLens", 510, {"Documentary": 3.0, "Crime": 2.0}, seed=4),
+    ]
+
+    print(f"anchor service: {anchor.name!r} ({len(anchor)} viewers, "
+          f"{len(GENRES)} genre dimensions)\n")
+    # Per-genre counters are larger here (40 views/user), so the
+    # meaningful epsilon is a few views rather than one like.
+    epsilon = 2
+    recommender = PartnerRecommender(epsilon, method="ex-minmax")
+    print(f"audience similarity at epsilon = {epsilon} views per genre:")
+    for score in recommender.rank(anchor, candidates):
+        print(f"  {score.candidate:12s} {100 * score.similarity:6.2f}%  "
+              f"({score.result.n_matched} matched viewers)")
+
+    exact = csj_similarity(anchor, candidates[0], epsilon=epsilon)
+    print(f"\nbest partner: {candidates[0].name!r} — "
+          f"{exact.similarity_percent:.2f}% of NebulaFlix viewers have a "
+          "near-identical genre profile there")
+
+
+if __name__ == "__main__":
+    main()

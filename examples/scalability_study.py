@@ -1,0 +1,39 @@
+"""Mini scalability study (Table 11 of the paper).
+
+Times Ex-MinMax on growing couple sizes for a few categories, the way
+Table 11 reports four size points per category.  Sizes are the paper's
+averages scaled down so the script finishes in well under a minute; use
+``repro-csj table11`` for the full 20-category sweep.
+
+Run:  python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_scalability_table, run_scalability
+
+
+def main() -> None:
+    scale = 1 / 128
+    cells = run_scalability(
+        scale=scale,
+        seed=7,
+        categories=("Job_search", "Medicine", "Sport", "Entertainment"),
+        steps=(1, 2, 3, 4),
+    )
+    print(render_scalability_table(cells, scale=scale))
+    print()
+    for category in ("Job_search", "Entertainment"):
+        series = [cell for cell in cells if cell.category == category]
+        first, last = series[0], series[-1]
+        growth = last.elapsed_seconds / max(first.elapsed_seconds, 1e-9)
+        size_growth = last.average_size / first.average_size
+        print(
+            f"{category}: size grew {size_growth:.1f}x "
+            f"(from {first.average_size:,} to {last.average_size:,}), "
+            f"time grew {growth:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

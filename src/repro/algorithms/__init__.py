@@ -1,0 +1,68 @@
+"""The six CSJ join methods of the paper.
+
+Approximate: :class:`~repro.algorithms.baseline.ApBaseline`,
+:class:`~repro.algorithms.minmax.ApMinMax`,
+:class:`~repro.algorithms.superego.ApSuperEGO`.
+Exact: :class:`~repro.algorithms.baseline.ExBaseline`,
+:class:`~repro.algorithms.minmax.ExMinMax`,
+:class:`~repro.algorithms.superego.ExSuperEGO`.
+"""
+
+from .base import CSJAlgorithm, ENGINES
+from .baseline import ApBaseline, ExBaseline
+from .hybrid import ApHybrid, ExHybrid
+from .encoded_replay import (
+    FIGURE2_A,
+    FIGURE2_B,
+    FIGURE2_ORACLE,
+    FIGURE3_A,
+    FIGURE3_B,
+    FIGURE3_ORACLE,
+    EncodedA,
+    EncodedB,
+    ReplayResult,
+    replay_ap_minmax,
+    replay_ex_minmax,
+)
+from .minmax import ApMinMax, ExMinMax
+from .registry import (
+    ALGORITHMS,
+    ALL_METHODS,
+    HYBRID_METHODS,
+    APPROXIMATE_METHODS,
+    EXACT_METHODS,
+    get_algorithm,
+    method_display_name,
+)
+from .superego import ApSuperEGO, ExSuperEGO
+
+__all__ = [
+    "CSJAlgorithm",
+    "ENGINES",
+    "EncodedA",
+    "EncodedB",
+    "ReplayResult",
+    "replay_ap_minmax",
+    "replay_ex_minmax",
+    "FIGURE2_A",
+    "FIGURE2_B",
+    "FIGURE2_ORACLE",
+    "FIGURE3_A",
+    "FIGURE3_B",
+    "FIGURE3_ORACLE",
+    "ApBaseline",
+    "ExBaseline",
+    "ApHybrid",
+    "ExHybrid",
+    "HYBRID_METHODS",
+    "ApMinMax",
+    "ExMinMax",
+    "ApSuperEGO",
+    "ExSuperEGO",
+    "ALGORITHMS",
+    "ALL_METHODS",
+    "APPROXIMATE_METHODS",
+    "EXACT_METHODS",
+    "get_algorithm",
+    "method_display_name",
+]

@@ -1,0 +1,407 @@
+"""Encoded-level replay of the MinMax algorithms (Figures 2 and 3).
+
+The paper illustrates Ap-MinMax and Ex-MinMax with hand-picked encoded
+values: every ``a`` is shown as ``a3:(42, 72)`` (encoded Min/Max) and
+every ``b`` as ``b2:48`` (encoded ID), and the runs unfold as numbered
+*instances* — snapshots of the remaining ``Encd_A``/``Encd_B`` columns
+followed by the events the current ``b`` produces.
+
+This module replays the algorithms at exactly that level of
+abstraction: the inputs are encoded entries plus an *outcome oracle*
+that decides, for each in-window comparison, whether it is a NO
+OVERLAP, NO MATCH or MATCH (in the real algorithms those outcomes come
+from the part ranges and the d-dimensional vectors; the figures fix
+them by construction).  The replays reproduce the two figures verbatim
+— the tests assert the full instance-by-instance text — and double as
+an executable specification of the control flow: ``skip``/``offset``
+handling, maxV maintenance and the CSF segment flushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError, ValidationError
+from ..core.matching import build_adjacency, cover_smallest_first
+
+__all__ = [
+    "EncodedB",
+    "EncodedA",
+    "Outcome",
+    "ReplayInstance",
+    "ReplayResult",
+    "replay_ap_minmax",
+    "replay_ex_minmax",
+    "FIGURE2_B",
+    "FIGURE2_A",
+    "FIGURE2_ORACLE",
+    "FIGURE3_B",
+    "FIGURE3_A",
+    "FIGURE3_ORACLE",
+]
+
+
+@dataclass(frozen=True)
+class EncodedB:
+    """One ``Encd_B`` entry as the figures draw it (``b2:48``)."""
+
+    label: str
+    encoded_id: int
+
+    def render(self) -> str:
+        return f"{self.label}:{self.encoded_id}"
+
+
+@dataclass(frozen=True)
+class EncodedA:
+    """One ``Encd_A`` entry as the figures draw it (``a3:(42, 72)``)."""
+
+    label: str
+    encoded_min: int
+    encoded_max: int
+
+    def render(self) -> str:
+        return f"{self.label}:({self.encoded_min}, {self.encoded_max})"
+
+
+#: Oracle outcomes for in-window comparisons.
+Outcome = str
+NO_OVERLAP: Outcome = "NO OVERLAP"
+NO_MATCH: Outcome = "NO MATCH"
+MATCH: Outcome = "MATCH"
+_VALID_OUTCOMES = (NO_OVERLAP, NO_MATCH, MATCH)
+
+Oracle = dict[tuple[str, str], Outcome]
+
+
+@dataclass
+class ReplayInstance:
+    """One numbered instance: the remaining columns plus event lines."""
+
+    number: int
+    column_a: list[str]
+    column_b: list[str]
+    lines: list[str] = field(default_factory=list)
+    max_v: int | None = None  # shown by the Figure 3 style only
+
+    def render(self) -> str:
+        width = max([len(entry) for entry in self.column_a], default=0)
+        rows = []
+        for position in range(max(len(self.column_a), len(self.column_b))):
+            left = self.column_a[position] if position < len(self.column_a) else ""
+            right = self.column_b[position] if position < len(self.column_b) else ""
+            rows.append(f"{left.ljust(width)}  {right}".rstrip())
+        body = [f"<< {self.number} >>"] + rows + ["====="]
+        if self.max_v is not None:
+            body.append(f"* maxV = {self.max_v}")
+        body.extend(self.lines)
+        return "\n".join(body)
+
+
+@dataclass
+class ReplayResult:
+    """The full replay: instances plus the final matched pairs."""
+
+    instances: list[ReplayInstance]
+    matches: list[tuple[str, str]]
+
+    def render(self) -> str:
+        blocks = [instance.render() for instance in self.instances]
+        pairs = ", ".join(f"<{b}, {a}>" for b, a in self.matches)
+        blocks.append(f"MATCHES = {{{pairs}}}")
+        return "\n\n".join(blocks)
+
+
+def _validate(
+    entries_b: list[EncodedB], entries_a: list[EncodedA], oracle: Oracle
+) -> None:
+    ids = [entry.encoded_id for entry in entries_b]
+    if ids != sorted(ids):
+        raise ValidationError("Encd_B must ascend on encoded_ID")
+    mins = [entry.encoded_min for entry in entries_a]
+    if mins != sorted(mins):
+        raise ValidationError("Encd_A must ascend on encoded_Min")
+    for outcome in oracle.values():
+        if outcome not in _VALID_OUTCOMES:
+            raise ConfigurationError(f"unknown oracle outcome {outcome!r}")
+
+
+def _lookup(oracle: Oracle, entry_b: EncodedB, entry_a: EncodedA) -> Outcome:
+    try:
+        return oracle[(entry_b.label, entry_a.label)]
+    except KeyError:
+        raise ConfigurationError(
+            f"oracle has no outcome for in-window pair "
+            f"({entry_b.label}, {entry_a.label})"
+        ) from None
+
+
+def replay_ap_minmax(
+    entries_b: list[EncodedB],
+    entries_a: list[EncodedA],
+    oracle: Oracle,
+) -> ReplayResult:
+    """Replay Algorithm Ap-MinMax at the encoded level (Figure 2)."""
+    _validate(entries_b, entries_a, oracle)
+    n_a = len(entries_a)
+    used = [False] * n_a
+    offset = 0
+    matches: list[tuple[str, str]] = []
+    instances: list[ReplayInstance] = []
+
+    for entry_b in entries_b:
+        while offset < n_a and used[offset]:
+            offset += 1
+        remaining_b = entries_b[entries_b.index(entry_b):]
+        instance = ReplayInstance(
+            number=len(instances) + 1,
+            column_a=[
+                entries_a[j].render() for j in range(offset, n_a) if not used[j]
+            ],
+            column_b=[entry.render() for entry in remaining_b],
+        )
+        skip = True
+        j = offset
+        while j < n_a:
+            if used[j]:
+                j += 1
+                continue
+            entry_a = entries_a[j]
+            pair = f"* {entry_b.render()}"
+            if entry_b.encoded_id < entry_a.encoded_min:
+                instance.lines.append(
+                    f"{pair} < {entry_a.render()} => MIN PRUNE"
+                )
+                break
+            if entry_b.encoded_id <= entry_a.encoded_max:
+                skip = False
+                outcome = _lookup(oracle, entry_b, entry_a)
+                instance.lines.append(f"{pair} IN {entry_a.render()} => {outcome}")
+                if outcome == MATCH:
+                    matches.append((entry_b.label, entry_a.label))
+                    used[j] = True
+                    break
+                j += 1
+                continue
+            if skip:
+                instance.lines.append(
+                    f"{pair} > {entry_a.render()} => MAX PRUNE"
+                )
+                offset = j + 1
+                # The figure dedicates one instance to each offset advance.
+                instances.append(instance)
+                remaining_b = entries_b[entries_b.index(entry_b):]
+                instance = ReplayInstance(
+                    number=len(instances) + 1,
+                    column_a=[
+                        entries_a[p].render()
+                        for p in range(j + 1, n_a)
+                        if not used[p]
+                    ],
+                    column_b=[entry.render() for entry in remaining_b],
+                )
+            j += 1
+        instances.append(instance)
+    # Drop empty trailing snapshots (a fully pruned b adds no lines).
+    instances = [inst for inst in instances if inst.lines]
+    for number, instance in enumerate(instances, start=1):
+        instance.number = number
+    return ReplayResult(instances=instances, matches=matches)
+
+
+def replay_ex_minmax(
+    entries_b: list[EncodedB],
+    entries_a: list[EncodedA],
+    oracle: Oracle,
+) -> ReplayResult:
+    """Replay Algorithm Ex-MinMax at the encoded level (Figure 3).
+
+    Matched entries accumulate in ``matched_B``/``matched_A``; when the
+    current ``b`` finishes (MIN PRUNE or exhausted scan) and the next
+    ``b``'s encoded ID exceeds ``maxV``, the segment is flushed through
+    CSF and the covered entries leave the columns.
+    """
+    _validate(entries_b, entries_a, oracle)
+    n_a = len(entries_a)
+    consumed_a = [False] * n_a  # left the columns via a CSF flush
+    offset = 0
+    max_v = 0
+    matched_pairs: list[tuple[int, int]] = []  # indices into entries
+    matches: list[tuple[str, str]] = []
+    instances: list[ReplayInstance] = []
+
+    def flush(instance: ReplayInstance) -> None:
+        nonlocal matched_pairs, max_v
+        if matched_pairs:
+            adjacency_b, adjacency_a = build_adjacency(matched_pairs)
+            selected = cover_smallest_first(adjacency_b, adjacency_a)
+            matches.extend(
+                (entries_b[bi].label, entries_a[ai].label) for bi, ai in selected
+            )
+            rendered = ", ".join(
+                f"<{entries_b[bi].label}, {entries_a[ai].label}>"
+                for bi, ai in sorted(matched_pairs)
+            )
+            instance.lines.append(f"  => CSF({rendered})")
+            for _, ai in matched_pairs:
+                consumed_a[ai] = True
+        matched_pairs = []
+        max_v = 0
+
+    for index_b, entry_b in enumerate(entries_b):
+        while offset < n_a and consumed_a[offset]:
+            offset += 1
+        instance = ReplayInstance(
+            number=len(instances) + 1,
+            column_a=[
+                entries_a[j].render()
+                for j in range(offset, n_a)
+                if not consumed_a[j]
+            ],
+            column_b=[entry.render() for entry in entries_b[index_b:]],
+            max_v=max_v,
+        )
+        next_id = (
+            entries_b[index_b + 1].encoded_id
+            if index_b + 1 < len(entries_b)
+            else None
+        )
+        skip = True
+        j = offset
+        exhausted = True
+        while j < n_a:
+            if consumed_a[j]:
+                j += 1
+                continue
+            entry_a = entries_a[j]
+            pair = f"* {entry_b.render()}"
+            if entry_b.encoded_id < entry_a.encoded_min:
+                exhausted = False
+                if next_id is None or next_id > max_v:
+                    instance.lines.append(
+                        f"{pair} < {entry_a.render()} => MIN PRUNE "
+                        f"({'end' if next_id is None else f'{_next_label(entries_b, index_b)} > maxV'})"
+                    )
+                    flush(instance)
+                else:
+                    instance.lines.append(
+                        f"{pair} < {entry_a.render()} => MIN PRUNE "
+                        f"({_next_label(entries_b, index_b)} < maxV)"
+                    )
+                break
+            if entry_b.encoded_id <= entry_a.encoded_max:
+                skip = False
+                outcome = _lookup(oracle, entry_b, entry_a)
+                if outcome == MATCH:
+                    matched_pairs.append((index_b, j))
+                    if entry_a.encoded_max > max_v:
+                        max_v = entry_a.encoded_max
+                    instance.lines.append(
+                        f"{pair} IN {entry_a.render()} => MATCH (maxV = {max_v})"
+                    )
+                else:
+                    is_last = all(
+                        consumed_a[p] for p in range(j + 1, n_a)
+                    )
+                    if outcome == NO_MATCH and is_last and next_id is not None:
+                        relation = ">" if next_id > max_v else "<"
+                        instance.lines.append(
+                            f"{pair} IN {entry_a.render()} => {outcome} "
+                            f"({_next_label(entries_b, index_b)} {relation} maxV)"
+                        )
+                    else:
+                        instance.lines.append(
+                            f"{pair} IN {entry_a.render()} => {outcome}"
+                        )
+                j += 1
+                continue
+            if skip:
+                instance.lines.append(
+                    f"{pair} > {entry_a.render()} => MAX PRUNE"
+                )
+                offset = j + 1
+                instances.append(instance)
+                instance = ReplayInstance(
+                    number=len(instances) + 1,
+                    column_a=[
+                        entries_a[p].render()
+                        for p in range(j + 1, n_a)
+                        if not consumed_a[p]
+                    ],
+                    column_b=[entry.render() for entry in entries_b[index_b:]],
+                    max_v=max_v,
+                )
+            j += 1
+        if exhausted and (next_id is None or next_id > max_v):
+            flush(instance)
+        instances.append(instance)
+    instances = [inst for inst in instances if inst.lines]
+    for number, instance in enumerate(instances, start=1):
+        instance.number = number
+    return ReplayResult(instances=instances, matches=matches)
+
+
+def _next_label(entries_b: list[EncodedB], index_b: int) -> str:
+    if index_b + 1 < len(entries_b):
+        return entries_b[index_b + 1].label
+    return "end"
+
+
+# ----------------------------------------------------------------------
+# the paper's exact scenarios
+# ----------------------------------------------------------------------
+
+#: Figure 2 inputs (Ap-MinMax).
+FIGURE2_B = [
+    EncodedB("b1", 40),
+    EncodedB("b2", 48),
+    EncodedB("b3", 67),
+    EncodedB("b4", 71),
+    EncodedB("b5", 74),
+]
+FIGURE2_A = [
+    EncodedA("a1", 30, 55),
+    EncodedA("a2", 33, 60),
+    EncodedA("a3", 42, 72),
+    EncodedA("a4", 45, 73),
+    EncodedA("a5", 50, 80),
+]
+FIGURE2_ORACLE: Oracle = {
+    ("b1", "a1"): NO_OVERLAP,
+    ("b1", "a2"): NO_OVERLAP,
+    ("b2", "a1"): NO_MATCH,
+    ("b2", "a2"): NO_MATCH,
+    ("b2", "a3"): MATCH,
+    ("b3", "a4"): NO_MATCH,
+    ("b3", "a5"): NO_OVERLAP,
+    ("b4", "a4"): NO_OVERLAP,
+    ("b4", "a5"): NO_MATCH,
+    ("b5", "a5"): MATCH,
+}
+
+#: Figure 3 inputs (Ex-MinMax).
+FIGURE3_B = [
+    EncodedB("b1", 40),
+    EncodedB("b2", 58),
+    EncodedB("b3", 67),
+    EncodedB("b4", 74),
+    EncodedB("b5", 81),
+]
+FIGURE3_A = [
+    EncodedA("a1", 30, 55),
+    EncodedA("a2", 33, 60),
+    EncodedA("a3", 38, 57),
+    EncodedA("a4", 45, 73),
+    EncodedA("a5", 50, 80),
+]
+FIGURE3_ORACLE: Oracle = {
+    ("b1", "a1"): MATCH,
+    ("b1", "a2"): NO_OVERLAP,
+    ("b1", "a3"): MATCH,
+    ("b2", "a2"): MATCH,
+    ("b2", "a4"): MATCH,
+    ("b2", "a5"): NO_MATCH,
+    ("b3", "a4"): MATCH,
+    ("b3", "a5"): NO_MATCH,
+    ("b4", "a5"): NO_OVERLAP,
+}

@@ -1,0 +1,341 @@
+"""The MinMax methods (Section 4) — the paper's primary contribution.
+
+Both variants encode community ``B`` into the sorted ``Encd_B`` buffer
+(encoded ID + part sums) and community ``A`` into the sorted ``Encd_A``
+buffer (encoded Min/Max + part ranges), then pair entries with a
+double loop that exploits the sort orders:
+
+* ``MIN PRUNE`` — once ``eB.encd_ID < eA.encd_Min`` no later ``eA`` can
+  match either (``Encd_A`` ascends on ``encd_Min``), so the scan for the
+  current ``b`` stops;
+* ``MAX PRUNE`` — while ``skip`` is still active, every leading ``eA``
+  with ``encd_Max < eB.encd_ID`` can be skipped for *all* later ``b``
+  too (``Encd_B`` ascends on ``encd_ID``), operated via ``offset``;
+* ``NO OVERLAP`` — the cheap part/range test fails, skipping the full
+  d-dimensional comparison.
+
+``Ap-MinMax`` (Algorithm Ap-MinMax) commits to the first match per ``b``.
+``Ex-MinMax`` (Algorithm Ex-MinMax) instead records *all* matches of the
+current ``b`` and tracks ``maxV`` — the largest ``encoded_Max`` among the
+matched ``a``'s.  When the current ``b`` is min-pruned and the *next*
+``b``'s encoded ID exceeds ``maxV``, no future user can touch the
+accumulated matches (a segment boundary), so the CSF function is called
+on the segment and the structures reset.  Segments are vertex-disjoint
+unions of connected components of the candidate graph, which is why
+per-segment CSF selects exactly the same pairs as one global CSF call —
+the cross-method tests assert this equality against Ex-Baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.encoding import MinMaxEncoder
+from ..core.events import EventTrace, EventType
+from ..core.matching import build_adjacency, get_matcher, linf_match
+from .base import CSJAlgorithm
+
+__all__ = ["ApMinMax", "ExMinMax"]
+
+
+class _MinMaxBase(CSJAlgorithm):
+    """Shared construction and helpers for both MinMax variants."""
+
+    def __init__(
+        self,
+        epsilon: int,
+        *,
+        n_parts: int = 4,
+        engine: str = "numpy",
+        record_trace: bool = False,
+    ) -> None:
+        super().__init__(epsilon, engine=engine, record_trace=record_trace)
+        self.n_parts = int(n_parts)
+
+    def _encoder(self, n_dims: int) -> MinMaxEncoder:
+        # The paper fixes 4 parts for d = 27; for lower-dimensional data
+        # the segmentation degrades gracefully to at most one part per
+        # dimension.
+        return MinMaxEncoder(self.epsilon, min(self.n_parts, n_dims))
+
+    def _candidate_positions(
+        self,
+        encoded_id: int,
+        candidates_min: np.ndarray,
+        candidates_max: np.ndarray,
+        parts_row: np.ndarray,
+        range_min: np.ndarray,
+        range_max: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised window + part/range filter for one ``b`` entry.
+
+        Returns the positions (ascending) in ``Encd_A`` that survive the
+        encoded-window and complete part-overlap tests; the caller still
+        has to run the full d-dimensional comparison.
+        """
+        hi = int(np.searchsorted(candidates_min, encoded_id, side="right"))
+        if hi == 0:
+            return np.empty(0, dtype=np.int64)
+        window = candidates_max[:hi] >= encoded_id
+        if not window.any():
+            return np.empty(0, dtype=np.int64)
+        overlap = (
+            (parts_row >= range_min[:hi]) & (parts_row <= range_max[:hi])
+        ).all(axis=1)
+        return np.flatnonzero(window & overlap).astype(np.int64)
+
+
+class ApMinMax(_MinMaxBase):
+    """Approximate MinMax (Algorithm Ap-MinMax)."""
+
+    name = "ap-minmax"
+    exact = False
+
+    # ------------------------------------------------------------------
+    # faithful reference engine
+    # ------------------------------------------------------------------
+    def _join_python(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        encoder = self._encoder(vectors_b.shape[1])
+        targets = encoder.encode_targets(vectors_b)
+        candidates = encoder.encode_candidates(vectors_a)
+        n_a = candidates.n_users
+        used = np.zeros(n_a, dtype=bool)
+        offset = 0
+        pairs: list[tuple[int, int]] = []
+        for i in range(targets.n_users):
+            while offset < n_a and used[offset]:
+                offset += 1
+            encoded_id = int(targets.encoded_id[i])
+            b_label = targets.entry_label(i)
+            skip = True
+            j = offset
+            while j < n_a:
+                if used[j]:
+                    j += 1
+                    continue
+                a_label = candidates.entry_label(j)
+                if encoded_id < candidates.encoded_min[j]:
+                    trace.emit(EventType.MIN_PRUNE, b_label, a_label)
+                    break
+                if encoded_id <= candidates.encoded_max[j]:
+                    skip = False
+                    if not MinMaxEncoder.parts_overlap(
+                        targets.parts[i],
+                        candidates.range_min[j],
+                        candidates.range_max[j],
+                    ):
+                        trace.emit(EventType.NO_OVERLAP, b_label, a_label)
+                        j += 1
+                        continue
+                    b_real = int(targets.real_ids[i])
+                    a_real = int(candidates.real_ids[j])
+                    if linf_match(vectors_b[b_real], vectors_a[a_real], self.epsilon):
+                        trace.emit(EventType.MATCH, b_label, a_label)
+                        pairs.append((b_real, a_real))
+                        used[j] = True
+                        break
+                    trace.emit(EventType.NO_MATCH, b_label, a_label)
+                    j += 1
+                    continue
+                # encoded_id > encoded_Max: this a can never match a later
+                # (larger) b either, but only while skip is still active
+                # may the global offset advance past it.
+                if skip:
+                    trace.emit(EventType.MAX_PRUNE, b_label, a_label)
+                    offset = j + 1
+                j += 1
+        return pairs
+
+    # ------------------------------------------------------------------
+    # vectorised engine (identical matching)
+    # ------------------------------------------------------------------
+    def _join_numpy(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        encoder = self._encoder(vectors_b.shape[1])
+        targets = encoder.encode_targets(vectors_b)
+        candidates = encoder.encode_candidates(vectors_a)
+        used = np.zeros(candidates.n_users, dtype=bool)
+        pairs: list[tuple[int, int]] = []
+        for i in range(targets.n_users):
+            positions = self._candidate_positions(
+                int(targets.encoded_id[i]),
+                candidates.encoded_min,
+                candidates.encoded_max,
+                targets.parts[i],
+                candidates.range_min,
+                candidates.range_max,
+            )
+            if positions.size == 0:
+                continue
+            positions = positions[~used[positions]]
+            if positions.size == 0:
+                continue
+            b_real = int(targets.real_ids[i])
+            rows = candidates.real_ids[positions]
+            diff = np.abs(vectors_a[rows] - vectors_b[b_real])
+            full = (diff <= self.epsilon).all(axis=1)
+            hits = np.flatnonzero(full)
+            if hits.size:
+                position = int(positions[hits[0]])
+                used[position] = True
+                pairs.append((b_real, int(candidates.real_ids[position])))
+                trace.emit_bulk(EventType.MATCH, 1)
+                trace.emit_bulk(EventType.NO_MATCH, int(hits[0]))
+            else:
+                trace.emit_bulk(EventType.NO_MATCH, int(full.size))
+        return pairs
+
+
+class ExMinMax(_MinMaxBase):
+    """Exact MinMax (Algorithm Ex-MinMax) with maxV segmentation."""
+
+    name = "ex-minmax"
+    exact = True
+
+    def __init__(
+        self,
+        epsilon: int,
+        *,
+        n_parts: int = 4,
+        engine: str = "numpy",
+        record_trace: bool = False,
+        matcher: str = "csf",
+    ) -> None:
+        super().__init__(
+            epsilon, n_parts=n_parts, engine=engine, record_trace=record_trace
+        )
+        self.matcher_name = matcher
+        self._matcher = get_matcher(matcher)
+
+    # ------------------------------------------------------------------
+    # faithful reference engine
+    # ------------------------------------------------------------------
+    def _join_python(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        encoder = self._encoder(vectors_b.shape[1])
+        targets = encoder.encode_targets(vectors_b)
+        candidates = encoder.encode_candidates(vectors_a)
+        n_a = candidates.n_users
+        matched_b: dict[int, set[int]] = {}
+        matched_a: dict[int, set[int]] = {}
+        offset = 0
+        max_v = 0
+        pairs: list[tuple[int, int]] = []
+
+        def flush_segment() -> None:
+            nonlocal matched_b, matched_a, max_v
+            if matched_b:
+                segment_pairs = self._matcher(matched_b, matched_a)
+                trace.note(
+                    "CSF("
+                    + ", ".join(
+                        f"<b{b + 1}, a{a + 1}>"
+                        for b in sorted(matched_b)
+                        for a in sorted(matched_b[b])
+                    )
+                    + ")"
+                )
+                pairs.extend(segment_pairs)
+            matched_b, matched_a = {}, {}
+            max_v = 0
+
+        for i in range(targets.n_users):
+            encoded_id = int(targets.encoded_id[i])
+            b_label = targets.entry_label(i)
+            skip = True
+            j = offset
+            while j < n_a:
+                a_label = candidates.entry_label(j)
+                if encoded_id < candidates.encoded_min[j]:
+                    trace.emit(EventType.MIN_PRUNE, b_label, a_label)
+                    next_id = (
+                        int(targets.encoded_id[i + 1])
+                        if i + 1 < targets.n_users
+                        else None
+                    )
+                    if next_id is None or next_id > max_v:
+                        # MAX PRUNE applies to every match of the current
+                        # segment: no later b can reach them.
+                        flush_segment()
+                    break
+                if encoded_id <= candidates.encoded_max[j]:
+                    skip = False
+                    if not MinMaxEncoder.parts_overlap(
+                        targets.parts[i],
+                        candidates.range_min[j],
+                        candidates.range_max[j],
+                    ):
+                        trace.emit(EventType.NO_OVERLAP, b_label, a_label)
+                        j += 1
+                        continue
+                    b_real = int(targets.real_ids[i])
+                    a_real = int(candidates.real_ids[j])
+                    if linf_match(vectors_b[b_real], vectors_a[a_real], self.epsilon):
+                        matched_b.setdefault(b_real, set()).add(a_real)
+                        matched_a.setdefault(a_real, set()).add(b_real)
+                        if candidates.encoded_max[j] > max_v:
+                            max_v = int(candidates.encoded_max[j])
+                        trace.emit(
+                            EventType.MATCH, b_label, a_label, f"maxV = {max_v}"
+                        )
+                    else:
+                        trace.emit(EventType.NO_MATCH, b_label, a_label)
+                    j += 1
+                    continue
+                if skip:
+                    trace.emit(EventType.MAX_PRUNE, b_label, a_label)
+                    offset = j + 1
+                j += 1
+            else:
+                # The scan exhausted Encd_A without a MIN PRUNE; the
+                # same safety test applies (Figure 3, instance 4): once
+                # the next b overshoots maxV, the segment is closed.
+                next_id = (
+                    int(targets.encoded_id[i + 1])
+                    if i + 1 < targets.n_users
+                    else None
+                )
+                if next_id is None or next_id > max_v:
+                    flush_segment()
+        # Whatever accumulated without hitting a safe boundary is
+        # flushed at the end.
+        flush_segment()
+        return pairs
+
+    # ------------------------------------------------------------------
+    # vectorised engine (identical matching via one global CSF)
+    # ------------------------------------------------------------------
+    def _join_numpy(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        encoder = self._encoder(vectors_b.shape[1])
+        targets = encoder.encode_targets(vectors_b)
+        candidates = encoder.encode_candidates(vectors_a)
+        raw_pairs: list[tuple[int, int]] = []
+        for i in range(targets.n_users):
+            positions = self._candidate_positions(
+                int(targets.encoded_id[i]),
+                candidates.encoded_min,
+                candidates.encoded_max,
+                targets.parts[i],
+                candidates.range_min,
+                candidates.range_max,
+            )
+            if positions.size == 0:
+                continue
+            b_real = int(targets.real_ids[i])
+            rows = candidates.real_ids[positions]
+            diff = np.abs(vectors_a[rows] - vectors_b[b_real])
+            full = (diff <= self.epsilon).all(axis=1)
+            hits = rows[full]
+            trace.emit_bulk(EventType.MATCH, int(full.sum()))
+            trace.emit_bulk(EventType.NO_MATCH, int(full.size - full.sum()))
+            raw_pairs.extend((b_real, int(a_real)) for a_real in hits)
+        if not raw_pairs:
+            return []
+        matched_b, matched_a = build_adjacency(raw_pairs)
+        return self._matcher(matched_b, matched_a)

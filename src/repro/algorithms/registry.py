@@ -1,0 +1,74 @@
+"""Name-based registry of the six CSJ methods.
+
+The paper's suite: three approximate (Ap-Baseline, Ap-MinMax,
+Ap-SuperEGO) and three exact (Ex-Baseline, Ex-MinMax, Ex-SuperEGO)
+solutions.  :func:`get_algorithm` builds a configured instance from the
+lower-case registry name used throughout the benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import UnknownAlgorithmError
+from .base import CSJAlgorithm
+from .baseline import ApBaseline, ExBaseline
+from .hybrid import ApHybrid, ExHybrid
+from .minmax import ApMinMax, ExMinMax
+from .superego import ApSuperEGO, ExSuperEGO
+
+__all__ = [
+    "ALGORITHMS",
+    "APPROXIMATE_METHODS",
+    "EXACT_METHODS",
+    "ALL_METHODS",
+    "HYBRID_METHODS",
+    "get_algorithm",
+    "method_display_name",
+]
+
+ALGORITHMS: dict[str, type[CSJAlgorithm]] = {
+    ApBaseline.name: ApBaseline,
+    ExBaseline.name: ExBaseline,
+    ApMinMax.name: ApMinMax,
+    ExMinMax.name: ExMinMax,
+    ApSuperEGO.name: ApSuperEGO,
+    ExSuperEGO.name: ExSuperEGO,
+    ApHybrid.name: ApHybrid,
+    ExHybrid.name: ExHybrid,
+}
+
+#: The paper's six methods (Tables 3–10 run over these).
+APPROXIMATE_METHODS = ("ap-baseline", "ap-minmax", "ap-superego")
+EXACT_METHODS = ("ex-baseline", "ex-minmax", "ex-superego")
+ALL_METHODS = APPROXIMATE_METHODS + EXACT_METHODS
+#: The Section 6.2 MinMax-SuperEGO combination (an extra, see hybrid.py).
+HYBRID_METHODS = ("ap-hybrid", "ex-hybrid")
+
+_DISPLAY = {
+    "ap-baseline": "Ap-Baseline",
+    "ex-baseline": "Ex-Baseline",
+    "ap-minmax": "Ap-MinMax",
+    "ex-minmax": "Ex-MinMax",
+    "ap-superego": "Ap-SuperEGO",
+    "ex-superego": "Ex-SuperEGO",
+    "ap-hybrid": "Ap-Hybrid",
+    "ex-hybrid": "Ex-Hybrid",
+}
+
+
+def get_algorithm(name: str, epsilon: int, **options: object) -> CSJAlgorithm:
+    """Instantiate a CSJ method by registry name.
+
+    ``options`` are forwarded to the method constructor (``engine``,
+    ``n_parts``, ``matcher``, ``t`` ... whichever the method accepts).
+    """
+    key = name.strip().lower()
+    try:
+        cls = ALGORITHMS[key]
+    except KeyError:
+        raise UnknownAlgorithmError(name, tuple(ALGORITHMS)) from None
+    return cls(epsilon, **options)  # type: ignore[arg-type]
+
+
+def method_display_name(name: str) -> str:
+    """Paper-style capitalisation (``ex-minmax`` -> ``Ex-MinMax``)."""
+    return _DISPLAY.get(name.strip().lower(), name)

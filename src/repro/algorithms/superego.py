@@ -1,0 +1,472 @@
+"""The SuperEGO competitor methods (Section 5.2), adapted for CSJ.
+
+SuperEGO [Kalashnikov, VLDBJ 2013] is the state of the art for the
+classic epsilon-join.  The paper adapts it to CSJ as follows:
+
+* all data is **normalised** into ``[0, 1]^d`` ("since else the
+  algorithm does not work"), and epsilon becomes an **aggregate**
+  distance over all d dimensions: ``27 * (1/152532)`` for VK and
+  ``27 * (15000/500000)`` for Synthetic — i.e. the join condition turns
+  into ``sum_i |b_i - a_i| <= d * eps / max`` instead of the CSJ
+  per-dimension test;
+* the framework stays a divide-and-conquer recursion: the
+  ``EGO-Strategy`` prunes a ``<B, A>`` rectangle when it provably holds
+  no joinable pair, segments smaller than the predefined threshold ``t``
+  fall through to a nested-loop join, and larger segments split in half;
+* ``Ap-SuperEGO`` swaps the leaf nested loop for the Ap-Baseline one
+  (first-fit greedy with globally shared "used" flags); ``Ex-SuperEGO``
+  collects all leaf matches and calls CSF once at the end.
+
+Why SuperEGO loses accuracy (the paper's Tables 3–6 vs 7–10): every true
+CSJ pair satisfies the aggregate condition (``|b_i - a_i| <= eps`` for
+every ``i`` implies the sum is at most ``d * eps``), but the aggregate
+condition also admits pairs that violate the per-dimension test.  Such
+*false candidates* participate in the one-to-one matching and consume
+users; since they are not genuinely similar they do not count towards
+Eq. (1), so the reported similarity drops.  On the skewed VK data false
+candidates are plentiful (many low-activity users sit within a small
+aggregate distance of each other) and the loss is visible; on the
+uniform Synthetic data the aggregate ball is so selective that false
+candidates essentially never appear, and the exact variant agrees with
+Ex-Baseline/Ex-MinMax to the last pair — both effects exactly as the
+paper reports.
+
+Pass ``use_normalized=False`` for the "theoretic case" the paper's
+conclusion discusses — SuperEGO running directly on numeric data with
+the true per-dimension condition (no conversion, no accuracy loss).
+
+Implementation notes (see DESIGN.md): rows are sorted in **epsilon grid
+order** (dimensions reordered by cell spread, lexicographic by cell);
+the EGO-Strategy prunes a rectangle from the segments' value-space
+bounding boxes — per-dimension gap above epsilon in raw mode, summed
+gaps above ``d * epsilon`` in aggregate mode — which is exactly the
+active join condition, so no joinable pair is ever lost.  Pruned
+rectangles are counted as MIN PRUNE events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.events import EventTrace, EventType
+from ..core.matching import build_adjacency, get_matcher, linf_match_mask
+from .base import CSJAlgorithm
+
+__all__ = ["ApSuperEGO", "ExSuperEGO", "ego_order", "grid_cells"]
+
+
+def grid_cells(vectors: np.ndarray, cell_width: int) -> np.ndarray:
+    """Epsilon-grid cell coordinates of integer counter vectors.
+
+    The width is clamped at 1 so a zero epsilon degenerates to one cell
+    per counter value, keeping the pruning sound.
+    """
+    width = max(int(cell_width), 1)
+    return vectors // width
+
+
+def ego_order(cells: np.ndarray, dim_order: np.ndarray) -> np.ndarray:
+    """Row order sorting by grid cells, most selective dimension first.
+
+    ``numpy.lexsort`` sorts by the *last* key first, so the dimension
+    order is reversed when building the key list.
+    """
+    keys = [cells[:, dim] for dim in dim_order[::-1]]
+    return np.lexsort(keys)
+
+
+class _SuperEGOBase(CSJAlgorithm):
+    """Shared recursion framework of both SuperEGO variants."""
+
+    def __init__(
+        self,
+        epsilon: int,
+        *,
+        engine: str = "numpy",
+        record_trace: bool = False,
+        t: int = 32,
+        max_value: int | None = None,
+        use_normalized: bool = True,
+    ) -> None:
+        super().__init__(epsilon, engine=engine, record_trace=record_trace)
+        if t < 2:
+            raise ConfigurationError(f"threshold t must be >= 2, got {t}")
+        self.t = int(t)
+        self.max_value = max_value
+        self.use_normalized = bool(use_normalized)
+
+    # -- preparation ---------------------------------------------------
+    def _prepare(self, vectors_b: np.ndarray, vectors_a: np.ndarray) -> dict:
+        """Sort both sides in EGO order and build the leaf-test arrays."""
+        n_dims = vectors_b.shape[1]
+        # Grid cells are only used for the EGO *ordering* (locality), so
+        # the epsilon-wide grid is right in both modes; pruning happens
+        # on exact value-space bounding boxes in _ego_strategy_prunes.
+        cells_b = grid_cells(vectors_b, self.epsilon)
+        cells_a = grid_cells(vectors_a, self.epsilon)
+        # Most selective dimension first: widest spread in grid cells.
+        spread = np.maximum(
+            cells_b.max(axis=0) - cells_b.min(axis=0),
+            cells_a.max(axis=0) - cells_a.min(axis=0),
+        )
+        dim_order = np.argsort(-spread, kind="stable")
+        order_b = ego_order(cells_b, dim_order)
+        order_a = ego_order(cells_a, dim_order)
+
+        if self.use_normalized:
+            max_value = self.max_value
+            if max_value is None:
+                max_value = int(max(vectors_b.max(), vectors_a.max(), 1))
+            values_b = (vectors_b / max_value).astype(np.float32)
+            values_a = (vectors_a / max_value).astype(np.float32)
+            threshold = np.float32(n_dims * self.epsilon / max_value)
+        else:
+            values_b = vectors_b
+            values_a = vectors_a
+            threshold = self.epsilon
+        return {
+            "raw_b": vectors_b[order_b],
+            "raw_a": vectors_a[order_a],
+            "values_b": values_b[order_b],
+            "values_a": values_a[order_a],
+            "order_b": order_b,
+            "order_a": order_a,
+            "threshold": threshold,
+        }
+
+    # -- leaf join condition --------------------------------------------
+    def _condition_row(
+        self, value_b: np.ndarray, block_a: np.ndarray, threshold: object
+    ) -> np.ndarray:
+        """Join condition of one ``b`` against a block of ``a`` rows."""
+        if self.use_normalized:
+            return np.abs(block_a - value_b).sum(axis=1) <= threshold
+        return linf_match_mask(value_b, block_a, self.epsilon)
+
+    def _condition_block(
+        self, block_b: np.ndarray, block_a: np.ndarray, threshold: object
+    ) -> np.ndarray:
+        """Join condition of a whole leaf rectangle at once.
+
+        Returns the boolean ``(len_b, len_a)`` match matrix; leaves are
+        at most ``t`` x ``2t`` rows so the broadcast stays tiny.
+        """
+        diff = np.abs(block_b[:, None, :] - block_a[None, :, :])
+        if self.use_normalized:
+            return diff.sum(axis=2) <= threshold
+        return (diff <= self.epsilon).all(axis=2)
+
+    # -- EGO strategy ----------------------------------------------------
+    def _ego_strategy_prunes(self, raw_b: np.ndarray, raw_a: np.ndarray) -> bool:
+        """True when the two segments are provably non-joinable.
+
+        Computes the per-dimension gap between the segments' value-space
+        bounding boxes: any pair drawn from the two segments differs by
+        at least that gap in that dimension.  In raw mode the rectangle
+        is dead once some gap exceeds epsilon; in the normalised
+        (aggregate) mode once the *sum* of gaps exceeds ``d * epsilon``
+        — the exact counterpart of the active join condition, so the
+        pruning never loses a joinable pair.
+        """
+        min_b = raw_b.min(axis=0)
+        max_b = raw_b.max(axis=0)
+        min_a = raw_a.min(axis=0)
+        max_a = raw_a.max(axis=0)
+        gaps = np.maximum(min_b - max_a, min_a - max_b)
+        np.maximum(gaps, 0, out=gaps)
+        if self.use_normalized:
+            return bool(gaps.sum() > raw_b.shape[1] * self.epsilon)
+        return bool((gaps > self.epsilon).any())
+
+    # -- recursion -------------------------------------------------------
+    def _recurse(
+        self,
+        state: dict,
+        lo_b: int,
+        hi_b: int,
+        lo_a: int,
+        hi_a: int,
+        trace: EventTrace,
+    ) -> None:
+        if lo_b >= hi_b or lo_a >= hi_a:
+            return
+        if self._ego_strategy_prunes(
+            state["raw_b"][lo_b:hi_b], state["raw_a"][lo_a:hi_a]
+        ):
+            trace.emit_bulk(EventType.MIN_PRUNE, 1)
+            return
+        len_b = hi_b - lo_b
+        len_a = hi_a - lo_a
+        if len_b < self.t and len_a < self.t:
+            self._leaf_join(state, lo_b, hi_b, lo_a, hi_a, trace)
+            return
+        if len_b < self.t:
+            mid_a = lo_a + len_a // 2
+            self._recurse(state, lo_b, hi_b, lo_a, mid_a, trace)
+            self._recurse(state, lo_b, hi_b, mid_a, hi_a, trace)
+            return
+        if len_a < self.t:
+            mid_b = lo_b + len_b // 2
+            self._recurse(state, lo_b, mid_b, lo_a, hi_a, trace)
+            self._recurse(state, mid_b, hi_b, lo_a, hi_a, trace)
+            return
+        mid_b = lo_b + len_b // 2
+        mid_a = lo_a + len_a // 2
+        self._recurse(state, lo_b, mid_b, lo_a, mid_a, trace)
+        self._recurse(state, lo_b, mid_b, mid_a, hi_a, trace)
+        self._recurse(state, mid_b, hi_b, lo_a, mid_a, trace)
+        self._recurse(state, mid_b, hi_b, mid_a, hi_a, trace)
+
+    def _leaf_join(
+        self,
+        state: dict,
+        lo_b: int,
+        hi_b: int,
+        lo_a: int,
+        hi_a: int,
+        trace: EventTrace,
+    ) -> None:
+        raise NotImplementedError
+
+    def _init_state(self, state: dict, n_b: int, n_a: int) -> None:
+        raise NotImplementedError
+
+    def _run(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> dict:
+        state = self._prepare(vectors_b, vectors_a)
+        self._init_state(state, len(vectors_b), len(vectors_a))
+        self._recurse(state, 0, len(vectors_b), 0, len(vectors_a), trace)
+        return state
+
+    def _verify_pairs(
+        self,
+        pairs: list[tuple[int, int]],
+        vectors_b: np.ndarray,
+        vectors_a: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        """Keep only pairs that satisfy the true per-dimension condition.
+
+        The method matched them under its aggregate condition, but only
+        genuinely similar pairs count towards Eq. (1); users consumed by
+        false candidates are simply lost — the source of SuperEGO's
+        accuracy gap.  In raw (non-normalised) mode the join condition is
+        already exact and this is the identity.
+        """
+        if not self.use_normalized:
+            return pairs
+        return [
+            (b, a)
+            for b, a in pairs
+            if bool((np.abs(vectors_b[b] - vectors_a[a]) <= self.epsilon).all())
+        ]
+
+    # Both engines share the recursion; they differ only in the leaf
+    # implementation, selected via self.engine inside _leaf_join.
+    def _join_python(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        return self._join_common(vectors_b, vectors_a, trace)
+
+    def _join_numpy(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        return self._join_common(vectors_b, vectors_a, trace)
+
+    def _join_common(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        raise NotImplementedError
+
+
+class ApSuperEGO(_SuperEGOBase):
+    """Approximate SuperEGO: first-fit greedy leaves, shared used flags."""
+
+    name = "ap-superego"
+    exact = False
+
+    def _init_state(self, state: dict, n_b: int, n_a: int) -> None:
+        state["used_b"] = np.zeros(n_b, dtype=bool)
+        state["used_a"] = np.zeros(n_a, dtype=bool)
+        state["pairs"] = []
+
+    def _leaf_join(
+        self,
+        state: dict,
+        lo_b: int,
+        hi_b: int,
+        lo_a: int,
+        hi_a: int,
+        trace: EventTrace,
+    ) -> None:
+        values_b = state["values_b"]
+        values_a = state["values_a"]
+        used_b = state["used_b"]
+        used_a = state["used_a"]
+        threshold = state["threshold"]
+        if self.engine == "numpy":
+            free_b = [i for i in range(lo_b, hi_b) if not used_b[i]]
+            if not free_b:
+                return
+            matrix = self._condition_block(
+                values_b[free_b], values_a[lo_a:hi_a], threshold
+            )
+            for row, i in enumerate(free_b):
+                mask = matrix[row] & ~used_a[lo_a:hi_a]
+                hits = np.flatnonzero(mask)
+                if hits.size:
+                    j = lo_a + int(hits[0])
+                    used_b[i] = True
+                    used_a[j] = True
+                    state["pairs"].append((i, j))
+                    trace.emit_bulk(EventType.MATCH, 1)
+            return
+        for i in range(lo_b, hi_b):
+            if used_b[i]:
+                continue
+            for j in range(lo_a, hi_a):
+                if used_a[j]:
+                    continue
+                row = values_a[j : j + 1]
+                if bool(self._condition_row(values_b[i], row, threshold)[0]):
+                    trace.emit(EventType.MATCH, f"b#{i}", f"a#{j}")
+                    used_b[i] = True
+                    used_a[j] = True
+                    state["pairs"].append((i, j))
+                    break
+                trace.emit(EventType.NO_MATCH, f"b#{i}", f"a#{j}")
+
+    def _join_common(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        state = self._run(vectors_b, vectors_a, trace)
+        order_b = state["order_b"]
+        order_a = state["order_a"]
+        pairs = [(int(order_b[i]), int(order_a[j])) for i, j in state["pairs"]]
+        return self._verify_pairs(pairs, vectors_b, vectors_a)
+
+
+class ExSuperEGO(_SuperEGOBase):
+    """Exact SuperEGO: collect all leaf matches, then one CSF call."""
+
+    name = "ex-superego"
+    exact = True
+
+    def __init__(
+        self,
+        epsilon: int,
+        *,
+        engine: str = "numpy",
+        record_trace: bool = False,
+        t: int = 32,
+        max_value: int | None = None,
+        use_normalized: bool = True,
+        matcher: str = "csf",
+        n_jobs: int = 1,
+    ) -> None:
+        super().__init__(
+            epsilon,
+            engine=engine,
+            record_trace=record_trace,
+            t=t,
+            max_value=max_value,
+            use_normalized=use_normalized,
+        )
+        self.matcher_name = matcher
+        self._matcher = get_matcher(matcher)
+        if n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+
+    def _init_state(self, state: dict, n_b: int, n_a: int) -> None:
+        state["pairs"] = []
+
+    def _leaf_join(
+        self,
+        state: dict,
+        lo_b: int,
+        hi_b: int,
+        lo_a: int,
+        hi_a: int,
+        trace: EventTrace,
+    ) -> None:
+        values_b = state["values_b"]
+        values_a = state["values_a"]
+        threshold = state["threshold"]
+        if self.engine == "numpy":
+            matrix = self._condition_block(
+                values_b[lo_b:hi_b], values_a[lo_a:hi_a], threshold
+            )
+            rows, cols = np.nonzero(matrix)
+            trace.emit_bulk(EventType.MATCH, int(rows.size))
+            trace.emit_bulk(EventType.NO_MATCH, int(matrix.size - rows.size))
+            state["pairs"].extend(
+                zip((rows + lo_b).tolist(), (cols + lo_a).tolist())
+            )
+            return
+        for i in range(lo_b, hi_b):
+            for j in range(lo_a, hi_a):
+                row = values_a[j : j + 1]
+                if bool(self._condition_row(values_b[i], row, threshold)[0]):
+                    trace.emit(EventType.MATCH, f"b#{i}", f"a#{j}")
+                    state["pairs"].append((i, j))
+                else:
+                    trace.emit(EventType.NO_MATCH, f"b#{i}", f"a#{j}")
+
+    def _join_common(
+        self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        if self.n_jobs > 1 and self.engine == "numpy":
+            state = self._prepare(vectors_b, vectors_a)
+            self._init_state(state, len(vectors_b), len(vectors_a))
+            state["pairs"] = self._parallel_collect(
+                state, len(vectors_b), len(vectors_a), trace
+            )
+        else:
+            state = self._run(vectors_b, vectors_a, trace)
+        order_b = state["order_b"]
+        order_a = state["order_a"]
+        raw_pairs = [(int(order_b[i]), int(order_a[j])) for i, j in state["pairs"]]
+        if not raw_pairs:
+            return []
+        matched_b, matched_a = build_adjacency(raw_pairs)
+        trace.note(f"CSF over {len(raw_pairs)} candidate pairs")
+        matched = self._matcher(matched_b, matched_a)
+        return self._verify_pairs(matched, vectors_b, vectors_a)
+
+    def _parallel_collect(
+        self, state: dict, n_b: int, n_a: int, trace: EventTrace
+    ) -> list[tuple[int, int]]:
+        """Collect candidate pairs over ``n_jobs`` B-range slices.
+
+        The paper notes SuperEGO "can run in parallel" (its experiments
+        pin one thread for fairness).  The exact variant parallelises
+        naturally: each worker recurses over a contiguous slice of the
+        EGO-sorted ``B`` against all of ``A`` and candidate collection
+        is order-independent — the single CSF call afterwards makes the
+        final matching identical to the serial run.
+        """
+        import concurrent.futures
+
+        bounds = np.linspace(0, n_b, self.n_jobs + 1, dtype=int)
+
+        def collect(lo_b: int, hi_b: int) -> tuple[list, EventTrace]:
+            local_state = dict(state)
+            local_state["pairs"] = []
+            local_trace = EventTrace(record=False)
+            self._recurse(local_state, lo_b, hi_b, 0, n_a, local_trace)
+            return local_state["pairs"], local_trace
+
+        pairs: list[tuple[int, int]] = []
+        with concurrent.futures.ThreadPoolExecutor(self.n_jobs) as pool:
+            futures = [
+                pool.submit(collect, int(lo), int(hi))
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if lo < hi
+            ]
+            for future in futures:
+                chunk_pairs, chunk_trace = future.result()
+                pairs.extend(chunk_pairs)
+                trace.counts = trace.counts + chunk_trace.counts
+        return pairs

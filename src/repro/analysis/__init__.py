@@ -1,0 +1,100 @@
+"""Experiment harness, metrics and paper-style table rendering."""
+
+from .charts import Series, bar_chart, line_chart, save_chart
+from .config import ExperimentConfig, run_experiment
+from .calibration import PCalibration, debias, estimate_p
+from .events_report import MethodEventProfile, profile_events, render_event_report
+from .experiments import render_experiments_md, write_experiments_md
+from .metrics import (
+    MethodComparison,
+    accuracy_ratio,
+    compare_methods,
+    reproduction_delta,
+    speedup,
+)
+from .paper_reference import PAPER_SIMILARITY, paper_similarity
+from .runner import (
+    METHOD_TABLES,
+    CoupleRun,
+    ScalabilityCell,
+    Table1Run,
+    TableRun,
+    dataset_for_table,
+    epsilon_for_dataset,
+    make_generator,
+    methods_for_table,
+    run_couple,
+    run_method_table,
+    run_scalability,
+    run_table1,
+)
+from .results_io import (
+    load_scalability_cells,
+    load_table_run,
+    save_scalability_cells,
+    save_table_run,
+)
+from .selfcheck import CheckOutcome, SelfCheckReport, run_selfcheck
+from .sweeps import SweepPoint, epsilon_sweep, render_sweep, scale_sweep
+from .tables import (
+    format_grid,
+    render_method_table,
+    render_method_table_with_reference,
+    render_scalability_table,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "Series",
+    "line_chart",
+    "bar_chart",
+    "save_chart",
+    "ExperimentConfig",
+    "run_experiment",
+    "PCalibration",
+    "estimate_p",
+    "debias",
+    "MethodEventProfile",
+    "profile_events",
+    "render_event_report",
+    "SweepPoint",
+    "epsilon_sweep",
+    "scale_sweep",
+    "render_sweep",
+    "CheckOutcome",
+    "SelfCheckReport",
+    "run_selfcheck",
+    "save_table_run",
+    "load_table_run",
+    "save_scalability_cells",
+    "load_scalability_cells",
+    "render_experiments_md",
+    "write_experiments_md",
+    "accuracy_ratio",
+    "speedup",
+    "compare_methods",
+    "MethodComparison",
+    "reproduction_delta",
+    "PAPER_SIMILARITY",
+    "paper_similarity",
+    "METHOD_TABLES",
+    "CoupleRun",
+    "TableRun",
+    "ScalabilityCell",
+    "Table1Run",
+    "dataset_for_table",
+    "methods_for_table",
+    "epsilon_for_dataset",
+    "make_generator",
+    "run_couple",
+    "run_method_table",
+    "run_scalability",
+    "run_table1",
+    "format_grid",
+    "render_method_table",
+    "render_method_table_with_reference",
+    "render_scalability_table",
+    "render_table1",
+    "render_table2",
+]

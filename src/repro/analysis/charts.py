@@ -1,0 +1,197 @@
+"""Dependency-free SVG charts for sweep and scalability curves.
+
+The evaluation's "figures" in this reproduction are tables and curves;
+this module renders the curves as standalone SVG files (no matplotlib —
+the library's only dependencies stay numpy and networkx).  Two chart
+shapes cover everything the harness produces:
+
+* :func:`line_chart` — one or more (x, y) series with axes, ticks and a
+  legend; used for epsilon-selectivity and size/time curves;
+* :func:`bar_chart` — labelled bars; used for per-method comparisons.
+
+The output is deliberately minimal, readable SVG so the files diff
+cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Series", "line_chart", "bar_chart", "save_chart"]
+
+#: Color-blind-safe categorical palette (Okabe-Ito).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_LEFT, _MARGIN_RIGHT = 70, 20
+_MARGIN_TOP, _MARGIN_BOTTOM = 30, 50
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError(f"series {self.label!r} has no points")
+
+
+def _bounds(series: list[Series]) -> tuple[float, float, float, float]:
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(0.0, min(ys)), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    return x_min, x_max, y_min, y_max
+
+
+def _scale(value: float, lo: float, hi: float, out_lo: float, out_hi: float) -> float:
+    return out_lo + (value - lo) / (hi - lo) * (out_hi - out_lo)
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _axes(x_min, x_max, y_min, y_max, x_label, y_label, title) -> list[str]:
+    plot_right = _WIDTH - _MARGIN_RIGHT
+    plot_bottom = _HEIGHT - _MARGIN_BOTTOM
+    parts = [
+        f'<text x="{_WIDTH / 2:.0f}" y="18" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+        f'<line x1="{_MARGIN_LEFT}" y1="{plot_bottom}" x2="{plot_right}" '
+        f'y2="{plot_bottom}" stroke="#333"/>',
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+        f'y2="{plot_bottom}" stroke="#333"/>',
+        f'<text x="{(_MARGIN_LEFT + plot_right) / 2:.0f}" y="{_HEIGHT - 10}" '
+        f'text-anchor="middle" font-size="12">{x_label}</text>',
+        f'<text x="16" y="{(_MARGIN_TOP + plot_bottom) / 2:.0f}" '
+        f'text-anchor="middle" font-size="12" '
+        f'transform="rotate(-90 16 {(_MARGIN_TOP + plot_bottom) / 2:.0f})">'
+        f"{y_label}</text>",
+    ]
+    for tick in _ticks(x_min, x_max):
+        x = _scale(tick, x_min, x_max, _MARGIN_LEFT, plot_right)
+        parts.append(
+            f'<text x="{x:.1f}" y="{plot_bottom + 16}" text-anchor="middle" '
+            f'font-size="10">{tick:g}</text>'
+        )
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{plot_bottom}" x2="{x:.1f}" '
+            f'y2="{plot_bottom + 4}" stroke="#333"/>'
+        )
+    for tick in _ticks(y_min, y_max):
+        y = _scale(tick, y_min, y_max, plot_bottom, _MARGIN_TOP)
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-size="10">{tick:g}</text>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_WIDTH - _MARGIN_RIGHT}" y2="{y:.1f}" stroke="#eee"/>'
+        )
+    return parts
+
+
+def line_chart(
+    series: list[Series],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series as an SVG line chart string."""
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    x_min, x_max, y_min, y_max = _bounds(series)
+    plot_right = _WIDTH - _MARGIN_RIGHT
+    plot_bottom = _HEIGHT - _MARGIN_BOTTOM
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    parts.extend(_axes(x_min, x_max, y_min, y_max, x_label, y_label, title))
+    for index, one in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        coordinates = " ".join(
+            f"{_scale(x, x_min, x_max, _MARGIN_LEFT, plot_right):.1f},"
+            f"{_scale(y, y_min, y_max, plot_bottom, _MARGIN_TOP):.1f}"
+            for x, y in one.points
+        )
+        parts.append(
+            f'<polyline points="{coordinates}" fill="none" stroke="{color}" '
+            'stroke-width="2"/>'
+        )
+        for x, y in one.points:
+            cx = _scale(x, x_min, x_max, _MARGIN_LEFT, plot_right)
+            cy = _scale(y, y_min, y_max, plot_bottom, _MARGIN_TOP)
+            parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3" fill="{color}"/>')
+        legend_y = _MARGIN_TOP + 14 * index
+        parts.append(
+            f'<rect x="{plot_right - 150}" y="{legend_y}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{plot_right - 136}" y="{legend_y + 9}" '
+            f'font-size="11">{one.label}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    *,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled bars as an SVG string."""
+    if not labels or len(labels) != len(values):
+        raise ConfigurationError("bar_chart needs matching labels and values")
+    y_min, y_max = min(0.0, min(values)), max(values) or 1.0
+    plot_right = _WIDTH - _MARGIN_RIGHT
+    plot_bottom = _HEIGHT - _MARGIN_BOTTOM
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    parts.extend(_axes(0, len(labels), y_min, y_max, "", y_label, title))
+    slot = (plot_right - _MARGIN_LEFT) / len(labels)
+    for index, (label, value) in enumerate(zip(labels, values)):
+        color = PALETTE[index % len(PALETTE)]
+        x = _MARGIN_LEFT + index * slot + slot * 0.15
+        y = _scale(value, y_min, y_max, plot_bottom, _MARGIN_TOP)
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{slot * 0.7:.1f}" '
+            f'height="{plot_bottom - y:.1f}" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + slot * 0.35:.1f}" y="{plot_bottom + 16}" '
+            f'text-anchor="middle" font-size="10">{label}</text>'
+        )
+        parts.append(
+            f'<text x="{x + slot * 0.35:.1f}" y="{y - 4:.1f}" '
+            f'text-anchor="middle" font-size="10">{value:g}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_chart(path: str | Path, svg: str) -> Path:
+    """Write an SVG string to disk (suffix normalised to .svg)."""
+    path = Path(path).with_suffix(".svg")
+    path.write_text(svg)
+    return path

@@ -1,0 +1,157 @@
+"""Config-driven experiments: declarative method/couple/parameter grids.
+
+The built-in tables fix the paper's axes; real studies want to vary
+them — different couple subsets, a single method across epsilons, a
+custom engine, per-method options.  :class:`ExperimentConfig` is a
+declarative description of such a run (buildable from a plain dict or a
+JSON file), and :func:`run_experiment` executes it into the same
+:class:`~repro.analysis.runner.TableRun` structure the renderers and
+persistence helpers already understand.
+
+Example JSON::
+
+    {
+        "name": "minmax-vs-superego-on-sport",
+        "dataset": "vk",
+        "scale": 0.01,
+        "seed": 7,
+        "methods": ["ex-minmax", "ex-superego"],
+        "couples": [2, 13, 14],
+        "method_options": {"ex-superego": {"t": 64}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..algorithms import ALGORITHMS
+from ..core.errors import ConfigurationError, ValidationError
+from ..datasets.couples import DEFAULT_SCALE, PAPER_COUPLES, CoupleSpec
+from .runner import TableRun, epsilon_for_dataset, make_generator, run_couple
+
+__all__ = ["ExperimentConfig", "run_experiment"]
+
+#: TableRun.table value marking a custom (non-paper) experiment.
+CUSTOM_TABLE = 0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One declarative experiment."""
+
+    name: str
+    dataset: str = "vk"
+    scale: float = DEFAULT_SCALE
+    seed: int = 7
+    epsilon: int | None = None
+    methods: tuple[str, ...] = ("ex-minmax",)
+    couples: tuple[int, ...] = tuple(range(1, 11))
+    engine: str = "numpy"
+    method_options: dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("experiment name must be non-empty")
+        if self.dataset not in ("vk", "synthetic"):
+            raise ConfigurationError(
+                f"dataset must be 'vk' or 'synthetic', got {self.dataset!r}"
+            )
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        if not self.methods:
+            raise ConfigurationError("at least one method is required")
+        unknown = [m for m in self.methods if m not in ALGORITHMS]
+        if unknown:
+            raise ConfigurationError(f"unknown methods: {', '.join(unknown)}")
+        known_ids = {spec.c_id for spec in PAPER_COUPLES}
+        bad = [c for c in self.couples if c not in known_ids]
+        if bad:
+            raise ConfigurationError(f"unknown couple cIDs: {bad}")
+        if not self.couples:
+            raise ConfigurationError("at least one couple is required")
+        if self.engine not in ("python", "numpy"):
+            raise ConfigurationError(f"unknown engine {self.engine!r}")
+        foreign = [m for m in self.method_options if m not in self.methods]
+        if foreign:
+            raise ConfigurationError(
+                f"method_options for methods not in the run: {foreign}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentConfig":
+        """Build from a plain dict, rejecting unknown keys."""
+        known = {
+            "name",
+            "dataset",
+            "scale",
+            "seed",
+            "epsilon",
+            "methods",
+            "couples",
+            "engine",
+            "method_options",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown configuration keys: {', '.join(sorted(unknown))}"
+            )
+        normalised = dict(payload)
+        if "methods" in normalised:
+            normalised["methods"] = tuple(normalised["methods"])
+        if "couples" in normalised:
+            normalised["couples"] = tuple(int(c) for c in normalised["couples"])
+        return cls(**normalised)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ExperimentConfig":
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"no such config file: {path}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"{path} is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValidationError(f"{path} must hold a JSON object")
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    @property
+    def resolved_epsilon(self) -> int:
+        if self.epsilon is not None:
+            return int(self.epsilon)
+        return epsilon_for_dataset(self.dataset)
+
+    def couple_specs(self) -> tuple[CoupleSpec, ...]:
+        by_id = {spec.c_id: spec for spec in PAPER_COUPLES}
+        return tuple(by_id[c_id] for c_id in self.couples)
+
+
+def run_experiment(config: ExperimentConfig) -> TableRun:
+    """Execute a config; the result renders/persists like any table."""
+    generator = make_generator(config.dataset, seed=config.seed)
+    run = TableRun(
+        table=CUSTOM_TABLE,
+        dataset=config.dataset,
+        epsilon=config.resolved_epsilon,
+        scale=config.scale,
+        methods=config.methods,
+    )
+    for spec in config.couple_specs():
+        run.rows.append(
+            run_couple(
+                spec,
+                generator,
+                config.methods,
+                epsilon=config.resolved_epsilon,
+                scale=config.scale,
+                engine=config.engine,
+                method_options=config.method_options,
+            )
+        )
+    return run

@@ -1,0 +1,77 @@
+"""Derived metrics for comparing CSJ methods and runs.
+
+The paper's discussion revolves around two axes: *accuracy* (the
+similarity a method reports, relative to the exact value) and
+*efficiency* (execution time, relative to a baseline).  These helpers
+compute both, plus the paper-vs-measured deltas used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import CSJResult
+
+__all__ = [
+    "accuracy_ratio",
+    "speedup",
+    "MethodComparison",
+    "compare_methods",
+    "reproduction_delta",
+]
+
+
+def accuracy_ratio(result: CSJResult, exact_result: CSJResult) -> float:
+    """Fraction of the exact similarity a method recovered (<= 1 + eps).
+
+    Returns 1.0 when the exact similarity is zero (nothing to recover).
+    """
+    if exact_result.similarity == 0:
+        return 1.0
+    return result.similarity / exact_result.similarity
+
+
+def speedup(result: CSJResult, baseline_result: CSJResult) -> float:
+    """How many times faster ``result`` ran than ``baseline_result``."""
+    if result.elapsed_seconds <= 0:
+        return float("inf")
+    return baseline_result.elapsed_seconds / result.elapsed_seconds
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Accuracy/efficiency of one method against reference results."""
+
+    method: str
+    similarity_percent: float
+    elapsed_seconds: float
+    accuracy_vs_exact: float
+    speedup_vs_baseline: float
+
+
+def compare_methods(
+    results: dict[str, CSJResult],
+    *,
+    exact_method: str,
+    baseline_method: str,
+) -> list[MethodComparison]:
+    """Summarise a method->result map against the given references."""
+    exact_result = results[exact_method]
+    baseline_result = results[baseline_method]
+    return [
+        MethodComparison(
+            method=name,
+            similarity_percent=result.similarity_percent,
+            elapsed_seconds=result.elapsed_seconds,
+            accuracy_vs_exact=accuracy_ratio(result, exact_result),
+            speedup_vs_baseline=speedup(result, baseline_result),
+        )
+        for name, result in results.items()
+    ]
+
+
+def reproduction_delta(measured_percent: float, paper_percent: float | None) -> float | None:
+    """Measured-minus-paper similarity in percentage points."""
+    if paper_percent is None:
+        return None
+    return measured_percent - paper_percent

@@ -1,0 +1,138 @@
+"""Persistence of experiment results.
+
+Regenerating a full table takes minutes at higher scales; these helpers
+save a :class:`~repro.analysis.runner.TableRun` (or scalability cells)
+to JSON and restore it for later rendering, diffing between code
+versions, or feeding external plotting tools.  The format embeds the
+library version and every :class:`~repro.core.types.CSJResult` via its
+``to_dict`` round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .._version import __version__
+from ..core.errors import ValidationError
+from ..core.types import CSJResult
+from ..datasets.couples import PAPER_COUPLES
+from .runner import CoupleRun, ScalabilityCell, TableRun
+
+__all__ = [
+    "save_table_run",
+    "load_table_run",
+    "save_scalability_cells",
+    "load_scalability_cells",
+]
+
+_FORMAT = "repro.table-run.v1"
+_SCALABILITY_FORMAT = "repro.scalability.v1"
+
+
+def save_table_run(path: str | Path, run: TableRun) -> Path:
+    """Serialise a table run to JSON; returns the path written."""
+    payload = {
+        "format": _FORMAT,
+        "version": __version__,
+        "table": run.table,
+        "dataset": run.dataset,
+        "epsilon": run.epsilon,
+        "scale": run.scale,
+        "methods": list(run.methods),
+        "rows": [
+            {
+                "c_id": row.spec.c_id,
+                "size_b": row.size_b,
+                "size_a": row.size_a,
+                "results": {
+                    method: result.to_dict()
+                    for method, result in row.results.items()
+                },
+            }
+            for row in run.rows
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_table_run(path: str | Path) -> TableRun:
+    """Restore a table run saved by :func:`save_table_run`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such results file: {path}")
+    payload = json.loads(path.read_text())
+    if payload.get("format") != _FORMAT:
+        raise ValidationError(
+            f"{path} is not a table-run file (format={payload.get('format')!r})"
+        )
+    specs = {spec.c_id: spec for spec in PAPER_COUPLES}
+    run = TableRun(
+        table=int(payload["table"]),
+        dataset=str(payload["dataset"]),
+        epsilon=int(payload["epsilon"]),
+        scale=float(payload["scale"]),
+        methods=tuple(payload["methods"]),
+    )
+    for row in payload["rows"]:
+        c_id = int(row["c_id"])
+        if c_id not in specs:
+            raise ValidationError(f"unknown couple cID {c_id} in {path}")
+        couple = CoupleRun(
+            spec=specs[c_id],
+            size_b=int(row["size_b"]),
+            size_a=int(row["size_a"]),
+        )
+        for method, result_payload in row["results"].items():
+            couple.results[method] = CSJResult.from_dict(result_payload)
+        run.rows.append(couple)
+    return run
+
+
+def save_scalability_cells(
+    path: str | Path, cells: list[ScalabilityCell], *, scale: float
+) -> Path:
+    """Serialise Table 11 cells to JSON."""
+    payload = {
+        "format": _SCALABILITY_FORMAT,
+        "version": __version__,
+        "scale": scale,
+        "cells": [
+            {
+                "category": cell.category,
+                "step": cell.step,
+                "average_size": cell.average_size,
+                "similarity_percent": cell.similarity_percent,
+                "elapsed_seconds": cell.elapsed_seconds,
+            }
+            for cell in cells
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_scalability_cells(path: str | Path) -> tuple[list[ScalabilityCell], float]:
+    """Restore Table 11 cells; returns ``(cells, scale)``."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such results file: {path}")
+    payload = json.loads(path.read_text())
+    if payload.get("format") != _SCALABILITY_FORMAT:
+        raise ValidationError(
+            f"{path} is not a scalability file (format={payload.get('format')!r})"
+        )
+    cells = [
+        ScalabilityCell(
+            category=str(cell["category"]),
+            step=int(cell["step"]),
+            average_size=int(cell["average_size"]),
+            similarity_percent=float(cell["similarity_percent"]),
+            elapsed_seconds=float(cell["elapsed_seconds"]),
+        )
+        for cell in payload["cells"]
+    ]
+    return cells, float(payload["scale"])

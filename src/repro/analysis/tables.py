@@ -1,0 +1,206 @@
+"""Paper-style rendering of regenerated tables.
+
+Every renderer returns a plain string (monospace table) shaped like the
+corresponding table of the paper: method tables show ``similarity %
+(time s)`` per method per couple, Table 11 shows size/time pairs per
+category, and Tables 1/2 show the dataset statistics and couple
+metadata.  The benchmarks and the CLI print these strings verbatim.
+"""
+
+from __future__ import annotations
+
+from ..algorithms import method_display_name
+from ..datasets.couples import CoupleSpec, PAPER_COUPLES
+from ..datasets.stats import CategoryTotal
+from .runner import ScalabilityCell, Table1Run, TableRun
+
+__all__ = [
+    "format_grid",
+    "render_method_table",
+    "render_method_table_with_reference",
+    "render_scalability_table",
+    "render_table1",
+    "render_table2",
+    "method_table_csv",
+    "scalability_csv",
+]
+
+
+def format_grid(headers: list[str], rows: list[list[str]]) -> str:
+    """Render rows as a fixed-width grid with a header rule."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _method_cell(run: TableRun, row_index: int, method: str) -> str:
+    result = run.rows[row_index].results[method]
+    return f"{result.similarity_percent:.2f}% ({result.elapsed_seconds:.2f} s)"
+
+
+def render_method_table(run: TableRun) -> str:
+    """One of Tables 3–10 in the paper's layout."""
+    prefixes = {method.split("-")[0] for method in run.methods}
+    if prefixes == {"ap"}:
+        family = "Approximate"
+    elif prefixes == {"ex"}:
+        family = "Exact"
+    else:
+        family = "CSJ"
+    headers = ["cID", "Categories (B | A)"]
+    headers += [method_display_name(method) for method in run.methods]
+    headers += ["size_B | size_A"]
+    rows = []
+    for index, couple_run in enumerate(run.rows):
+        spec = couple_run.spec
+        row = [str(spec.c_id), spec.label]
+        row += [_method_cell(run, index, method) for method in run.methods]
+        row += [f"{couple_run.size_b:,} | {couple_run.size_a:,}"]
+        rows.append(row)
+    label = f"Table {run.table}" if run.table else "Custom experiment"
+    title = (
+        f"{label}: {family} methods on {run.dataset.upper()} dataset, "
+        f"epsilon = {run.epsilon}, scale = {run.scale:g}"
+    )
+    return title + "\n" + format_grid(headers, rows)
+
+
+def render_method_table_with_reference(run: TableRun) -> str:
+    """Paper-vs-measured layout used in EXPERIMENTS.md."""
+    headers = ["cID", "Categories (B | A)"]
+    for method in run.methods:
+        display = method_display_name(method)
+        headers += [f"{display} (paper %)", f"{display} (measured %)"]
+    rows = []
+    for couple_run in run.rows:
+        spec = couple_run.spec
+        row = [str(spec.c_id), spec.label]
+        for method in run.methods:
+            paper = run.paper_value(spec.c_id, method)
+            measured = couple_run.similarity_percent(method)
+            row += [
+                "-" if paper is None else f"{paper:.2f}",
+                f"{measured:.2f}",
+            ]
+        rows.append(row)
+    title = (
+        f"Table {run.table} (paper vs measured), {run.dataset.upper()}, "
+        f"epsilon = {run.epsilon}, scale = {run.scale:g}"
+    )
+    return title + "\n" + format_grid(headers, rows)
+
+
+def render_scalability_table(cells: list[ScalabilityCell], *, scale: float) -> str:
+    """Table 11: Ex-MinMax sizes and runtimes per category."""
+    steps = sorted({cell.step for cell in cells})
+    headers = ["Category"]
+    for step in steps:
+        headers += [f"size_{step}", f"Ex-MinMax_{step}"]
+    by_category: dict[str, dict[int, ScalabilityCell]] = {}
+    for cell in cells:
+        by_category.setdefault(cell.category, {})[cell.step] = cell
+    rows = []
+    for category, per_step in by_category.items():
+        row = [category]
+        for step in steps:
+            cell = per_step.get(step)
+            if cell is None:
+                row += ["-", "-"]
+            else:
+                row += [f"{cell.average_size:,}", f"{cell.elapsed_seconds:.2f} s"]
+        rows.append(row)
+    title = f"Table 11: Scalability of Exact MinMax on VK, scale = {scale:g}"
+    return title + "\n" + format_grid(headers, rows)
+
+
+def method_table_csv(run: TableRun) -> str:
+    """CSV export of a method table for external plotting tools.
+
+    One row per (couple, method) cell with both similarity and time, so
+    downstream tools need no unpivoting.
+    """
+    lines = [
+        "table,dataset,epsilon,scale,c_id,category_b,category_a,"
+        "size_b,size_a,method,similarity_percent,elapsed_seconds,matched"
+    ]
+    for couple_run in run.rows:
+        spec = couple_run.spec
+        for method in run.methods:
+            result = couple_run.results[method]
+            lines.append(
+                ",".join(
+                    str(value)
+                    for value in (
+                        run.table,
+                        run.dataset,
+                        run.epsilon,
+                        run.scale,
+                        spec.c_id,
+                        spec.category_b,
+                        spec.category_a,
+                        couple_run.size_b,
+                        couple_run.size_a,
+                        method,
+                        f"{result.similarity_percent:.4f}",
+                        f"{result.elapsed_seconds:.6f}",
+                        result.n_matched,
+                    )
+                )
+            )
+    return "\n".join(lines)
+
+
+def scalability_csv(cells: list[ScalabilityCell], *, scale: float) -> str:
+    """CSV export of Table 11 cells."""
+    lines = ["scale,category,step,average_size,similarity_percent,elapsed_seconds"]
+    for cell in cells:
+        lines.append(
+            f"{scale},{cell.category},{cell.step},{cell.average_size},"
+            f"{cell.similarity_percent:.4f},{cell.elapsed_seconds:.6f}"
+        )
+    return "\n".join(lines)
+
+
+def _ranking_rows(ranking: list[CategoryTotal]) -> list[list[str]]:
+    return [
+        [str(entry.rank), entry.category, f"{entry.total_likes:,}"]
+        for entry in ranking
+    ]
+
+
+def render_table1(run: Table1Run) -> str:
+    """Table 1: category rankings by total likes for both datasets."""
+    headers = ["rank", "Category", "total_likes"]
+    vk = format_grid(headers, _ranking_rows(run.vk_ranking))
+    synthetic = format_grid(headers, _ranking_rows(run.synthetic_ranking))
+    return (
+        f"Table 1 ({run.n_users:,} sampled users per dataset)\n"
+        f"\nVK dataset (max likes per dimension: {run.vk_max_per_dimension:,})\n"
+        f"{vk}\n"
+        "\nSynthetic dataset (max likes per dimension: "
+        f"{run.synthetic_max_per_dimension:,})\n{synthetic}"
+    )
+
+
+def render_table2(couples: tuple[CoupleSpec, ...] = PAPER_COUPLES) -> str:
+    """Table 2: names and VK page ids of the compared couples."""
+    headers = ["cID", "name_B", "id_B", "name_A", "id_A"]
+    rows = [
+        [
+            str(spec.c_id),
+            spec.name_b,
+            str(spec.page_id_b),
+            spec.name_a,
+            str(spec.page_id_a),
+        ]
+        for spec in couples
+    ]
+    return "Table 2: compared community pairs\n" + format_grid(headers, rows)

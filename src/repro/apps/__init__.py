@@ -1,0 +1,26 @@
+"""Application layer: the recommendation scenarios of Section 1.2."""
+
+from .topk import PairScore, top_k_pairs
+from .recommendation import (
+    BroadcastPlanner,
+    BroadcastSlot,
+    ContentFeatureSuggestion,
+    FriendRecommender,
+    FriendSuggestion,
+    PartnerRecommender,
+    PartnerScore,
+    suggest_content_features,
+)
+
+__all__ = [
+    "PairScore",
+    "top_k_pairs",
+    "FriendRecommender",
+    "FriendSuggestion",
+    "PartnerRecommender",
+    "PartnerScore",
+    "BroadcastPlanner",
+    "BroadcastSlot",
+    "ContentFeatureSuggestion",
+    "suggest_content_features",
+]

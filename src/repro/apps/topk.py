@@ -1,0 +1,96 @@
+"""Top-k most-similar community pairs.
+
+The paper's broadcast scenario (Section 1.2, ii.b) has the platform
+apply CSJ "to a variety of community pairs" and act on the results in
+priority order; Section 3 prescribes the economical execution: a fast
+approximate method screens all pairs, then the exact method refines
+only the survivors.  :func:`top_k_pairs` packages that pipeline over an
+arbitrary community collection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..algorithms import get_algorithm
+from ..core.errors import ConfigurationError
+from ..core.types import Community, CSJResult
+
+__all__ = ["PairScore", "top_k_pairs"]
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """One scored community pair."""
+
+    name_b: str
+    name_a: str
+    similarity: float
+    result: CSJResult
+
+    @property
+    def label(self) -> str:
+        return f"<{self.name_b}, {self.name_a}>"
+
+
+def _joinable(first: Community, second: Community) -> bool:
+    small, large = sorted((first, second), key=len)
+    return len(small) * 2 >= len(large)
+
+
+def top_k_pairs(
+    communities: list[Community],
+    *,
+    epsilon: int,
+    k: int,
+    screen_method: str = "ap-minmax",
+    refine_method: str = "ex-minmax",
+    screen_margin: float = 0.8,
+    **options: object,
+) -> list[PairScore]:
+    """The k most similar pairs among ``communities``.
+
+    Every unordered pair satisfying the CSJ size-ratio rule is screened
+    with the approximate method; the best ``ceil(k / screen_margin)``
+    survivors are refined exactly, and the top ``k`` refined pairs are
+    returned sorted by descending similarity (name tie-break).
+
+    ``screen_margin`` < 1 widens the refinement pool to protect against
+    approximate underestimation promoting the wrong pairs.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not 0.0 < screen_margin <= 1.0:
+        raise ConfigurationError(
+            f"screen_margin must be within (0, 1], got {screen_margin}"
+        )
+    names = [community.name for community in communities]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("community names must be unique for ranking")
+
+    screened: list[tuple[float, Community, Community]] = []
+    for first, second in itertools.combinations(communities, 2):
+        if not _joinable(first, second):
+            continue
+        screener = get_algorithm(screen_method, epsilon, **options)
+        result = screener.join(first, second)
+        screened.append((result.similarity, first, second))
+    screened.sort(key=lambda entry: (-entry[0], entry[1].name, entry[2].name))
+
+    pool_size = min(len(screened), max(k, int(round(k / screen_margin))))
+    refined: list[PairScore] = []
+    for _, first, second in screened[:pool_size]:
+        refiner = get_algorithm(refine_method, epsilon, **options)
+        result = refiner.join(first, second)
+        oriented = (first, second) if not result.swapped else (second, first)
+        refined.append(
+            PairScore(
+                name_b=oriented[0].name,
+                name_a=oriented[1].name,
+                similarity=result.similarity,
+                result=result,
+            )
+        )
+    refined.sort(key=lambda score: (-score.similarity, score.name_b, score.name_a))
+    return refined[:k]

@@ -1,0 +1,301 @@
+"""Command-line interface: regenerate any table of the paper.
+
+Examples::
+
+    repro-csj table1 --users 20000
+    repro-csj table2
+    repro-csj table4 --scale 0.01 --seed 7
+    repro-csj table11 --scale 0.005 --categories Sport Medicine
+    repro-csj couple --cid 13 --dataset vk --method ex-minmax
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .algorithms import ALGORITHMS
+from .analysis.runner import (
+    METHOD_TABLES,
+    run_couple,
+    run_method_table,
+    run_scalability,
+    run_table1,
+    make_generator,
+    epsilon_for_dataset,
+)
+from .analysis.tables import (
+    render_method_table,
+    render_method_table_with_reference,
+    render_scalability_table,
+    render_table1,
+    render_table2,
+)
+from .datasets.couples import DEFAULT_SCALE, PAPER_COUPLES
+from .datasets.categories import CATEGORIES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-csj",
+        description=(
+            "Reproduce the tables of 'Community Similarity based on User "
+            "Profile Joins' (EDBT 2024)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="category rankings (Table 1)")
+    table1.add_argument("--users", type=int, default=20_000)
+    table1.add_argument("--seed", type=int, default=7)
+
+    subparsers.add_parser("table2", help="the compared couples (Table 2)")
+
+    for table in METHOD_TABLES:
+        sub = subparsers.add_parser(
+            f"table{table}", help=f"method comparison (Table {table})"
+        )
+        sub.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--engine", choices=("python", "numpy"), default="numpy")
+        sub.add_argument(
+            "--reference",
+            action="store_true",
+            help="print paper-vs-measured instead of the runtime layout",
+        )
+
+    table11 = subparsers.add_parser("table11", help="scalability (Table 11)")
+    table11.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    table11.add_argument("--seed", type=int, default=7)
+    table11.add_argument("--method", choices=tuple(ALGORITHMS), default="ex-minmax")
+    table11.add_argument(
+        "--categories", nargs="*", choices=CATEGORIES, default=None
+    )
+    table11.add_argument("--steps", type=int, nargs="*", default=[1, 2, 3, 4])
+
+    sweep = subparsers.add_parser(
+        "sweep", help="epsilon selectivity curve on one couple"
+    )
+    sweep.add_argument("--cid", type=int, default=1, choices=range(1, 21))
+    sweep.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    sweep.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument(
+        "--epsilons", type=int, nargs="+", default=[0, 1, 2, 4, 8, 16]
+    )
+    sweep.add_argument("--method", choices=tuple(ALGORITHMS), default="ex-minmax")
+
+    events = subparsers.add_parser(
+        "events", help="pruning-event breakdown on one couple (python engines)"
+    )
+    events.add_argument("--cid", type=int, default=1, choices=range(1, 21))
+    events.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    events.add_argument("--scale", type=float, default=DEFAULT_SCALE / 8)
+    events.add_argument("--seed", type=int, default=7)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run everything and write EXPERIMENTS.md"
+    )
+    experiments.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    experiments.add_argument("--seed", type=int, default=7)
+    experiments.add_argument("--users", type=int, default=20_000)
+    experiments.add_argument("--output", default="EXPERIMENTS.md")
+
+    run_config = subparsers.add_parser(
+        "run-config", help="run a declarative experiment from a JSON config"
+    )
+    run_config.add_argument("config", help="path to the JSON experiment config")
+    run_config.add_argument(
+        "--save", default=None, help="also save the results to this JSON path"
+    )
+
+    manifest = subparsers.add_parser(
+        "manifest", help="build or verify a dataset fingerprint manifest"
+    )
+    manifest.add_argument("action", choices=("build", "verify"))
+    manifest.add_argument("path", help="manifest JSON path")
+    manifest.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    manifest.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    manifest.add_argument("--seed", type=int, default=7)
+    manifest.add_argument("--couples", type=int, nargs="*", default=None)
+
+    doctor = subparsers.add_parser(
+        "doctor", help="run the cross-method invariant self-check"
+    )
+    doctor.add_argument("--cid", type=int, default=1, choices=range(1, 21))
+    doctor.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    doctor.add_argument("--scale", type=float, default=DEFAULT_SCALE / 8)
+    doctor.add_argument("--seed", type=int, default=7)
+
+    couple = subparsers.add_parser("couple", help="join one couple by cID")
+    couple.add_argument("--cid", type=int, required=True, choices=range(1, 21))
+    couple.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    couple.add_argument("--method", choices=tuple(ALGORITHMS), default="ex-minmax")
+    couple.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    couple.add_argument("--seed", type=int, default=7)
+    couple.add_argument("--engine", choices=("python", "numpy"), default="numpy")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command: str = args.command
+
+    if command == "table1":
+        print(render_table1(run_table1(n_users=args.users, seed=args.seed)))
+        return 0
+
+    if command == "table2":
+        print(render_table2())
+        return 0
+
+    if command == "table11":
+        cells = run_scalability(
+            scale=args.scale,
+            seed=args.seed,
+            method=args.method,
+            categories=tuple(args.categories) if args.categories else None,
+            steps=tuple(args.steps),
+        )
+        print(render_scalability_table(cells, scale=args.scale))
+        return 0
+
+    if command == "sweep":
+        from .analysis.sweeps import epsilon_sweep, render_sweep
+        from .datasets.couples import build_couple
+
+        spec = next(s for s in PAPER_COUPLES if s.c_id == args.cid)
+        generator = make_generator(args.dataset, seed=args.seed)
+        community_b, community_a = build_couple(spec, generator, scale=args.scale)
+        points = epsilon_sweep(
+            community_b,
+            community_a,
+            epsilons=sorted(args.epsilons),
+            method=args.method,
+        )
+        print(
+            f"cID {spec.c_id} on {args.dataset}: |B|={len(community_b)}, "
+            f"|A|={len(community_a)}, method={args.method}"
+        )
+        print(render_sweep(points, parameter_name="epsilon"))
+        return 0
+
+    if command == "events":
+        from .analysis.events_report import profile_events, render_event_report
+        from .datasets.couples import build_couple
+
+        spec = next(s for s in PAPER_COUPLES if s.c_id == args.cid)
+        generator = make_generator(args.dataset, seed=args.seed)
+        community_b, community_a = build_couple(spec, generator, scale=args.scale)
+        profiles = profile_events(
+            community_b,
+            community_a,
+            epsilon=epsilon_for_dataset(args.dataset),
+        )
+        print(
+            f"cID {spec.c_id} on {args.dataset}: |B|={len(community_b)}, "
+            f"|A|={len(community_a)} (faithful python engines)"
+        )
+        print(render_event_report(profiles))
+        return 0
+
+    if command == "experiments":
+        from .analysis.experiments import write_experiments_md
+
+        path = write_experiments_md(
+            args.output, scale=args.scale, seed=args.seed, n_users=args.users
+        )
+        print(f"wrote {path}")
+        return 0
+
+    if command == "run-config":
+        from .analysis.config import ExperimentConfig, run_experiment
+        from .analysis.results_io import save_table_run
+
+        config = ExperimentConfig.from_json(args.config)
+        run = run_experiment(config)
+        print(f"experiment {config.name!r} on {config.dataset}, "
+              f"epsilon {config.resolved_epsilon}, scale {config.scale:g}")
+        print(render_method_table(run))
+        if args.save:
+            path = save_table_run(args.save, run)
+            print(f"results saved to {path}")
+        return 0
+
+    if command == "manifest":
+        from .datasets.manifest import (
+            build_manifest,
+            load_manifest,
+            save_manifest,
+            verify_manifest,
+        )
+
+        if args.action == "build":
+            manifest = build_manifest(
+                dataset=args.dataset,
+                seed=args.seed,
+                scale=args.scale,
+                couples=tuple(args.couples) if args.couples else None,
+            )
+            path = save_manifest(args.path, manifest)
+            print(f"manifest with {len(manifest['couples'])} couples "
+                  f"written to {path}")
+            return 0
+        mismatches = verify_manifest(load_manifest(args.path))
+        if mismatches:
+            for line in mismatches:
+                print(f"MISMATCH: {line}")
+            return 1
+        print("manifest verified: all fingerprints match")
+        return 0
+
+    if command == "doctor":
+        from .analysis.selfcheck import run_selfcheck
+        from .datasets.couples import build_couple
+
+        spec = next(s for s in PAPER_COUPLES if s.c_id == args.cid)
+        generator = make_generator(args.dataset, seed=args.seed)
+        community_b, community_a = build_couple(spec, generator, scale=args.scale)
+        report = run_selfcheck(
+            community_b, community_a, epsilon=epsilon_for_dataset(args.dataset)
+        )
+        print(
+            f"self-check on cID {spec.c_id} ({args.dataset}): "
+            f"|B|={len(community_b)}, |A|={len(community_a)}"
+        )
+        print(report.render())
+        return 0 if report.passed else 1
+
+    if command == "couple":
+        spec = next(s for s in PAPER_COUPLES if s.c_id == args.cid)
+        generator = make_generator(args.dataset, seed=args.seed)
+        run = run_couple(
+            spec,
+            generator,
+            (args.method,),
+            epsilon=epsilon_for_dataset(args.dataset),
+            scale=args.scale,
+            engine=args.engine,
+        )
+        result = run.results[args.method]
+        print(f"cID {spec.c_id}: {spec.name_b!r} vs {spec.name_a!r}")
+        print(result.summary())
+        return 0
+
+    table = int(command.removeprefix("table"))
+    run = run_method_table(
+        table, scale=args.scale, seed=args.seed, engine=args.engine
+    )
+    if args.reference:
+        print(render_method_table_with_reference(run))
+    else:
+        print(render_method_table(run))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

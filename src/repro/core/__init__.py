@@ -1,0 +1,63 @@
+"""Core building blocks of the CSJ reproduction.
+
+This subpackage holds everything the join algorithms share: the data
+model (:mod:`repro.core.types`), input validation
+(:mod:`repro.core.validation`), the MinMax encoding scheme of Figure 1
+(:mod:`repro.core.encoding`), the CSF / maximum-matching substrate
+(:mod:`repro.core.matching`) and the pairing-event machinery
+(:mod:`repro.core.events`).
+"""
+
+from .encoding import EncodedCandidates, EncodedTargets, MinMaxEncoder, split_dimensions
+from .errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    ReproError,
+    SizeRatioError,
+    UnknownAlgorithmError,
+    ValidationError,
+)
+from .events import EventTrace, EventType, TraceEvent
+from .incremental import IncrementalCommunity
+from .matching import (
+    build_adjacency,
+    cover_smallest_first,
+    get_matcher,
+    greedy_first_fit,
+    hopcroft_karp,
+    linf_match,
+    linf_match_mask,
+)
+from .types import Community, CSJResult, EventCounts, MatchedPair
+from .validation import orient_pair, validate_epsilon, validate_pair
+
+__all__ = [
+    "Community",
+    "IncrementalCommunity",
+    "CSJResult",
+    "EventCounts",
+    "MatchedPair",
+    "EventTrace",
+    "EventType",
+    "TraceEvent",
+    "MinMaxEncoder",
+    "EncodedTargets",
+    "EncodedCandidates",
+    "split_dimensions",
+    "build_adjacency",
+    "cover_smallest_first",
+    "hopcroft_karp",
+    "greedy_first_fit",
+    "get_matcher",
+    "linf_match",
+    "linf_match_mask",
+    "orient_pair",
+    "validate_pair",
+    "validate_epsilon",
+    "ReproError",
+    "ValidationError",
+    "DimensionMismatchError",
+    "SizeRatioError",
+    "ConfigurationError",
+    "UnknownAlgorithmError",
+]

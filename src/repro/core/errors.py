@@ -1,0 +1,60 @@
+"""Exception hierarchy for the CSJ reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class.  The subclasses mirror the distinct failure
+modes that the paper's problem statement implies: malformed user vectors,
+incompatible dimensionalities, violation of the ``ceil(|A|/2) <= |B| <=
+|A|`` size-ratio rule, and invalid algorithm configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A user-supplied input failed structural validation."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Two communities do not share the same number of dimensions."""
+
+    def __init__(self, dims_b: int, dims_a: int) -> None:
+        self.dims_b = dims_b
+        self.dims_a = dims_a
+        super().__init__(
+            f"communities must share dimensionality, got d={dims_b} vs d={dims_a}"
+        )
+
+
+class SizeRatioError(ValidationError):
+    """The CSJ definition's size constraint does not hold.
+
+    The paper requires ``ceil(|A|/2) <= |B| <= |A|``; otherwise the
+    smaller community risks being a trivial subset of the larger one and
+    the similarity score loses its meaning (Section 3).
+    """
+
+    def __init__(self, size_b: int, size_a: int) -> None:
+        self.size_b = size_b
+        self.size_a = size_a
+        super().__init__(
+            f"CSJ requires ceil(|A|/2) <= |B| <= |A|; got |B|={size_b}, |A|={size_a}"
+        )
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm or generator received inconsistent parameters."""
+
+
+class UnknownAlgorithmError(ConfigurationError):
+    """A method name was not found in the algorithm registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown CSJ method {name!r}; available: {', '.join(sorted(known))}"
+        )

@@ -1,0 +1,176 @@
+"""Incremental community maintenance.
+
+The paper's user vectors are *living* aggregates: "a user constantly
+consumes products, movies, or songs ... and the associated counters to
+those categories are increased" (Section 1.1).  A production deployment
+therefore needs communities that absorb like events, subscriptions and
+unsubscriptions between CSJ runs.  :class:`IncrementalCommunity` is that
+mutable counterpart of the frozen :class:`~repro.core.types.Community`:
+cheap point updates, O(1) snapshot versioning, and a `snapshot()` that
+produces an immutable community for joining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ValidationError
+from .types import Community, as_counter_matrix
+
+__all__ = ["IncrementalCommunity"]
+
+
+class IncrementalCommunity:
+    """A mutable community that absorbs like events over time.
+
+    Parameters
+    ----------
+    name / category / page_id:
+        Same metadata as :class:`~repro.core.types.Community`.
+    n_dims:
+        Number of category dimensions; fixed for the lifetime.
+    vectors:
+        Optional initial user matrix (copied).
+
+    Users are addressed by stable integer ids assigned at subscription
+    time; unsubscribed users keep their id reserved (ids are never
+    reused) so external references stay valid.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_dims: int,
+        *,
+        category: str = "",
+        page_id: int = 0,
+        vectors: object | None = None,
+    ) -> None:
+        if n_dims < 1:
+            raise ValidationError(f"n_dims must be >= 1, got {n_dims}")
+        self.name = name
+        self.category = category
+        self.page_id = page_id
+        self._n_dims = int(n_dims)
+        self._rows: dict[int, np.ndarray] = {}
+        self._next_id = 0
+        self._version = 0
+        if vectors is not None:
+            matrix = as_counter_matrix(vectors)
+            if matrix.shape[1] != self._n_dims:
+                raise ValidationError(
+                    f"initial vectors have d={matrix.shape[1]}, expected {n_dims}"
+                )
+            for row in matrix:
+                self._rows[self._next_id] = row.copy()
+                self._next_id += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_dims(self) -> int:
+        return self._n_dims
+
+    @property
+    def n_users(self) -> int:
+        """Current subscriber count (the brand's commercial value)."""
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return self.n_users
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation."""
+        return self._version
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._rows
+
+    def user_ids(self) -> list[int]:
+        """Active user ids in subscription order."""
+        return sorted(self._rows)
+
+    def profile(self, user_id: int) -> np.ndarray:
+        """A copy of one user's counter vector."""
+        try:
+            return self._rows[user_id].copy()
+        except KeyError:
+            raise ValidationError(
+                f"user {user_id} is not subscribed to {self.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def subscribe(self, profile: object | None = None) -> int:
+        """Add a subscriber; returns its stable user id."""
+        if profile is None:
+            row = np.zeros(self._n_dims, dtype=np.int64)
+        else:
+            row = as_counter_matrix(np.asarray(profile).reshape(1, -1))[0].copy()
+            if row.shape[0] != self._n_dims:
+                raise ValidationError(
+                    f"profile has d={row.shape[0]}, expected {self._n_dims}"
+                )
+        user_id = self._next_id
+        self._rows[user_id] = row
+        self._next_id += 1
+        self._version += 1
+        return user_id
+
+    def unsubscribe(self, user_id: int) -> None:
+        """Remove a subscriber; its id is never reused."""
+        if user_id not in self._rows:
+            raise ValidationError(
+                f"user {user_id} is not subscribed to {self.name!r}"
+            )
+        del self._rows[user_id]
+        self._version += 1
+
+    def record_like(self, user_id: int, dimension: int, count: int = 1) -> None:
+        """Increase one counter: the user liked ``count`` posts of a
+        category (counters are aggregates, so they never decrease)."""
+        if count < 0:
+            raise ValidationError(f"like count must be >= 0, got {count}")
+        if not 0 <= dimension < self._n_dims:
+            raise ValidationError(
+                f"dimension {dimension} out of range [0, {self._n_dims})"
+            )
+        if user_id not in self._rows:
+            raise ValidationError(
+                f"user {user_id} is not subscribed to {self.name!r}"
+            )
+        if count == 0:
+            return
+        self._rows[user_id][dimension] += count
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self, *, name: str | None = None) -> Community:
+        """Freeze the current state into an immutable Community.
+
+        Row ``k`` of the snapshot corresponds to ``user_ids()[k]``.
+        Raises if the community is empty (a join needs users).
+        """
+        if not self._rows:
+            raise ValidationError(
+                f"community {self.name!r} has no subscribers to snapshot"
+            )
+        ordered = self.user_ids()
+        matrix = np.stack([self._rows[user_id] for user_id in ordered])
+        return Community(
+            name=name if name is not None else self.name,
+            vectors=matrix,
+            category=self.category,
+            page_id=self.page_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalCommunity(name={self.name!r}, users={self.n_users}, "
+            f"dims={self._n_dims}, version={self._version})"
+        )

@@ -1,0 +1,293 @@
+"""Matching substrate: the CSF heuristic and exact maximum matching.
+
+The exact CSJ methods first collect the full candidate bipartite graph
+(every pair ``<b, a>`` within per-dimension epsilon) and then select
+one-to-one pairs.  The paper's selector is the **CSF** function
+(*CoverSmallestFirst*): repeatedly cover the user with the smallest
+number of remaining matches, pairing it with its neighbour that itself
+has the smallest number of matches.  Covering small users first leaves
+the largest pool of options for the rest, which is the classic
+minimum-degree greedy heuristic for maximum bipartite matching.
+
+CSF is a heuristic; it is not guaranteed to return a *maximum* matching.
+This module therefore also ships a from-scratch Hopcroft–Karp
+implementation (and a networkx cross-check used by the tests) so the
+library can quantify how far CSF is from the optimum — see the matcher
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "linf_match",
+    "linf_match_mask",
+    "enumerate_candidate_pairs",
+    "build_adjacency",
+    "cover_smallest_first",
+    "hopcroft_karp",
+    "greedy_first_fit",
+    "get_matcher",
+    "MATCHERS",
+]
+
+Pairs = list[tuple[int, int]]
+Adjacency = dict[int, set[int]]
+
+
+def linf_match(vector_b: np.ndarray, vector_a: np.ndarray, epsilon: int) -> bool:
+    """Per-dimension epsilon test for a single pair (the CSJ condition)."""
+    diff = np.abs(
+        vector_b.astype(np.int64, copy=False) - vector_a.astype(np.int64, copy=False)
+    )
+    return bool(diff.max(initial=0) <= epsilon)
+
+
+def linf_match_mask(
+    vector_b: np.ndarray, matrix_a: np.ndarray, epsilon: int
+) -> np.ndarray:
+    """Vectorised CSJ condition of one ``b`` against many ``a`` rows."""
+    diff = np.abs(matrix_a.astype(np.int64, copy=False) - vector_b.astype(np.int64))
+    return (diff <= epsilon).all(axis=1)
+
+
+def enumerate_candidate_pairs(
+    vectors_b: np.ndarray,
+    vectors_a: np.ndarray,
+    epsilon: int,
+    *,
+    block_size: int = 512,
+) -> Pairs:
+    """All candidate pairs within per-dimension epsilon, blockwise.
+
+    Accumulates the condition one dimension at a time over
+    ``(block, |A|)`` planes, so peak memory is independent of ``d``.
+    Used by Ex-Baseline and by callers that need the raw candidate graph
+    (e.g. optimal weighted matching).
+    """
+    if block_size < 1:
+        raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+    pairs: Pairs = []
+    n_b, n_dims = vectors_b.shape
+    n_a = len(vectors_a)
+    for start in range(0, n_b, block_size):
+        block = vectors_b[start : start + block_size]
+        mask = np.ones((len(block), n_a), dtype=bool)
+        for dim in range(n_dims):
+            diff = np.abs(block[:, dim : dim + 1] - vectors_a[None, :, dim])
+            mask &= diff <= epsilon
+            if not mask.any():
+                break
+        rows, cols = np.nonzero(mask)
+        pairs.extend(zip((rows + start).tolist(), cols.tolist()))
+    return pairs
+
+
+def build_adjacency(pairs: Iterable[tuple[int, int]]) -> tuple[Adjacency, Adjacency]:
+    """Build both directions of the candidate graph from raw pairs.
+
+    Returns ``(matched_B, matched_A)`` in the paper's naming: a map from
+    each ``b`` to its matches in ``A`` and vice versa.
+    """
+    matched_b: Adjacency = {}
+    matched_a: Adjacency = {}
+    for b_index, a_index in pairs:
+        matched_b.setdefault(b_index, set()).add(a_index)
+        matched_a.setdefault(a_index, set()).add(b_index)
+    return matched_b, matched_a
+
+
+def cover_smallest_first(matched_b: Adjacency, matched_a: Adjacency) -> Pairs:
+    """The CSF function of Section 4.2.
+
+    Deterministic variant: among all still-uncovered users on either
+    side, take the one with the fewest remaining matches (ties: the ``B``
+    side first — mirroring the algorithm's tie rule of repeating the
+    ``B`` steps first — then the smaller user id).  Pair it with its
+    neighbour having the fewest remaining matches (ties: smaller id),
+    insert the pair, drop both users, and repeat until one side is
+    exhausted.
+
+    The input maps are not modified.  Pairs are returned in cover order.
+    """
+    adj_b = {b: set(partners) for b, partners in matched_b.items() if partners}
+    adj_a = {a: set(partners) for a, partners in matched_a.items() if partners}
+    # Heap entries: (degree, side, user_id); side 0 = B, 1 = A.
+    heap: list[tuple[int, int, int]] = []
+    for b, partners in adj_b.items():
+        heap.append((len(partners), 0, b))
+    for a, partners in adj_a.items():
+        heap.append((len(partners), 1, a))
+    heapq.heapify(heap)
+
+    result: Pairs = []
+    while heap:
+        degree, side, user = heapq.heappop(heap)
+        adjacency = adj_b if side == 0 else adj_a
+        partners = adjacency.get(user)
+        if partners is None or len(partners) != degree:
+            continue  # stale heap entry (user covered or degree changed)
+        other = adj_a if side == 0 else adj_b
+        partner = min(partners, key=lambda candidate: (len(other[candidate]), candidate))
+        pair = (user, partner) if side == 0 else (partner, user)
+        result.append(pair)
+        _remove_covered(adj_b, adj_a, heap, b_user=pair[0], a_user=pair[1])
+        if not adj_b or not adj_a:
+            break
+    return result
+
+
+def _remove_covered(
+    adj_b: Adjacency,
+    adj_a: Adjacency,
+    heap: list[tuple[int, int, int]],
+    *,
+    b_user: int,
+    a_user: int,
+) -> None:
+    """Remove a freshly covered pair and refresh neighbour degrees."""
+    for neighbour in adj_b.pop(b_user, set()):
+        partners = adj_a.get(neighbour)
+        if partners is None:
+            continue
+        partners.discard(b_user)
+        if partners:
+            heapq.heappush(heap, (len(partners), 1, neighbour))
+        else:
+            del adj_a[neighbour]
+    for neighbour in adj_a.pop(a_user, set()):
+        partners = adj_b.get(neighbour)
+        if partners is None:
+            continue
+        partners.discard(a_user)
+        if partners:
+            heapq.heappush(heap, (len(partners), 0, neighbour))
+        else:
+            del adj_b[neighbour]
+
+
+def hopcroft_karp(matched_b: Adjacency, matched_a: Adjacency | None = None) -> Pairs:
+    """Maximum bipartite matching via Hopcroft–Karp (from scratch).
+
+    ``matched_a`` is accepted for signature symmetry with
+    :func:`cover_smallest_first` but is not required.  Runs in
+    ``O(E * sqrt(V))``.  Pairs are returned sorted by ``b`` id.
+    """
+    del matched_a  # derivable from matched_b; kept for API symmetry
+    b_nodes = sorted(matched_b)
+    adjacency = {b: sorted(matched_b[b]) for b in b_nodes}
+    match_of_b: dict[int, int | None] = {b: None for b in b_nodes}
+    match_of_a: dict[int, int | None] = {}
+    for partners in adjacency.values():
+        for a in partners:
+            match_of_a.setdefault(a, None)
+
+    infinity = float("inf")
+
+    def bfs() -> bool:
+        distances: dict[int, float] = {}
+        queue: deque[int] = deque()
+        for b in b_nodes:
+            if match_of_b[b] is None:
+                distances[b] = 0
+                queue.append(b)
+            else:
+                distances[b] = infinity
+        reachable_free = False
+        while queue:
+            b = queue.popleft()
+            for a in adjacency[b]:
+                partner = match_of_a[a]
+                if partner is None:
+                    reachable_free = True
+                elif distances[partner] == infinity:
+                    distances[partner] = distances[b] + 1
+                    queue.append(partner)
+        bfs.distances = distances  # type: ignore[attr-defined]
+        return reachable_free
+
+    def dfs(b: int) -> bool:
+        distances = bfs.distances  # type: ignore[attr-defined]
+        for a in adjacency[b]:
+            partner = match_of_a[a]
+            if partner is None or (
+                distances[partner] == distances[b] + 1 and dfs(partner)
+            ):
+                match_of_b[b] = a
+                match_of_a[a] = b
+                return True
+        distances[b] = infinity
+        return False
+
+    while bfs():
+        for b in b_nodes:
+            if match_of_b[b] is None:
+                dfs(b)
+    return sorted(
+        (b, a) for b, a in match_of_b.items() if a is not None
+    )
+
+
+def greedy_first_fit(matched_b: Adjacency, matched_a: Adjacency | None = None) -> Pairs:
+    """First-fit greedy matcher (the approximate methods' behaviour).
+
+    Processes ``b`` users in ascending id and commits each to its
+    smallest-id still-free neighbour.  Provided so approximate matching
+    behaviour can also be exercised on a pre-built candidate graph.
+    """
+    del matched_a
+    used_a: set[int] = set()
+    result: Pairs = []
+    for b in sorted(matched_b):
+        for a in sorted(matched_b[b]):
+            if a not in used_a:
+                used_a.add(a)
+                result.append((b, a))
+                break
+    return result
+
+
+Matcher = Callable[[Adjacency, Adjacency], Pairs]
+
+MATCHERS: dict[str, Matcher] = {
+    "csf": cover_smallest_first,
+    "hopcroft_karp": hopcroft_karp,
+    "greedy": greedy_first_fit,
+}
+
+
+def get_matcher(name: str) -> Matcher:
+    """Look up a matcher by registry name (``csf``, ``hopcroft_karp``...)."""
+    try:
+        return MATCHERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown matcher {name!r}; available: {', '.join(sorted(MATCHERS))}"
+        ) from None
+
+
+def matching_size_upper_bound(matched_b: Adjacency) -> int:
+    """Cheap upper bound: cannot exceed either side's vertex count."""
+    n_a = len({a for partners in matched_b.values() for a in partners})
+    return min(len(matched_b), n_a)
+
+
+def pairs_are_one_to_one(pairs: Sequence[tuple[int, int]]) -> bool:
+    """True when no user appears twice on its side of the pairing."""
+    b_side = [b for b, _ in pairs]
+    a_side = [a for _, a in pairs]
+    return len(set(b_side)) == len(b_side) and len(set(a_side)) == len(a_side)
+
+
+def pairs_respect_graph(
+    pairs: Sequence[tuple[int, int]], matched_b: Mapping[int, set[int]]
+) -> bool:
+    """True when every selected pair is an edge of the candidate graph."""
+    return all(b in matched_b and a in matched_b[b] for b, a in pairs)

@@ -1,0 +1,276 @@
+"""Core value types of the CSJ reproduction.
+
+The vocabulary follows Section 3 of the paper:
+
+* a :class:`Community` is a brand page with a set of subscribers, each
+  represented as a d-dimensional vector of aggregate per-category
+  counters;
+* a CSJ run produces a :class:`CSJResult` holding the matched one-to-one
+  user pairs, the similarity score of Eq. (1), the per-event counters of
+  Section 4 and the wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = ["Community", "EventCounts", "MatchedPair", "CSJResult"]
+
+
+def as_counter_matrix(vectors: object) -> np.ndarray:
+    """Coerce ``vectors`` into a validated 2-D int64 counter matrix.
+
+    CSJ vectors store aggregate counters (numbers of likes), so they must
+    be non-negative integers.  Accepts any array-like of shape ``(n, d)``.
+    """
+    matrix = np.asarray(vectors)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"user vectors must form a 2-D (n, d) matrix, got ndim={matrix.ndim}"
+        )
+    if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+        raise ValidationError(
+            f"user vectors must be non-empty in both axes, got shape={matrix.shape}"
+        )
+    if not np.issubdtype(matrix.dtype, np.integer):
+        rounded = np.rint(matrix)
+        if not np.array_equal(rounded, matrix):
+            raise ValidationError("counter vectors must hold integers (like counts)")
+        matrix = rounded
+    matrix = matrix.astype(np.int64, copy=False)
+    if (matrix < 0).any():
+        raise ValidationError("counter vectors must be non-negative")
+    return matrix
+
+
+@dataclass(frozen=True)
+class Community:
+    """A brand community: a named set of d-dimensional user profiles.
+
+    Parameters
+    ----------
+    name:
+        Human-readable page name (e.g. ``"Quick Recipes"``).
+    vectors:
+        Integer matrix of shape ``(n_users, n_dims)``; row ``i`` is the
+        aggregate per-category like counters of subscriber ``i``.
+    category:
+        The dominant category of the page (one of the 27 VK categories in
+        the reproduction datasets).  Informational only.
+    page_id:
+        The platform page identifier (Table 2 keeps the real VK ids).
+    """
+
+    name: str
+    vectors: np.ndarray
+    category: str = ""
+    page_id: int = 0
+
+    def __post_init__(self) -> None:
+        matrix = as_counter_matrix(self.vectors)
+        matrix.setflags(write=False)
+        object.__setattr__(self, "vectors", matrix)
+
+    @property
+    def n_users(self) -> int:
+        """Number of subscribers (the community's commercial value)."""
+        return int(self.vectors.shape[0])
+
+    @property
+    def n_dims(self) -> int:
+        """Number of category dimensions ``d``."""
+        return int(self.vectors.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_users
+
+    def subset(self, indices: Sequence[int] | np.ndarray, name: str | None = None) -> "Community":
+        """Return a new community restricted to the given user rows."""
+        rows = np.asarray(indices, dtype=np.int64)
+        return Community(
+            name=name if name is not None else f"{self.name}[subset]",
+            vectors=self.vectors[rows],
+            category=self.category,
+            page_id=self.page_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Community(name={self.name!r}, users={self.n_users}, "
+            f"dims={self.n_dims}, category={self.category!r})"
+        )
+
+
+@dataclass
+class EventCounts:
+    """Counters of the five pairing events of Section 4.
+
+    ``MIN PRUNE`` — the current ``b`` cannot match any further ``a``;
+    ``MAX PRUNE`` — the current ``a`` cannot match any further ``b``;
+    ``NO OVERLAP`` — part/range overlap failed, the d-dimensional
+    comparison is skipped; ``NO MATCH`` — the d-dimensional comparison
+    ran and failed; ``MATCH`` — the comparison succeeded.
+    """
+
+    min_prune: int = 0
+    max_prune: int = 0
+    no_overlap: int = 0
+    no_match: int = 0
+    match: int = 0
+
+    def __add__(self, other: "EventCounts") -> "EventCounts":
+        return EventCounts(
+            min_prune=self.min_prune + other.min_prune,
+            max_prune=self.max_prune + other.max_prune,
+            no_overlap=self.no_overlap + other.no_overlap,
+            no_match=self.no_match + other.no_match,
+            match=self.match + other.match,
+        )
+
+    @property
+    def comparisons(self) -> int:
+        """Number of full d-dimensional epsilon comparisons executed."""
+        return self.no_match + self.match
+
+    @property
+    def total(self) -> int:
+        return (
+            self.min_prune
+            + self.max_prune
+            + self.no_overlap
+            + self.no_match
+            + self.match
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "min_prune": self.min_prune,
+            "max_prune": self.max_prune,
+            "no_overlap": self.no_overlap,
+            "no_match": self.no_match,
+            "match": self.match,
+        }
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """A one-to-one matched pair ``<b, a>`` by user row index."""
+
+    b_index: int
+    a_index: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.b_index, self.a_index)
+
+
+@dataclass
+class CSJResult:
+    """Outcome of one CSJ join between communities ``B`` and ``A``.
+
+    ``similarity`` is Eq. (1): ``p * |matched| / |B|``; ``pairs`` holds
+    the matched ``(b_index, a_index)`` rows; ``events`` are the pairing
+    events observed by the algorithm (the numpy engines only account for
+    NO MATCH / MATCH since pruning happens in bulk); ``swapped`` records
+    whether the inputs were re-oriented so that ``B`` is the smaller
+    community, in which case pair indices refer to the *oriented* inputs.
+    """
+
+    method: str
+    exact: bool
+    size_b: int
+    size_a: int
+    epsilon: int
+    pairs: list[MatchedPair] = field(default_factory=list)
+    events: EventCounts = field(default_factory=EventCounts)
+    elapsed_seconds: float = 0.0
+    p: float = 1.0
+    engine: str = "python"
+    swapped: bool = False
+
+    @property
+    def n_matched(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def similarity(self) -> float:
+        """Eq. (1) of the paper as a fraction in ``[0, 1]``."""
+        if self.size_b == 0:
+            return 0.0
+        return self.p * self.n_matched / self.size_b
+
+    @property
+    def similarity_percent(self) -> float:
+        return 100.0 * self.similarity
+
+    def pair_tuples(self) -> list[tuple[int, int]]:
+        return [pair.as_tuple() for pair in self.pairs]
+
+    def check_one_to_one(self) -> None:
+        """Raise if any user participates in more than one pair."""
+        b_side = [pair.b_index for pair in self.pairs]
+        a_side = [pair.a_index for pair in self.pairs]
+        if len(set(b_side)) != len(b_side) or len(set(a_side)) != len(a_side):
+            raise ValidationError(f"{self.method}: matching is not one-to-one")
+
+    def summary(self) -> str:
+        """One-line summary in the style of the paper's result tables."""
+        return (
+            f"{self.method}: {self.similarity_percent:.2f}% "
+            f"({self.elapsed_seconds:.3f} s), |B|={self.size_b}, |A|={self.size_a}, "
+            f"matched={self.n_matched}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "method": self.method,
+            "exact": self.exact,
+            "size_b": self.size_b,
+            "size_a": self.size_a,
+            "epsilon": self.epsilon,
+            "pairs": self.pair_tuples(),
+            "events": self.events.as_dict(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "p": self.p,
+            "engine": self.engine,
+            "swapped": self.swapped,
+            "similarity": self.similarity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CSJResult":
+        """Rebuild a result saved by :meth:`to_dict`.
+
+        The redundant ``similarity`` entry, if present, is validated
+        against the recomputed Eq. (1) value.
+        """
+        events = EventCounts(**payload.get("events", {}))  # type: ignore[arg-type]
+        result = cls(
+            method=str(payload["method"]),
+            exact=bool(payload["exact"]),
+            size_b=int(payload["size_b"]),  # type: ignore[arg-type]
+            size_a=int(payload["size_a"]),  # type: ignore[arg-type]
+            epsilon=int(payload["epsilon"]),  # type: ignore[arg-type]
+            pairs=[MatchedPair(int(b), int(a)) for b, a in payload.get("pairs", [])],
+            events=events,
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),  # type: ignore[arg-type]
+            p=float(payload.get("p", 1.0)),  # type: ignore[arg-type]
+            engine=str(payload.get("engine", "python")),
+            swapped=bool(payload.get("swapped", False)),
+        )
+        stored = payload.get("similarity")
+        if stored is not None and abs(float(stored) - result.similarity) > 1e-9:  # type: ignore[arg-type]
+            raise ValidationError(
+                "stored similarity disagrees with the recomputed Eq. (1) value"
+            )
+        return result
+
+
+def pairs_from_tuples(tuples: Iterable[tuple[int, int]]) -> list[MatchedPair]:
+    """Convenience converter used by the algorithm engines."""
+    return [MatchedPair(int(b), int(a)) for b, a in tuples]

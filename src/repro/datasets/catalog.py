@@ -1,0 +1,172 @@
+"""On-disk community catalog with cached similarity results.
+
+A platform operating CSJ keeps its communities in a store and re-uses
+join results until either side changes.  :class:`CommunityCatalog`
+provides exactly that substrate on the local filesystem: named
+communities persisted as ``.npz`` archives (via :mod:`repro.datasets.io`)
+plus a JSON cache of similarity results keyed by the pair, the method,
+epsilon and the content fingerprints of both sides — so a cache entry
+is automatically invalidated the moment a community is re-registered
+with different vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..algorithms import get_algorithm
+from ..core.errors import ValidationError
+from ..core.types import Community
+from .io import load_communities, save_communities
+
+__all__ = ["CachedSimilarity", "CommunityCatalog"]
+
+
+def _fingerprint(community: Community) -> str:
+    """Content hash of a community's vectors (order-sensitive)."""
+    digest = hashlib.sha256()
+    digest.update(str(community.vectors.shape).encode())
+    digest.update(np.ascontiguousarray(community.vectors).tobytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CachedSimilarity:
+    """One cached join outcome."""
+
+    key_b: str
+    key_a: str
+    method: str
+    epsilon: int
+    similarity: float
+    n_matched: int
+    from_cache: bool
+
+
+class CommunityCatalog:
+    """Filesystem-backed store of communities and join results.
+
+    Parameters
+    ----------
+    root:
+        Directory for the archives and the cache file (created on
+        demand).
+    """
+
+    _CACHE_FILE = "similarity_cache.json"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._cache_path = self.root / self._CACHE_FILE
+        if self._cache_path.exists():
+            self._cache: dict[str, dict] = json.loads(self._cache_path.read_text())
+        else:
+            self._cache = {}
+
+    # ------------------------------------------------------------------
+    # community management
+    # ------------------------------------------------------------------
+    def _archive_path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValidationError(f"invalid catalog key {key!r}")
+        return self.root / f"{key}.npz"
+
+    def register(self, key: str, community: Community) -> None:
+        """Store (or replace) a community under ``key``."""
+        save_communities(self._archive_path(key), {"community": community})
+
+    def get(self, key: str) -> Community:
+        """Load a registered community."""
+        path = self._archive_path(key)
+        if not path.exists():
+            raise ValidationError(f"no community registered under {key!r}")
+        return load_communities(path)["community"]
+
+    def keys(self) -> list[str]:
+        """All registered community keys, sorted."""
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.npz")
+        )
+
+    def remove(self, key: str) -> None:
+        """Delete a community and its metadata."""
+        path = self._archive_path(key)
+        if not path.exists():
+            raise ValidationError(f"no community registered under {key!r}")
+        path.unlink()
+        meta = path.with_name(path.stem + ".meta.json")
+        if meta.exists():
+            meta.unlink()
+
+    # ------------------------------------------------------------------
+    # cached similarity
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self, key_b: str, key_a: str, method: str, epsilon: int,
+        print_b: str, print_a: str,
+    ) -> str:
+        return "|".join([key_b, key_a, method, str(epsilon), print_b, print_a])
+
+    def similarity(
+        self,
+        key_b: str,
+        key_a: str,
+        *,
+        epsilon: int,
+        method: str = "ex-minmax",
+        **options: object,
+    ) -> CachedSimilarity:
+        """Join two registered communities, reusing cached results.
+
+        The cache key embeds both content fingerprints, so re-registering
+        either community with different vectors transparently invalidates
+        the entry.
+        """
+        community_b = self.get(key_b)
+        community_a = self.get(key_a)
+        print_b = _fingerprint(community_b)
+        print_a = _fingerprint(community_a)
+        cache_key = self._cache_key(key_b, key_a, method, epsilon, print_b, print_a)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return CachedSimilarity(
+                key_b=key_b,
+                key_a=key_a,
+                method=method,
+                epsilon=epsilon,
+                similarity=float(cached["similarity"]),
+                n_matched=int(cached["n_matched"]),
+                from_cache=True,
+            )
+        result = get_algorithm(method, epsilon, **options).join(
+            community_b, community_a
+        )
+        self._cache[cache_key] = {
+            "similarity": result.similarity,
+            "n_matched": result.n_matched,
+        }
+        self._cache_path.write_text(json.dumps(self._cache, indent=2, sort_keys=True))
+        return CachedSimilarity(
+            key_b=key_b,
+            key_a=key_a,
+            method=method,
+            epsilon=epsilon,
+            similarity=result.similarity,
+            n_matched=result.n_matched,
+            from_cache=False,
+        )
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache = {}
+        if self._cache_path.exists():
+            self._cache_path.unlink()

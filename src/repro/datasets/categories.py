@@ -1,0 +1,142 @@
+"""The 27 VK categories and the paper's Table 1 calibration numbers.
+
+Every user vector has ``d = 27`` dimensions, one per category.  The VK
+column of Table 1 reports the total number of likes aggregated per
+category over the paper's 7.8M sampled users; we use those totals as the
+popularity weights of the VK-like generator, so the regenerated Table 1
+reproduces the paper's ranking by construction and the generated
+counters inherit the real dataset's strong skew (Entertainment receives
+roughly 4450x the likes of Communication_Services).
+
+``SYNTHETIC_RANKING`` lists the Synthetic column's category order, which
+the paper obtained from a uniform generator — i.e. the order is
+essentially arbitrary; we keep it for fidelity of the rendered table.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CATEGORIES",
+    "N_CATEGORIES",
+    "VK_TOTAL_LIKES",
+    "SYNTHETIC_TOTAL_LIKES",
+    "SYNTHETIC_RANKING",
+    "VK_MAX_LIKES_PER_DIMENSION",
+    "SYNTHETIC_MAX_LIKES_PER_DIMENSION",
+    "category_index",
+]
+
+#: Table 1, VK column: category -> total likes, in rank order.
+VK_TOTAL_LIKES: dict[str, int] = {
+    "Entertainment": 2_111_519_450,
+    "Hobbies": 602_445_614,
+    "Relationship_family": 384_993_747,
+    "Beauty_health": 318_695_199,
+    "Media": 296_466_970,
+    "Social_public": 255_007_945,
+    "Sport": 245_830_867,
+    "Internet": 206_085_821,
+    "Education": 197_289_902,
+    "Celebrity": 167_468_242,
+    "Animals": 159_569_729,
+    "Music": 153_686_427,
+    "Culture_art": 141_107_189,
+    "Food_recipes": 140_212_548,
+    "Tourism_leisure": 140_054_637,
+    "Auto_motor": 136_991_765,
+    "Products_stores": 131_752_523,
+    "Home_renovation": 120_091_854,
+    "Cities_countries": 74_006_530,
+    "Professional_Services": 33_024_545,
+    "Medicine": 32_135_820,
+    "Finance_insurance": 30_961_892,
+    "Restaurants": 6_473_240,
+    "Job_search": 1_853_720,
+    "Transportation_Services": 1_385_538,
+    "Consumer_Services": 810_889,
+    "Communication_Services": 474_492,
+}
+
+#: The canonical dimension order: the VK ranking of Table 1.
+CATEGORIES: tuple[str, ...] = tuple(VK_TOTAL_LIKES)
+
+N_CATEGORIES = len(CATEGORIES)
+assert N_CATEGORIES == 27, "the paper fixes d = 27"
+
+#: Table 1, Synthetic column rank order (uniform generator, arbitrary).
+SYNTHETIC_RANKING: tuple[str, ...] = (
+    "Hobbies",
+    "Social_public",
+    "Job_search",
+    "Medicine",
+    "Home_renovation",
+    "Celebrity",
+    "Education",
+    "Entertainment",
+    "Sport",
+    "Tourism_leisure",
+    "Transportation_Services",
+    "Finance_insurance",
+    "Culture_art",
+    "Consumer_Services",
+    "Professional_Services",
+    "Products_stores",
+    "Relationship_family",
+    "Cities_countries",
+    "Food_recipes",
+    "Internet",
+    "Animals",
+    "Media",
+    "Auto_motor",
+    "Communication_Services",
+    "Restaurants",
+    "Music",
+    "Beauty_health",
+)
+
+#: Table 1, Synthetic column: category -> total likes, in rank order.
+#: (The rank-2 value is illegible in the source scan; 3,960,000,000 is a
+#: between-neighbours estimate and is only used as a relative weight.)
+SYNTHETIC_TOTAL_LIKES: dict[str, int] = {
+    "Hobbies": 4_030_521_210,
+    "Social_public": 3_960_000_000,
+    "Job_search": 3_894_770_484,
+    "Medicine": 3_879_329_978,
+    "Home_renovation": 3_840_633_803,
+    "Celebrity": 3_784_173_891,
+    "Education": 3_783_409_580,
+    "Entertainment": 3_763_167_129,
+    "Sport": 3_718_424_135,
+    "Tourism_leisure": 3_702_498_557,
+    "Transportation_Services": 3_685_969_155,
+    "Finance_insurance": 3_680_184_922,
+    "Culture_art": 3_680_041_975,
+    "Consumer_Services": 3_668_738_029,
+    "Professional_Services": 3_623_780_227,
+    "Products_stores": 3_565_053_769,
+    "Relationship_family": 3_560_196_074,
+    "Cities_countries": 3_552_381_297,
+    "Food_recipes": 3_550_668_794,
+    "Internet": 3_521_866_267,
+    "Animals": 3_517_540_727,
+    "Media": 3_514_872_848,
+    "Auto_motor": 3_469_592_249,
+    "Communication_Services": 3_446_086_841,
+    "Restaurants": 3_415_910_481,
+    "Music": 3_297_277_125,
+    "Beauty_health": 3_292_929_613,
+}
+
+#: Section 6.1: maximum likes per dimension over all users.
+VK_MAX_LIKES_PER_DIMENSION = 152_532
+SYNTHETIC_MAX_LIKES_PER_DIMENSION = 500_000
+
+
+def category_index(name: str) -> int:
+    """Dimension index of a category in the canonical order."""
+    try:
+        return CATEGORIES.index(name)
+    except ValueError:
+        raise KeyError(
+            f"unknown category {name!r}; see repro.datasets.CATEGORIES"
+        ) from None

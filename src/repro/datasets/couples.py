@@ -1,0 +1,219 @@
+"""The paper's 20 community couples (Tables 2–10) and Table 11 sizes.
+
+Every couple carries the metadata of Table 2 (names and VK page ids),
+the categories and sizes of Tables 3/5, and the target exact
+similarities reported in Tables 4/6 (VK) and 8/10 (Synthetic).  The
+reproduction generators use the target similarity as the engineered
+shared-audience fraction, so the measured similarities land in the same
+bands as the paper (>= 15% for couples 1–10, >= 30% for couples 11–20,
+with the cID 10 Synthetic edge case below 15%).
+
+Paper community sizes are in the 55k–330k range; :func:`scale_size`
+shrinks them uniformly (default 1/64) so a full table regenerates in
+minutes on a laptop while preserving every size ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.types import Community
+from .synthetic import SyntheticGenerator
+from .vk import VKGenerator
+
+__all__ = [
+    "CoupleSpec",
+    "PAPER_COUPLES",
+    "DIFFERENT_CATEGORY_COUPLES",
+    "SAME_CATEGORY_COUPLES",
+    "SCALABILITY_SIZES",
+    "DEFAULT_SCALE",
+    "scale_size",
+    "build_couple",
+    "couples_for_table",
+]
+
+#: Default size scale used by the benchmarks (1/64 of the paper).
+DEFAULT_SCALE = 1.0 / 64.0
+
+
+@dataclass(frozen=True)
+class CoupleSpec:
+    """One ``<B, A>`` couple of the paper's case studies.
+
+    ``target_similarity_vk`` / ``target_similarity_synthetic`` are the
+    exact-method similarities of Tables 4/6 and 8/10 as fractions; they
+    parameterise the generators' engineered overlap.
+    """
+
+    c_id: int
+    name_b: str
+    name_a: str
+    page_id_b: int
+    page_id_a: int
+    category_b: str
+    category_a: str
+    size_b: int
+    size_a: int
+    target_similarity_vk: float
+    target_similarity_synthetic: float
+
+    @property
+    def same_category(self) -> bool:
+        return self.category_b == self.category_a
+
+    @property
+    def label(self) -> str:
+        return f"{self.category_b} | {self.category_a}"
+
+
+PAPER_COUPLES: tuple[CoupleSpec, ...] = (
+    # -- different categories (Tables 3/4/7/8, similarity >= 15% on VK) --
+    CoupleSpec(1, "Quick Recipes", "Salads | Best Recipes", 165062392, 94216909,
+               "Restaurants", "Food_recipes", 109_176, 116_016, 0.2081, 0.1774),
+    CoupleSpec(2, "Happiness", "Sportshacker", 23337480, 128350290,
+               "Hobbies", "Sport", 156_213, 230_017, 0.1546, 0.1600),
+    CoupleSpec(3, "Moment of history", "This is a fact | Science and Facts",
+               143826157, 45688121,
+               "Culture_art", "Education", 134_961, 138_199, 0.2495, 0.2415),
+    CoupleSpec(4, "Health secrets. What is said by doctors?", "Fashionable girl",
+               55122354, 36085261,
+               "Medicine", "Beauty_health", 120_783, 185_393, 0.1642, 0.1657),
+    CoupleSpec(5, "First channel", "Nice line", 25380626, 26669118,
+               "Media", "Entertainment", 197_415, 330_944, 0.1752, 0.1549),
+    CoupleSpec(6, "About women's", "Successful girl", 33382046, 24036559,
+               "Social_public", "Relationship_family", 118_993, 131_297,
+               0.2438, 0.2456),
+    CoupleSpec(7, "The best of Saint Petersburg", "Vandrouki | Travel almost free",
+               31516466, 63731512,
+               "Cities_countries", "Tourism_leisure", 140_114, 257_419,
+               0.2222, 0.2213),
+    CoupleSpec(8, "Housing problem", "Business quote book", 42541008, 28556858,
+               "Home_renovation", "Products_stores", 167_585, 182_815,
+               0.1553, 0.1557),
+    CoupleSpec(9, "Jah Khalib", "My audios", 26211015, 105999460,
+               "Celebrity", "Music", 125_248, 189_937, 0.1752, 0.1590),
+    CoupleSpec(10, "Job in Moscow", "VK Pay", 31154183, 166850908,
+                "Job_search", "Finance_insurance", 55_918, 109_622,
+                0.2156, 0.0785),
+    # -- same categories (Tables 5/6/9/10, similarity >= 30% on VK) -----
+    CoupleSpec(11, "Cooking: delicious recipes", "Cooking at home: delicious and easy",
+                42092461, 40020627,
+                "Food_recipes", "Food_recipes", 180_158, 196_135, 0.3152, 0.3063),
+    CoupleSpec(12, "Simple recipes", "Best Chef's Recipes", 83935640, 18464856,
+                "Food_recipes", "Food_recipes", 180_351, 272_320, 0.3210, 0.3057),
+    CoupleSpec(13, "FC Barcelona", "Football Europe", 22746750, 23693281,
+                "Sport", "Sport", 179_412, 234_508, 0.3954, 0.3373),
+    CoupleSpec(14, "World Russian Premier League", "Football Europe",
+                51812607, 23693281,
+                "Sport", "Sport", 184_663, 234_508, 0.3710, 0.3085),
+    CoupleSpec(15, "World of beauty", "Fashionable girl", 34981365, 36085261,
+                "Beauty_health", "Beauty_health", 163_176, 185_393,
+                0.3693, 0.3664),
+    CoupleSpec(16, "Beauty | Fashion | Show Business", "Fashionable girl",
+                32922940, 36085261,
+                "Beauty_health", "Beauty_health", 178_138, 185_393,
+                0.3057, 0.3041),
+    CoupleSpec(17, "More than just lines", "Just love", 32651025, 28293246,
+                "Relationship_family", "Relationship_family", 165_509, 190_027,
+                0.3535, 0.3531),
+    CoupleSpec(18, "Modern mom", "MAMA", 55074079, 20249656,
+                "Relationship_family", "Relationship_family", 147_140, 175_929,
+                0.3226, 0.3172),
+    CoupleSpec(19, "Business quote book", "Business Strategy | Success in life",
+                28556858, 30559917,
+                "Products_stores", "Products_stores", 182_815, 201_038,
+                0.3188, 0.3148),
+    CoupleSpec(20, "Smart Money | Business Magazine",
+                "Business Strategy | Success in life", 34483558, 30559917,
+                "Products_stores", "Products_stores", 161_991, 201_038,
+                0.3350, 0.3327),
+)
+
+DIFFERENT_CATEGORY_COUPLES: tuple[CoupleSpec, ...] = PAPER_COUPLES[:10]
+SAME_CATEGORY_COUPLES: tuple[CoupleSpec, ...] = PAPER_COUPLES[10:]
+
+#: Table 11: average couple sizes per category (size_1 .. size_4).
+SCALABILITY_SIZES: dict[str, tuple[int, int, int, int]] = {
+    "Food_recipes": (124_453, 200_966, 332_977, 417_492),
+    "Restaurants": (27_733, 50_802, 71_114, 111_713),
+    "Hobbies": (212_071, 326_951, 432_853, 538_492),
+    "Sport": (107_770, 156_762, 199_233, 248_901),
+    "Education": (128_905, 200_466, 317_041, 414_692),
+    "Culture_art": (54_381, 106_885, 157_236, 228_763),
+    "Beauty_health": (149_171, 211_701, 256_387, 318_470),
+    "Medicine": (21_290, 41_438, 62_333, 84_311),
+    "Entertainment": (445_364, 651_230, 841_407, 1_110_846),
+    "Media": (117_231, 220_804, 335_845, 406_973),
+    "Relationship_family": (121_910, 169_862, 212_582, 283_532),
+    "Social_public": (80_552, 135_060, 182_865, 269_604),
+    "Tourism_leisure": (104_403, 147_984, 204_376, 248_205),
+    "Cities_countries": (53_271, 94_130, 133_765, 163_201),
+    "Products_stores": (112_425, 157_593, 219_171, 265_760),
+    "Home_renovation": (101_381, 149_484, 188_986, 274_326),
+    "Celebrity": (105_339, 160_277, 206_374, 255_239),
+    "Music": (110_695, 158_516, 201_757, 251_919),
+    "Finance_insurance": (24_620, 49_505, 70_196, 108_028),
+    "Job_search": (16_728, 30_787, 45_597, 62_418),
+}
+
+
+def scale_size(paper_size: int, scale: float, *, floor: int = 40) -> int:
+    """Shrink a paper community size by ``scale`` with a sanity floor."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return max(floor, int(round(paper_size * scale)))
+
+
+def build_couple(
+    spec: CoupleSpec,
+    generator: VKGenerator | SyntheticGenerator,
+    *,
+    scale: float = DEFAULT_SCALE,
+) -> tuple[Community, Community]:
+    """Materialise one couple as two :class:`Community` objects.
+
+    The generator type selects the dataset (and hence which target
+    similarity column parameterises the engineered overlap).
+    """
+    size_b = scale_size(spec.size_b, scale)
+    size_a = scale_size(spec.size_a, scale)
+    if size_b > size_a:
+        size_a = size_b
+    if isinstance(generator, SyntheticGenerator):
+        overlap = spec.target_similarity_synthetic
+    else:
+        overlap = spec.target_similarity_vk
+    built = generator.make_couple_vectors(
+        size_b=size_b,
+        size_a=size_a,
+        overlap_fraction=overlap,
+        category_b=spec.category_b,
+        category_a=spec.category_a,
+        seed_key=("cID", spec.c_id),
+    )
+    community_b = Community(
+        name=spec.name_b,
+        vectors=built.vectors_b,
+        category=spec.category_b,
+        page_id=spec.page_id_b,
+    )
+    community_a = Community(
+        name=spec.name_a,
+        vectors=built.vectors_a,
+        category=spec.category_a,
+        page_id=spec.page_id_a,
+    )
+    return community_b, community_a
+
+
+def couples_for_table(table: int) -> tuple[CoupleSpec, ...]:
+    """Couple set of an evaluation table (3–10)."""
+    if table in (3, 4, 7, 8):
+        return DIFFERENT_CATEGORY_COUPLES
+    if table in (5, 6, 9, 10):
+        return SAME_CATEGORY_COUPLES
+    raise ConfigurationError(
+        f"tables 3-10 map to couple sets; got table {table}"
+    )

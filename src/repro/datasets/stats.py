@@ -1,0 +1,60 @@
+"""Dataset statistics — the machinery behind Table 1.
+
+Table 1 ranks the 27 categories of each dataset by the total number of
+likes aggregated over all sampled users.  :func:`category_totals`
+computes those totals for any user matrix and :func:`ranking` returns
+the Table 1 row structure, ready for rendering by
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ValidationError
+from .categories import CATEGORIES
+
+__all__ = ["CategoryTotal", "category_totals", "ranking", "max_likes_per_dimension"]
+
+
+@dataclass(frozen=True)
+class CategoryTotal:
+    """One row of a Table 1 column: rank, category and total likes."""
+
+    rank: int
+    category: str
+    total_likes: int
+
+
+def category_totals(vectors: np.ndarray) -> dict[str, int]:
+    """Total likes per category over a user matrix."""
+    matrix = np.asarray(vectors)
+    if matrix.ndim != 2:
+        raise ValidationError(f"expected a 2-D user matrix, got ndim={matrix.ndim}")
+    if matrix.shape[1] > len(CATEGORIES):
+        raise ValidationError(
+            f"matrix has {matrix.shape[1]} dimensions but only "
+            f"{len(CATEGORIES)} categories are defined"
+        )
+    sums = matrix.sum(axis=0)
+    return {CATEGORIES[i]: int(sums[i]) for i in range(matrix.shape[1])}
+
+
+def ranking(vectors: np.ndarray) -> list[CategoryTotal]:
+    """Categories ranked by total likes, descending (Table 1 order)."""
+    totals = category_totals(vectors)
+    ordered = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        CategoryTotal(rank=position + 1, category=name, total_likes=total)
+        for position, (name, total) in enumerate(ordered)
+    ]
+
+
+def max_likes_per_dimension(vectors: np.ndarray) -> int:
+    """The Section 6.1 statistic: maximum counter over all users/dims."""
+    matrix = np.asarray(vectors)
+    if matrix.size == 0:
+        return 0
+    return int(matrix.max())

@@ -1,0 +1,25 @@
+"""Extensions beyond the paper's scope.
+
+These modules generalise CSJ in directions the paper's formulation
+naturally invites but does not evaluate: per-category epsilon vectors
+(:mod:`repro.extensions.vector_epsilon`) and weighted community
+similarity (:mod:`repro.extensions.weighted`).  They reuse the core
+substrates (encoding, CSF/Hopcroft–Karp matching, event machinery) and
+are exercised by their own tests and benchmarks.
+"""
+
+from .out_of_core import OnDiskCommunity, out_of_core_similarity
+from .vector_epsilon import (
+    VectorEpsilonJoin,
+    vector_epsilon_similarity,
+)
+from .weighted import WeightedCSJResult, weighted_similarity
+
+__all__ = [
+    "VectorEpsilonJoin",
+    "vector_epsilon_similarity",
+    "WeightedCSJResult",
+    "weighted_similarity",
+    "OnDiskCommunity",
+    "out_of_core_similarity",
+]

@@ -1,0 +1,140 @@
+"""Public testing utilities: oracles and validators for CSJ results.
+
+These helpers power the library's own test suite and are exported so
+downstream users can validate the system on *their* data (or validate
+their own CSJ implementations against this one):
+
+* :func:`brute_force_candidate_pairs` — the exhaustive per-dimension
+  epsilon join, the ground truth candidate graph;
+* :func:`maximum_matching_size` — the true CSJ optimum via networkx;
+* :func:`assert_valid_matching` — structural validation of any result;
+* :func:`random_counter_couple` — structured random inputs whose
+  candidate graphs have real matching ambiguity (not just isolated
+  vertices), useful for fuzzing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.errors import ValidationError
+from .core.types import Community, CSJResult
+
+__all__ = [
+    "brute_force_candidate_pairs",
+    "maximum_matching_size",
+    "assert_valid_matching",
+    "validate_result",
+    "random_counter_couple",
+]
+
+
+def brute_force_candidate_pairs(
+    vectors_b: np.ndarray, vectors_a: np.ndarray, epsilon: int
+) -> set[tuple[int, int]]:
+    """All pairs within per-dimension epsilon, by exhaustive check.
+
+    Quadratic — intended for oracle use on small inputs.
+    """
+    pairs = set()
+    for b_index, vector_b in enumerate(np.asarray(vectors_b)):
+        diffs = np.abs(np.asarray(vectors_a) - vector_b)
+        for a_index in np.flatnonzero((diffs <= epsilon).all(axis=1)):
+            pairs.add((int(b_index), int(a_index)))
+    return pairs
+
+
+def maximum_matching_size(pairs: set[tuple[int, int]]) -> int:
+    """Maximum bipartite matching size of a candidate set (networkx)."""
+    import networkx as nx
+
+    if not pairs:
+        return 0
+    graph = nx.Graph()
+    b_nodes = {("b", b) for b, _ in pairs}
+    graph.add_nodes_from(b_nodes, bipartite=0)
+    graph.add_nodes_from({("a", a) for _, a in pairs}, bipartite=1)
+    graph.add_edges_from((("b", b), ("a", a)) for b, a in pairs)
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=b_nodes)
+    return len(matching) // 2
+
+
+def assert_valid_matching(
+    pairs: list[tuple[int, int]],
+    vectors_b: np.ndarray,
+    vectors_a: np.ndarray,
+    epsilon: int,
+) -> None:
+    """Raise AssertionError unless ``pairs`` is a valid CSJ matching."""
+    b_side = [b for b, _ in pairs]
+    a_side = [a for _, a in pairs]
+    assert len(set(b_side)) == len(b_side), "a B user matched twice"
+    assert len(set(a_side)) == len(a_side), "an A user matched twice"
+    for b_index, a_index in pairs:
+        diff = np.abs(
+            np.asarray(vectors_b)[b_index] - np.asarray(vectors_a)[a_index]
+        ).max()
+        assert diff <= epsilon, f"pair ({b_index}, {a_index}) violates epsilon"
+
+
+def validate_result(
+    result: CSJResult, community_b: Community, community_a: Community
+) -> None:
+    """Full validation of a result against its (oriented) inputs.
+
+    Checks one-to-one structure, the per-dimension condition, index
+    bounds and the Eq. (1) bookkeeping.  Raises
+    :class:`~repro.core.errors.ValidationError` on the first violation.
+    """
+    result.check_one_to_one()
+    if result.size_b != community_b.n_users or result.size_a != community_a.n_users:
+        raise ValidationError("result sizes do not match the supplied communities")
+    for pair in result.pairs:
+        if not 0 <= pair.b_index < community_b.n_users:
+            raise ValidationError(f"b index {pair.b_index} out of range")
+        if not 0 <= pair.a_index < community_a.n_users:
+            raise ValidationError(f"a index {pair.a_index} out of range")
+        diff = np.abs(
+            community_b.vectors[pair.b_index] - community_a.vectors[pair.a_index]
+        ).max()
+        if diff > result.epsilon:
+            raise ValidationError(
+                f"pair ({pair.b_index}, {pair.a_index}) violates epsilon "
+                f"{result.epsilon}"
+            )
+    if not 0.0 <= result.similarity <= 1.0:
+        raise ValidationError(f"similarity {result.similarity} outside [0, 1]")
+
+
+def random_counter_couple(
+    seed: int,
+    *,
+    n_b: int = 18,
+    n_a: int = 24,
+    n_dims: int = 6,
+    high: int = 7,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random counter matrices with built-in near-duplicate structure.
+
+    Roughly a third of the rows are near-copies of earlier rows (within
+    one like per dimension), so the epsilon-1 candidate graph contains
+    genuine matching ambiguity — far better fuzzing material than
+    independent uniform rows, which almost never match.
+    """
+    rng = np.random.default_rng(seed)
+
+    def matrix(n: int, seed_rows: np.ndarray | None = None) -> np.ndarray:
+        base = rng.integers(0, high, size=(n, n_dims))
+        for row in range(1, n, 3):
+            if seed_rows is not None and row % 2 == 1:
+                # Cross-side near-copy: creates real B x A candidates.
+                source = seed_rows[rng.integers(0, len(seed_rows))]
+            else:
+                source = base[rng.integers(0, row)]
+            noise = rng.integers(-1, 2, size=n_dims)
+            base[row] = np.maximum(source + noise, 0)
+        return base.astype(np.int64)
+
+    vectors_b = matrix(n_b)
+    vectors_a = matrix(n_a, seed_rows=vectors_b)
+    return vectors_b, vectors_a

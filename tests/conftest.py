@@ -1,0 +1,69 @@
+"""Shared fixtures for the CSJ test suite.
+
+The heavy lifting (oracles, validators, structured random inputs) lives
+in the public :mod:`repro.testing` module so downstream users get the
+same tooling; this conftest only adapts signatures and adds fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import Community
+from repro.testing import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_counter_couple,
+)
+
+__all__ = [
+    "assert_valid_matching",
+    "brute_force_candidate_pairs",
+    "maximum_matching_size",
+    "random_couple",
+    "random_counter_matrix",
+]
+
+
+def random_couple(
+    seed: int, *, n_b: int = 18, n_a: int = 24, d: int = 6, high: int = 7
+) -> tuple[np.ndarray, np.ndarray]:
+    """Structured random couple (wrapper around repro.testing)."""
+    return random_counter_couple(seed, n_b=n_b, n_a=n_a, n_dims=d, high=high)
+
+
+def random_counter_matrix(
+    rng: np.random.Generator, n: int, d: int, high: int
+) -> np.ndarray:
+    """Counters with duplicates: one matrix with near-copy structure."""
+    base = rng.integers(0, high, size=(n, d))
+    for row in range(1, n, 3):
+        source = rng.integers(0, row)
+        noise = rng.integers(-1, 2, size=d)
+        base[row] = np.maximum(base[source] + noise, 0)
+    return base.astype(np.int64)
+
+
+@pytest.fixture
+def small_couple() -> tuple[Community, Community]:
+    """A deterministic small couple with a non-trivial candidate graph."""
+    vectors_b, vectors_a = random_couple(seed=101)
+    return Community("B", vectors_b), Community("A", vectors_a)
+
+
+@pytest.fixture
+def vk_mini_couple() -> tuple[Community, Community]:
+    """A tiny VK-like couple from the real generator."""
+    from repro.datasets import PAPER_COUPLES, VKGenerator, build_couple
+
+    return build_couple(PAPER_COUPLES[0], VKGenerator(seed=5), scale=1 / 1024)
+
+
+@pytest.fixture
+def synthetic_mini_couple() -> tuple[Community, Community]:
+    """A tiny Synthetic couple from the real generator."""
+    from repro.datasets import PAPER_COUPLES, SyntheticGenerator, build_couple
+
+    return build_couple(PAPER_COUPLES[0], SyntheticGenerator(seed=5), scale=1 / 1024)

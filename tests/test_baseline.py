@@ -1,0 +1,145 @@
+"""Tests for Ap-Baseline and Ex-Baseline (repro.algorithms.baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.baseline import ApBaseline, ExBaseline
+from repro.core.errors import ConfigurationError
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_couple,
+)
+
+
+class TestApBaseline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree(self, seed):
+        vectors_b, vectors_a = random_couple(seed)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        python = ApBaseline(1, engine="python").join(b, a)
+        numpy_ = ApBaseline(1, engine="numpy").join(b, a)
+        assert python.pair_tuples() == numpy_.pair_tuples()
+
+    def test_first_fit_semantics(self):
+        # b0 matches a0 and a1; first-fit must take a0, leaving a1 to b1.
+        vectors_b = np.array([[5, 5], [5, 5]])
+        vectors_a = np.array([[5, 5], [5, 6]])
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ApBaseline(1, engine="python").join(b, a)
+        assert result.pair_tuples() == [(0, 0), (1, 1)]
+
+    def test_matching_is_valid(self, small_couple):
+        b, a = small_couple
+        result = ApBaseline(1).join(b, a)
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+
+    def test_no_matches_when_far_apart(self):
+        b = Community("B", np.zeros((4, 3), dtype=np.int64))
+        a = Community("A", np.full((4, 3), 100, dtype=np.int64))
+        result = ApBaseline(1).join(b, a)
+        assert result.n_matched == 0
+        assert result.similarity == 0.0
+
+    def test_identical_communities_fully_match(self):
+        rng = np.random.default_rng(8)
+        vectors = rng.integers(0, 50, size=(12, 5))
+        b = Community("B", vectors)
+        a = Community("A", vectors)
+        result = ApBaseline(0).join(b, a)
+        assert result.similarity == 1.0
+
+    def test_events_counted_in_python_engine(self, small_couple):
+        b, a = small_couple
+        algorithm = ApBaseline(1, engine="python")
+        result = algorithm.join(b, a)
+        assert result.events.match == result.n_matched
+        assert result.events.no_match > 0
+
+    def test_not_exact_flag(self):
+        assert ApBaseline(1).exact is False
+        assert ApBaseline(1).name == "ap-baseline"
+
+
+class TestExBaseline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 50)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        python = ExBaseline(1, engine="python").join(b, a)
+        numpy_ = ExBaseline(1, engine="numpy").join(b, a)
+        assert set(python.pair_tuples()) == set(numpy_.pair_tuples())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hopcroft_karp_matcher_reaches_maximum(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 80)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ExBaseline(1, matcher="hopcroft_karp").join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(vectors_b, vectors_a, 1)
+        )
+        assert result.n_matched == oracle
+
+    def test_csf_close_to_maximum(self, small_couple):
+        b, a = small_couple
+        csf = ExBaseline(1, matcher="csf").join(b, a)
+        optimal = ExBaseline(1, matcher="hopcroft_karp").join(b, a)
+        assert csf.n_matched <= optimal.n_matched
+        assert csf.n_matched >= optimal.n_matched / 2
+
+    def test_matching_is_valid(self, small_couple):
+        b, a = small_couple
+        result = ExBaseline(1).join(b, a)
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+
+    def test_at_least_approximate(self, small_couple):
+        b, a = small_couple
+        exact = ExBaseline(1, matcher="hopcroft_karp").join(b, a)
+        approx = ApBaseline(1).join(b, a)
+        assert exact.n_matched >= approx.n_matched
+
+    def test_block_size_invariance(self, small_couple):
+        b, a = small_couple
+        one = ExBaseline(1, block_size=1).join(b, a)
+        big = ExBaseline(1, block_size=4096).join(b, a)
+        assert set(one.pair_tuples()) == set(big.pair_tuples())
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            ExBaseline(1, block_size=0)
+
+    def test_exact_flag(self):
+        assert ExBaseline(1).exact is True
+        assert ExBaseline(1).name == "ex-baseline"
+
+    def test_empty_candidate_graph(self):
+        b = Community("B", np.zeros((3, 2), dtype=np.int64))
+        a = Community("A", np.full((3, 2), 9, dtype=np.int64))
+        assert ExBaseline(1).join(b, a).n_matched == 0
+
+
+class TestBaselineDriver:
+    def test_result_metadata(self, small_couple):
+        b, a = small_couple
+        result = ExBaseline(1).join(b, a)
+        assert result.size_b == len(b)
+        assert result.size_a == len(a)
+        assert result.epsilon == 1
+        assert result.elapsed_seconds >= 0.0
+        assert not result.swapped
+
+    def test_auto_orientation(self):
+        rng = np.random.default_rng(0)
+        small = Community("small", rng.integers(0, 5, size=(6, 3)))
+        big = Community("big", rng.integers(0, 5, size=(10, 3)))
+        result = ApBaseline(1).join(big, small)
+        assert result.swapped
+        assert result.size_b == 6
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            ApBaseline(1, engine="rust")

@@ -1,0 +1,82 @@
+"""Tests for the Eq. (1) p-factor calibration (repro.analysis.calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import csj_similarity
+from repro.analysis import PCalibration, debias, estimate_p
+from repro.core.errors import ConfigurationError
+from repro.core.types import Community
+from tests.conftest import random_couple
+
+
+def sample_couples(n: int, seed0: int = 700) -> list[tuple[Community, Community]]:
+    couples = []
+    for offset in range(n):
+        vectors_b, vectors_a = random_couple(seed0 + offset)
+        couples.append((Community("B", vectors_b), Community("A", vectors_a)))
+    return couples
+
+
+class TestEstimateP:
+    def test_p_in_unit_interval(self):
+        calibration = estimate_p("ap-minmax", sample_couples(5), epsilon=1)
+        assert 0.0 < calibration.p <= 1.0
+        assert calibration.n_samples == 5
+
+    def test_exact_method_calibrates_to_one(self):
+        # Calibrating Ex-MinMax+HK against itself must give exactly 1.
+        calibration = estimate_p(
+            "ex-minmax", sample_couples(4), epsilon=1, matcher="hopcroft_karp"
+        )
+        assert calibration.p == pytest.approx(1.0)
+
+    def test_ratios_bounded_by_one(self):
+        calibration = estimate_p("ap-baseline", sample_couples(6), epsilon=1)
+        assert all(0.0 <= ratio <= 1.0 for ratio in calibration.sample_ratios)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            estimate_p("ap-minmax", [], epsilon=1)
+
+    def test_spread_zero_for_single_sample(self):
+        calibration = estimate_p("ap-minmax", sample_couples(1), epsilon=1)
+        assert calibration.spread == 0.0
+
+    def test_zero_match_couples_count_as_recovered(self):
+        far_b = Community("B", np.zeros((5, 3), dtype=np.int64))
+        far_a = Community("A", np.full((5, 3), 1000, dtype=np.int64))
+        calibration = estimate_p("ap-minmax", [(far_b, far_a)], epsilon=1)
+        assert calibration.p == 1.0
+
+
+class TestDebias:
+    def test_debias_scales_up(self):
+        couples = sample_couples(3)
+        calibration = estimate_p("ap-minmax", couples, epsilon=1)
+        result = csj_similarity(*couples[0], epsilon=1, method="ap-minmax")
+        corrected = debias(result, calibration)
+        assert corrected >= result.similarity
+        assert corrected <= 1.0
+
+    def test_method_mismatch_rejected(self):
+        couples = sample_couples(2)
+        calibration = estimate_p("ap-minmax", couples, epsilon=1)
+        result = csj_similarity(*couples[0], epsilon=1, method="ap-baseline")
+        with pytest.raises(ConfigurationError, match="calibration is for"):
+            debias(result, calibration)
+
+    def test_invalid_p_rejected(self):
+        couples = sample_couples(1)
+        result = csj_similarity(*couples[0], epsilon=1, method="ap-minmax")
+        broken = PCalibration(
+            method="ap-minmax",
+            reference_method="ex-minmax",
+            epsilon=1,
+            p=0.0,
+            sample_ratios=(0.0,),
+        )
+        with pytest.raises(ConfigurationError, match="positive"):
+            debias(result, broken)

@@ -1,0 +1,100 @@
+"""Tests for the community catalog (repro.datasets.catalog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.types import Community
+from repro.datasets.catalog import CommunityCatalog
+
+
+def make_community(name: str, seed: int, n: int = 20) -> Community:
+    rng = np.random.default_rng(seed)
+    return Community(name, rng.integers(0, 20, size=(n, 4)), "Sport")
+
+
+@pytest.fixture
+def catalog(tmp_path) -> CommunityCatalog:
+    return CommunityCatalog(tmp_path / "catalog")
+
+
+class TestRegistry:
+    def test_register_and_get(self, catalog):
+        community = make_community("Nike", 1)
+        catalog.register("nike", community)
+        loaded = catalog.get("nike")
+        assert loaded.name == "Nike"
+        assert np.array_equal(loaded.vectors, community.vectors)
+
+    def test_keys_sorted(self, catalog):
+        catalog.register("b", make_community("B", 1))
+        catalog.register("a", make_community("A", 2))
+        assert catalog.keys() == ["a", "b"]
+
+    def test_get_unknown(self, catalog):
+        with pytest.raises(ValidationError, match="registered"):
+            catalog.get("ghost")
+
+    def test_remove(self, catalog):
+        catalog.register("x", make_community("X", 3))
+        catalog.remove("x")
+        assert catalog.keys() == []
+        with pytest.raises(ValidationError):
+            catalog.remove("x")
+
+    def test_invalid_key(self, catalog):
+        with pytest.raises(ValidationError, match="invalid catalog key"):
+            catalog.register("../escape", make_community("X", 4))
+
+    def test_replace_overwrites(self, catalog):
+        catalog.register("k", make_community("Old", 5))
+        catalog.register("k", make_community("New", 6))
+        assert catalog.get("k").name == "New"
+
+
+class TestSimilarityCache:
+    def test_first_call_computes_second_hits_cache(self, catalog):
+        base = make_community("Base", 7)
+        twin = Community("Twin", base.vectors, "Sport")
+        catalog.register("base", base)
+        catalog.register("twin", twin)
+        first = catalog.similarity("base", "twin", epsilon=1)
+        second = catalog.similarity("base", "twin", epsilon=1)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.similarity == first.similarity == pytest.approx(1.0)
+
+    def test_cache_persists_across_instances(self, tmp_path):
+        catalog = CommunityCatalog(tmp_path / "c")
+        catalog.register("a", make_community("A", 8))
+        catalog.register("b", make_community("B", 8))
+        catalog.similarity("a", "b", epsilon=1)
+        reopened = CommunityCatalog(tmp_path / "c")
+        assert reopened.cache_size() == 1
+        assert reopened.similarity("a", "b", epsilon=1).from_cache
+
+    def test_reregistration_invalidates(self, catalog):
+        catalog.register("a", make_community("A", 9))
+        catalog.register("b", make_community("B", 9))
+        catalog.similarity("a", "b", epsilon=1)
+        catalog.register("a", make_community("A", 10))
+        refreshed = catalog.similarity("a", "b", epsilon=1)
+        assert not refreshed.from_cache
+
+    def test_distinct_parameters_distinct_entries(self, catalog):
+        catalog.register("a", make_community("A", 11))
+        catalog.register("b", make_community("B", 11))
+        catalog.similarity("a", "b", epsilon=1)
+        catalog.similarity("a", "b", epsilon=2)
+        catalog.similarity("a", "b", epsilon=1, method="ap-minmax")
+        assert catalog.cache_size() == 3
+
+    def test_clear_cache(self, catalog):
+        catalog.register("a", make_community("A", 12))
+        catalog.register("b", make_community("B", 12))
+        catalog.similarity("a", "b", epsilon=1)
+        catalog.clear_cache()
+        assert catalog.cache_size() == 0
+        assert not catalog.similarity("a", "b", epsilon=1).from_cache

@@ -1,0 +1,100 @@
+"""Tests for the SVG chart writer (repro.analysis.charts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import Series, bar_chart, line_chart, save_chart
+from repro.core.errors import ConfigurationError
+
+
+class TestSeries:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Series("x", ())
+
+
+class TestLineChart:
+    def make(self):
+        return line_chart(
+            [
+                Series("ex-minmax", ((1.0, 0.1), (2.0, 0.3), (4.0, 1.2))),
+                Series("ex-baseline", ((1.0, 0.2), (2.0, 0.9), (4.0, 3.8))),
+            ],
+            title="runtime vs size",
+            x_label="size",
+            y_label="seconds",
+        )
+
+    def test_is_valid_svg(self):
+        svg = self.make()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_contains_series_and_labels(self):
+        svg = self.make()
+        assert "ex-minmax" in svg
+        assert "runtime vs size" in svg
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ElementTree
+
+        ElementTree.fromstring(self.make())
+
+    def test_single_point_series(self):
+        svg = line_chart([Series("dot", ((1.0, 1.0),))])
+        assert "<circle" in svg
+
+    def test_requires_series(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([])
+
+
+class TestBarChart:
+    def test_bars_and_labels(self):
+        svg = bar_chart(
+            ["csf", "hk"], [10.0, 12.0], title="matched", y_label="pairs"
+        )
+        assert svg.count("<rect") >= 3  # background + 2 bars
+        assert "csf" in svg
+        assert "matched" in svg
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ElementTree
+
+        ElementTree.fromstring(bar_chart(["a"], [1.0]))
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a", "b"], [1.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+
+
+class TestSaveChart:
+    def test_save_normalises_suffix(self, tmp_path):
+        path = save_chart(tmp_path / "chart.txt", bar_chart(["a"], [1.0]))
+        assert path.suffix == ".svg"
+        assert path.read_text().startswith("<svg")
+
+    def test_round_trip_with_sweep(self, tmp_path):
+        from repro.analysis.charts import Series
+        from repro.analysis.sweeps import epsilon_sweep
+        from repro.core.types import Community
+        from tests.conftest import random_couple
+
+        vectors_b, vectors_a = random_couple(21)
+        points = epsilon_sweep(
+            Community("B", vectors_b),
+            Community("A", vectors_a),
+            epsilons=[0, 1, 2],
+        )
+        series = Series(
+            "similarity",
+            tuple((p.parameter, p.similarity_percent) for p in points),
+        )
+        path = save_chart(tmp_path / "sweep", line_chart([series]))
+        assert path.exists()

@@ -1,0 +1,182 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--scale", "0.0005"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_commands_exist(self):
+        parser = build_parser()
+        for table in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11):
+            args = parser.parse_args(
+                [f"table{table}"]
+                + ([] if table in (1, 2) else ["--scale", "0.001"])
+            )
+            assert args.command == f"table{table}"
+
+    def test_couple_requires_cid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["couple"])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1", "--users", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Entertainment" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Quick Recipes" in capsys.readouterr().out
+
+    def test_method_table(self, capsys):
+        assert main(["table4", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Ex-MinMax" in out
+
+    def test_method_table_reference_mode(self, capsys):
+        assert main(["table3", *TINY, "--reference"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+
+    def test_synthetic_table(self, capsys):
+        assert main(["table8", *TINY]) == 0
+        assert "SYNTHETIC" in capsys.readouterr().out
+
+    def test_table11(self, capsys):
+        assert (
+            main(
+                [
+                    "table11",
+                    *TINY,
+                    "--categories",
+                    "Job_search",
+                    "--steps",
+                    "1",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table 11" in out
+        assert "Job_search" in out
+
+    def test_couple(self, capsys):
+        assert main(["couple", "--cid", "1", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "cID 1" in out
+        assert "ex-minmax" in out
+
+    def test_sweep(self, capsys):
+        assert (
+            main(["sweep", "--cid", "1", "--scale", "0.001", "--epsilons", "0", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert "cID 1" in out
+
+    def test_events(self, capsys):
+        assert main(["events", "--cid", "1", "--scale", "0.0006"]) == 0
+        out = capsys.readouterr().out
+        assert "MIN PRUNE" in out
+        assert "Ap-MinMax" in out
+
+    def test_experiments(self, tmp_path, capsys):
+        output = tmp_path / "EXPERIMENTS.md"
+        assert (
+            main(
+                [
+                    "experiments",
+                    "--scale",
+                    "0.0005",
+                    "--users",
+                    "400",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Table 11" in text
+        assert "Figure 1" in text
+
+    def test_manifest_build_and_verify(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "manifest",
+                    "build",
+                    str(path),
+                    "--scale",
+                    "0.0004",
+                    "--couples",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        assert main(["manifest", "verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_manifest_verify_detects_tampering(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "manifest.json"
+        main(["manifest", "build", str(path), "--scale", "0.0004", "--couples", "1"])
+        payload = json.loads(path.read_text())
+        payload["couples"][0]["digest_b"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert main(["manifest", "verify", str(path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_couple_hybrid_method(self, capsys):
+        assert (
+            main(
+                ["couple", "--cid", "1", "--method", "ex-hybrid", "--scale", "0.001"]
+            )
+            == 0
+        )
+        assert "ex-hybrid" in capsys.readouterr().out
+
+    def test_doctor(self, capsys):
+        assert main(["doctor", "--cid", "1", "--scale", "0.0006"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+        assert "[PASS]" in out
+
+    def test_couple_synthetic(self, capsys):
+        assert (
+            main(
+                [
+                    "couple",
+                    "--cid",
+                    "10",
+                    "--dataset",
+                    "synthetic",
+                    "--scale",
+                    "0.001",
+                    "--method",
+                    "ap-minmax",
+                ]
+            )
+            == 0
+        )
+        assert "ap-minmax" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Tests for config-driven experiments (repro.analysis.config)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.config import CUSTOM_TABLE, ExperimentConfig, run_experiment
+from repro.analysis.tables import render_method_table
+from repro.core.errors import ConfigurationError, ValidationError
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig(name="x")
+        assert config.dataset == "vk"
+        assert config.resolved_epsilon == 1
+        assert config.methods == ("ex-minmax",)
+        assert len(config.couple_specs()) == 10
+
+    def test_epsilon_override(self):
+        config = ExperimentConfig(name="x", epsilon=5)
+        assert config.resolved_epsilon == 5
+
+    def test_synthetic_default_epsilon(self):
+        config = ExperimentConfig(name="x", dataset="synthetic")
+        assert config.resolved_epsilon == 15000
+
+    def test_couple_specs_follow_selection(self):
+        config = ExperimentConfig(name="x", couples=(13, 2))
+        assert [spec.c_id for spec in config.couple_specs()] == [13, 2]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "x", "dataset": "csv"},
+            {"name": "x", "scale": 0},
+            {"name": "x", "methods": ()},
+            {"name": "x", "methods": ("quantum-join",)},
+            {"name": "x", "couples": (99,)},
+            {"name": "x", "couples": ()},
+            {"name": "x", "engine": "rust"},
+            {"name": "x", "method_options": {"ex-superego": {}}},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown configuration keys"):
+            ExperimentConfig.from_dict({"name": "x", "workers": 4})
+
+    def test_from_dict_normalises_sequences(self):
+        config = ExperimentConfig.from_dict(
+            {"name": "x", "methods": ["ap-minmax"], "couples": [1, 2]}
+        )
+        assert config.methods == ("ap-minmax",)
+        assert config.couples == (1, 2)
+
+    def test_from_json(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({"name": "from-file", "couples": [1]}))
+        config = ExperimentConfig.from_json(path)
+        assert config.name == "from-file"
+
+    def test_from_json_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such config"):
+            ExperimentConfig.from_json(tmp_path / "ghost.json")
+
+    def test_from_json_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            ExperimentConfig.from_json(path)
+
+    def test_from_json_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValidationError, match="JSON object"):
+            ExperimentConfig.from_json(path)
+
+
+class TestRunExperiment:
+    def test_run_and_render(self):
+        config = ExperimentConfig(
+            name="mini",
+            scale=1 / 2048,
+            methods=("ap-minmax", "ex-minmax"),
+            couples=(1, 3),
+        )
+        run = run_experiment(config)
+        assert run.table == CUSTOM_TABLE
+        assert len(run.rows) == 2
+        assert run.methods == ("ap-minmax", "ex-minmax")
+        rendered = render_method_table(run)
+        assert "Custom experiment" in rendered
+        assert "CSJ methods" in rendered
+
+    def test_method_options_forwarded(self):
+        config = ExperimentConfig(
+            name="opts",
+            scale=1 / 2048,
+            methods=("ex-minmax",),
+            couples=(1,),
+            method_options={"ex-minmax": {"matcher": "hopcroft_karp"}},
+        )
+        run = run_experiment(config)
+        assert run.rows[0].results["ex-minmax"].n_matched >= 0
+
+    def test_results_persist_round_trip(self, tmp_path):
+        from repro.analysis.results_io import load_table_run, save_table_run
+
+        config = ExperimentConfig(
+            name="persist", scale=1 / 2048, couples=(1,), methods=("ex-minmax",)
+        )
+        run = run_experiment(config)
+        path = save_table_run(tmp_path / "run.json", run)
+        restored = load_table_run(path)
+        assert restored.table == CUSTOM_TABLE
+        assert restored.rows[0].results["ex-minmax"].n_matched == (
+            run.rows[0].results["ex-minmax"].n_matched
+        )
+
+    def test_cli_run_config(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config_path = tmp_path / "config.json"
+        config_path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-test",
+                    "scale": 0.0005,
+                    "methods": ["ex-minmax"],
+                    "couples": [1],
+                }
+            )
+        )
+        save_path = tmp_path / "out.json"
+        assert main(["run-config", str(config_path), "--save", str(save_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert save_path.exists()

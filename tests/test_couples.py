@@ -1,0 +1,142 @@
+"""Tests for the couple registry and couple construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datasets import (
+    DIFFERENT_CATEGORY_COUPLES,
+    PAPER_COUPLES,
+    SAME_CATEGORY_COUPLES,
+    SCALABILITY_SIZES,
+    SyntheticGenerator,
+    VKGenerator,
+    build_couple,
+    couples_for_table,
+    scale_size,
+)
+
+
+class TestCoupleRegistry:
+    def test_twenty_couples(self):
+        assert len(PAPER_COUPLES) == 20
+        assert [spec.c_id for spec in PAPER_COUPLES] == list(range(1, 21))
+
+    def test_split_matches_case_studies(self):
+        assert len(DIFFERENT_CATEGORY_COUPLES) == 10
+        assert len(SAME_CATEGORY_COUPLES) == 10
+        assert all(not spec.same_category for spec in DIFFERENT_CATEGORY_COUPLES)
+        assert all(spec.same_category for spec in SAME_CATEGORY_COUPLES)
+
+    def test_size_convention_b_not_larger(self):
+        assert all(spec.size_b <= spec.size_a for spec in PAPER_COUPLES)
+
+    def test_size_ratio_rule_holds_at_paper_scale(self):
+        for spec in PAPER_COUPLES:
+            assert spec.size_b >= math.ceil(spec.size_a / 2)
+
+    def test_vk_target_bands(self):
+        # Tables 4/6: >= 15% for different, >= 30% for same categories.
+        for spec in DIFFERENT_CATEGORY_COUPLES:
+            assert spec.target_similarity_vk >= 0.15
+        for spec in SAME_CATEGORY_COUPLES:
+            assert spec.target_similarity_vk >= 0.30
+
+    def test_synthetic_edge_case_cid10(self):
+        # Table 8 footnote: cID 10 drops below 15% on Synthetic.
+        spec = next(s for s in PAPER_COUPLES if s.c_id == 10)
+        assert spec.target_similarity_synthetic < 0.15
+
+    def test_known_metadata_sample(self):
+        spec = PAPER_COUPLES[0]
+        assert spec.name_b == "Quick Recipes"
+        assert spec.page_id_a == 94216909
+        assert spec.category_a == "Food_recipes"
+        assert spec.size_b == 109_176
+
+    def test_couples_for_table(self):
+        assert couples_for_table(3) == DIFFERENT_CATEGORY_COUPLES
+        assert couples_for_table(6) == SAME_CATEGORY_COUPLES
+        assert couples_for_table(9) == SAME_CATEGORY_COUPLES
+        with pytest.raises(ConfigurationError):
+            couples_for_table(11)
+
+    def test_scalability_sizes_cover_20_categories(self):
+        assert len(SCALABILITY_SIZES) == 20
+        for sizes in SCALABILITY_SIZES.values():
+            assert list(sizes) == sorted(sizes)
+
+
+class TestScaleSize:
+    def test_linear_scaling(self):
+        assert scale_size(128_000, 1 / 64) == 2000
+
+    def test_floor_applies(self):
+        assert scale_size(100, 0.0001) == 40
+
+    def test_identity_scale(self):
+        assert scale_size(12345, 1.0) == 12345
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            scale_size(100, 0)
+
+
+class TestBuildCouple:
+    @pytest.mark.parametrize("generator_cls", [VKGenerator, SyntheticGenerator])
+    def test_build_shapes_and_metadata(self, generator_cls):
+        spec = PAPER_COUPLES[0]
+        community_b, community_a = build_couple(
+            spec, generator_cls(seed=1), scale=1 / 512
+        )
+        assert community_b.name == spec.name_b
+        assert community_a.page_id == spec.page_id_a
+        assert community_b.n_dims == 27
+        assert len(community_b) == scale_size(spec.size_b, 1 / 512)
+        assert len(community_b) <= len(community_a)
+
+    def test_reproducible(self):
+        spec = PAPER_COUPLES[4]
+        import numpy as np
+
+        first = build_couple(spec, VKGenerator(seed=3), scale=1 / 512)
+        second = build_couple(spec, VKGenerator(seed=3), scale=1 / 512)
+        assert np.array_equal(first[0].vectors, second[0].vectors)
+        assert np.array_equal(first[1].vectors, second[1].vectors)
+
+    def test_different_couples_decorrelated(self):
+        import numpy as np
+
+        generator = VKGenerator(seed=3)
+        first = build_couple(PAPER_COUPLES[0], generator, scale=1 / 512)
+        second = build_couple(PAPER_COUPLES[1], generator, scale=1 / 512)
+        assert first[0].vectors.shape != second[0].vectors.shape or not np.array_equal(
+            first[0].vectors, second[0].vectors
+        )
+
+    @pytest.mark.parametrize("c_id", [1, 11])
+    def test_engineered_similarity_near_target_vk(self, c_id):
+        from repro import csj_similarity
+
+        spec = next(s for s in PAPER_COUPLES if s.c_id == c_id)
+        community_b, community_a = build_couple(spec, VKGenerator(seed=7), scale=1 / 128)
+        result = csj_similarity(community_b, community_a, epsilon=1, method="ex-minmax")
+        assert result.similarity == pytest.approx(spec.target_similarity_vk, abs=0.04)
+
+    @pytest.mark.parametrize("c_id", [10, 13])
+    def test_engineered_similarity_near_target_synthetic(self, c_id):
+        from repro import csj_similarity
+
+        spec = next(s for s in PAPER_COUPLES if s.c_id == c_id)
+        community_b, community_a = build_couple(
+            spec, SyntheticGenerator(seed=7), scale=1 / 128
+        )
+        result = csj_similarity(
+            community_b, community_a, epsilon=15000, method="ex-minmax"
+        )
+        assert result.similarity == pytest.approx(
+            spec.target_similarity_synthetic, abs=0.04
+        )

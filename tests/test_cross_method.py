@@ -1,0 +1,133 @@
+"""Cross-method invariants over all six CSJ solutions.
+
+These tests encode the relationships the paper's tables exhibit:
+Ex-Baseline and Ex-MinMax always agree; approximate methods never beat
+the exact maximum; SuperEGO in normalised mode never beats the true
+exact methods; every engine pair returns the same matching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ALL_METHODS, csj_similarity, get_algorithm
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_couple,
+)
+
+
+def couple(seed: int) -> tuple[Community, Community]:
+    vectors_b, vectors_a = random_couple(seed)
+    return Community("B", vectors_b), Community("A", vectors_a)
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_valid_one_to_one_matchings(self, method, seed):
+        b, a = couple(seed)
+        result = csj_similarity(b, a, epsilon=1, method=method)
+        result.check_one_to_one()
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+        assert 0.0 <= result.similarity <= 1.0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_engines_agree(self, method, seed):
+        b, a = couple(seed)
+        python = csj_similarity(b, a, epsilon=1, method=method, engine="python")
+        numpy_ = csj_similarity(b, a, epsilon=1, method=method, engine="numpy")
+        assert set(python.pair_tuples()) == set(numpy_.pair_tuples())
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_bounded_by_maximum_matching(self, method):
+        b, a = couple(17)
+        result = csj_similarity(b, a, epsilon=1, method=method)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(b.vectors, a.vectors, 1)
+        )
+        assert result.n_matched <= oracle
+
+
+class TestExactMethodAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ex_baseline_equals_ex_minmax(self, seed):
+        b, a = couple(seed + 200)
+        baseline = csj_similarity(b, a, epsilon=1, method="ex-baseline")
+        minmax = csj_similarity(b, a, epsilon=1, method="ex-minmax")
+        assert set(baseline.pair_tuples()) == set(minmax.pair_tuples())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_exact_agree_with_hopcroft_karp(self, seed):
+        b, a = couple(seed + 300)
+        counts = set()
+        for method in ("ex-baseline", "ex-minmax"):
+            result = csj_similarity(
+                b, a, epsilon=1, method=method, matcher="hopcroft_karp"
+            )
+            counts.add(result.n_matched)
+        superego = get_algorithm(
+            "ex-superego", 1, matcher="hopcroft_karp", use_normalized=False, t=4
+        ).join(b, a)
+        counts.add(superego.n_matched)
+        assert len(counts) == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_dominates_approximate(self, seed):
+        b, a = couple(seed + 400)
+        exact = csj_similarity(
+            b, a, epsilon=1, method="ex-minmax", matcher="hopcroft_karp"
+        )
+        for method in ("ap-baseline", "ap-minmax"):
+            approx = csj_similarity(b, a, epsilon=1, method=method)
+            assert approx.n_matched <= exact.n_matched
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_normalized_superego_never_beats_exact(self, seed):
+        b, a = couple(seed + 500)
+        exact = csj_similarity(
+            b, a, epsilon=1, method="ex-minmax", matcher="hopcroft_karp"
+        )
+        for method in ("ap-superego", "ex-superego"):
+            superego = get_algorithm(method, 1, t=4).join(b, a)
+            assert superego.n_matched <= exact.n_matched
+
+
+class TestRealisticGenerators:
+    def test_vk_couple_shape(self, vk_mini_couple):
+        b, a = vk_mini_couple
+        exact = csj_similarity(b, a, epsilon=1, method="ex-minmax")
+        approx = csj_similarity(b, a, epsilon=1, method="ap-minmax")
+        superego = csj_similarity(b, a, epsilon=1, method="ex-superego")
+        baseline = csj_similarity(b, a, epsilon=1, method="ex-baseline")
+        assert exact.n_matched == baseline.n_matched
+        assert approx.n_matched <= exact.n_matched
+        assert superego.n_matched <= exact.n_matched
+        # Engineered overlap (20.81%) must land within a loose band.
+        assert 0.12 <= exact.similarity <= 0.30
+
+    def test_synthetic_couple_exact_methods_identical(self, synthetic_mini_couple):
+        b, a = synthetic_mini_couple
+        results = {
+            method: csj_similarity(b, a, epsilon=15000, method=method)
+            for method in ("ex-baseline", "ex-minmax", "ex-superego")
+        }
+        counts = {result.n_matched for result in results.values()}
+        # Table 8 shape: zero SuperEGO loss on the Synthetic dataset.
+        assert len(counts) == 1
+
+    def test_epsilon_zero_still_works(self, vk_mini_couple):
+        b, a = vk_mini_couple
+        for method in ALL_METHODS:
+            result = csj_similarity(b, a, epsilon=0, method=method)
+            assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 0)
+
+    def test_large_epsilon_full_similarity(self, vk_mini_couple):
+        b, a = vk_mini_couple
+        huge = int(max(b.vectors.max(), a.vectors.max()))
+        result = csj_similarity(b, a, epsilon=huge, method="ex-minmax")
+        assert result.similarity == 1.0

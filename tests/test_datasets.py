@@ -1,0 +1,326 @@
+"""Tests for the dataset substrates (categories, generators, clusters,
+stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datasets import (
+    CATEGORIES,
+    N_CATEGORIES,
+    SYNTHETIC_EPSILON,
+    SYNTHETIC_RANKING,
+    SYNTHETIC_TOTAL_LIKES,
+    VK_EPSILON,
+    VK_TOTAL_LIKES,
+    SyntheticGenerator,
+    VKGenerator,
+    category_index,
+    category_totals,
+    max_likes_per_dimension,
+    ranking,
+)
+from repro.datasets.clusters import build_couple_vectors
+
+
+class TestCategories:
+    def test_twenty_seven_categories(self):
+        assert N_CATEGORIES == 27
+        assert len(CATEGORIES) == 27
+        assert len(set(CATEGORIES)) == 27
+
+    def test_vk_totals_are_rank_ordered(self):
+        totals = list(VK_TOTAL_LIKES.values())
+        assert totals == sorted(totals, reverse=True)
+
+    def test_entertainment_is_rank_one(self):
+        assert CATEGORIES[0] == "Entertainment"
+        assert CATEGORIES[-1] == "Communication_Services"
+
+    def test_synthetic_ranking_is_permutation(self):
+        assert sorted(SYNTHETIC_RANKING) == sorted(CATEGORIES)
+
+    def test_synthetic_totals_follow_ranking(self):
+        totals = [SYNTHETIC_TOTAL_LIKES[name] for name in SYNTHETIC_RANKING]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_category_index(self):
+        assert category_index("Entertainment") == 0
+        assert category_index("Sport") == CATEGORIES.index("Sport")
+
+    def test_category_index_unknown(self):
+        with pytest.raises(KeyError):
+            category_index("Quantum_physics")
+
+    def test_paper_epsilons(self):
+        assert VK_EPSILON == 1
+        assert SYNTHETIC_EPSILON == 15_000
+
+
+class TestVKGenerator:
+    def test_user_shape_and_dtype(self):
+        users = VKGenerator(seed=1).sample_users(50)
+        assert users.shape == (50, 27)
+        assert users.dtype == np.int64
+        assert (users >= 0).all()
+
+    def test_reproducible(self):
+        first = VKGenerator(seed=9).sample_users(30)
+        second = VKGenerator(seed=9).sample_users(30)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = VKGenerator(seed=1).sample_users(30)
+        second = VKGenerator(seed=2).sample_users(30)
+        assert not np.array_equal(first, second)
+
+    def test_minimum_activity_respected(self):
+        generator = VKGenerator(seed=3, min_activity=80)
+        users = generator.sample_users(100)
+        assert (users.sum(axis=1) >= 80).all()
+
+    def test_focus_tilts_profiles(self):
+        generator = VKGenerator(seed=4)
+        sport = generator.sample_users(300, focus=("Sport",))
+        neutral = generator.sample_users(300)
+        sport_share = sport[:, category_index("Sport")].sum() / sport.sum()
+        neutral_share = neutral[:, category_index("Sport")].sum() / neutral.sum()
+        assert sport_share > 2 * neutral_share
+
+    def test_population_skew_matches_table1_head(self):
+        population = VKGenerator(seed=7).sample_population(4000)
+        ranks = ranking(population)
+        # The heavy head of Table 1 must dominate.
+        assert ranks[0].category == "Entertainment"
+        top5 = {entry.category for entry in ranks[:5]}
+        assert "Hobbies" in top5
+
+    def test_zero_users(self):
+        assert VKGenerator(seed=1).sample_users(0).shape == (0, 27)
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VKGenerator(seed=1).sample_users(-1)
+
+    def test_invalid_noise_probability(self):
+        with pytest.raises(ConfigurationError):
+            VKGenerator(seed=1, noise_probability=0.9)
+
+    def test_make_community(self):
+        community = VKGenerator(seed=1).make_community("Nike", "Sport", 40, page_id=99)
+        assert community.n_users == 40
+        assert community.category == "Sport"
+        assert community.page_id == 99
+
+
+class TestPopulationCoupleMode:
+    def test_shapes_and_metadata(self):
+        generator = VKGenerator(seed=3)
+        community_b, community_a = generator.make_population_couple(
+            population_size=800,
+            size_b=100,
+            size_a=150,
+            category_b="Sport",
+            category_a="Hobbies",
+        )
+        assert len(community_b) == 100
+        assert len(community_a) == 150
+        assert community_b.category == "Sport"
+        assert "population" in community_a.name
+
+    def test_zero_drift_co_subscribers_fully_match(self):
+        from repro import csj_similarity
+
+        generator = VKGenerator(seed=5)
+        community_b, community_a = generator.make_population_couple(
+            population_size=600,
+            size_b=100,
+            size_a=120,
+            category_b="Sport",
+            category_a="Sport",
+            drift=0,
+        )
+        # With zero drift, co-subscribers are byte-identical rows, so
+        # the matching covers at least the raw intersection.
+        rows_b = {tuple(row) for row in community_b.vectors}
+        rows_a = {tuple(row) for row in community_a.vectors}
+        intersection = len(rows_b & rows_a)
+        result = csj_similarity(community_b, community_a, epsilon=0)
+        assert result.n_matched >= intersection * 0.9
+
+    def test_same_category_overlaps_more_than_different(self):
+        from repro import csj_similarity
+
+        generator = VKGenerator(seed=7)
+        same = generator.make_population_couple(
+            population_size=1500,
+            size_b=250,
+            size_a=320,
+            category_b="Sport",
+            category_a="Sport",
+            drift=1,
+            seed_key="same",
+        )
+        different = generator.make_population_couple(
+            population_size=1500,
+            size_b=250,
+            size_a=320,
+            category_b="Sport",
+            category_a="Restaurants",
+            drift=1,
+            seed_key="diff",
+        )
+        same_similarity = csj_similarity(*same, epsilon=1).similarity
+        different_similarity = csj_similarity(*different, epsilon=1).similarity
+        assert same_similarity > different_similarity
+
+    def test_reproducible(self):
+        kwargs = dict(
+            population_size=500,
+            size_b=80,
+            size_a=100,
+            category_b="Music",
+            category_a="Celebrity",
+            drift=1,
+        )
+        first = VKGenerator(seed=9).make_population_couple(**kwargs)
+        second = VKGenerator(seed=9).make_population_couple(**kwargs)
+        assert np.array_equal(first[0].vectors, second[0].vectors)
+        assert np.array_equal(first[1].vectors, second[1].vectors)
+
+    def test_invalid_sizes(self):
+        generator = VKGenerator(seed=1)
+        with pytest.raises(ConfigurationError):
+            generator.make_population_couple(
+                population_size=50,
+                size_b=40,
+                size_a=60,
+                category_b="Sport",
+                category_a="Sport",
+            )
+        with pytest.raises(ConfigurationError):
+            generator.make_population_couple(
+                population_size=500,
+                size_b=100,
+                size_a=80,
+                category_b="Sport",
+                category_a="Sport",
+            )
+
+
+class TestSyntheticGenerator:
+    def test_user_shape_and_range(self):
+        generator = SyntheticGenerator(seed=1)
+        users = generator.sample_users(100)
+        assert users.shape == (100, 27)
+        assert users.min() >= 0
+        # Per-category ranges scale around 500000 by about +-12%.
+        assert users.max() <= int(500_000 * 1.25)
+
+    def test_reproducible(self):
+        first = SyntheticGenerator(seed=5).sample_users(30)
+        second = SyntheticGenerator(seed=5).sample_users(30)
+        assert np.array_equal(first, second)
+
+    def test_population_is_near_uniform(self):
+        population = SyntheticGenerator(seed=7).sample_population(4000)
+        totals = np.array(list(category_totals(population).values()), dtype=float)
+        spread = totals.max() / totals.min()
+        # Far flatter than VK's ~4450x skew.
+        assert spread < 2.0
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticGenerator(seed=1, epsilon=10**9)
+
+    def test_couple_cluster_noise_within_epsilon(self):
+        generator = SyntheticGenerator(seed=11)
+        built = generator.make_couple_vectors(
+            size_b=80, size_a=100, overlap_fraction=1.0
+        )
+        # Full overlap: the exact similarity must be (near) 1 because
+        # every same-cluster pair stays within epsilon per dimension.
+        from repro import Community, csj_similarity
+
+        result = csj_similarity(
+            Community("B", built.vectors_b),
+            Community("A", built.vectors_a),
+            epsilon=SYNTHETIC_EPSILON,
+            method="ex-minmax",
+            matcher="hopcroft_karp",
+        )
+        assert result.similarity >= 0.95
+
+
+class TestClusterBuilder:
+    def make(self, overlap: float, seed: int = 0, size_b: int = 60, size_a: int = 80):
+        rng = np.random.default_rng(seed)
+
+        def archetypes(n: int) -> np.ndarray:
+            return rng.integers(0, 1000, size=(n, 5), dtype=np.int64)
+
+        def noise(rows: np.ndarray) -> np.ndarray:
+            return rows.copy()
+
+        return build_couple_vectors(
+            rng,
+            size_b=size_b,
+            size_a=size_a,
+            overlap_fraction=overlap,
+            shared_archetypes=archetypes,
+            fresh_archetypes_b=archetypes,
+            fresh_archetypes_a=archetypes,
+            noise=noise,
+        )
+
+    def test_sizes_exact(self):
+        built = self.make(0.3)
+        assert built.vectors_b.shape == (60, 5)
+        assert built.vectors_a.shape == (80, 5)
+
+    def test_shared_counts_track_overlap(self):
+        built = self.make(0.25)
+        assert built.n_shared_b == 15
+        assert built.n_shared_b <= built.n_shared_a <= 80
+
+    def test_zero_overlap(self):
+        built = self.make(0.0)
+        assert built.n_shared_b == 0
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(1.5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(0.2, size_b=50, size_a=40)
+
+
+class TestStats:
+    def test_category_totals(self):
+        vectors = np.array([[1, 2, 3], [4, 5, 6]])
+        totals = category_totals(vectors)
+        assert totals[CATEGORIES[0]] == 5
+        assert totals[CATEGORIES[2]] == 9
+
+    def test_ranking_descending_with_tie_break(self):
+        vectors = np.array([[5, 9, 5]])
+        ranks = ranking(vectors)
+        assert ranks[0].category == CATEGORIES[1]
+        assert ranks[0].rank == 1
+        # Ties broken alphabetically for determinism.
+        tied = sorted([ranks[1].category, ranks[2].category])
+        assert [ranks[1].category, ranks[2].category] == tied
+
+    def test_max_likes_per_dimension(self):
+        assert max_likes_per_dimension(np.array([[3, 7], [5, 2]])) == 7
+
+    def test_rejects_bad_shapes(self):
+        from repro.core.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            category_totals(np.arange(5))
+        with pytest.raises(ValidationError):
+            category_totals(np.zeros((2, 50)))

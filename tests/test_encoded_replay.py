@@ -1,0 +1,153 @@
+"""Tests for the encoded-level replays of Figures 2 and 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.encoded_replay import (
+    FIGURE2_A,
+    FIGURE2_B,
+    FIGURE2_ORACLE,
+    FIGURE3_A,
+    FIGURE3_B,
+    FIGURE3_ORACLE,
+    EncodedA,
+    EncodedB,
+    replay_ap_minmax,
+    replay_ex_minmax,
+)
+from repro.core.errors import ConfigurationError, ValidationError
+
+
+class TestFigure2Verbatim:
+    """The Ap-MinMax replay must match the paper's Figure 2 exactly."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return replay_ap_minmax(FIGURE2_B, FIGURE2_A, FIGURE2_ORACLE)
+
+    def test_eight_instances(self, result):
+        assert len(result.instances) == 8
+
+    def test_final_matches(self, result):
+        assert result.matches == [("b2", "a3"), ("b5", "a5")]
+
+    def test_instance_1(self, result):
+        assert result.instances[0].lines == [
+            "* b1:40 IN a1:(30, 55) => NO OVERLAP",
+            "* b1:40 IN a2:(33, 60) => NO OVERLAP",
+            "* b1:40 < a3:(42, 72) => MIN PRUNE",
+        ]
+
+    def test_instance_2_matches_b2_with_a3(self, result):
+        assert result.instances[1].lines[-1] == "* b2:48 IN a3:(42, 72) => MATCH"
+
+    def test_instances_3_and_4_are_max_prunes(self, result):
+        assert result.instances[2].lines == ["* b3:67 > a1:(30, 55) => MAX PRUNE"]
+        assert result.instances[3].lines == ["* b3:67 > a2:(33, 60) => MAX PRUNE"]
+
+    def test_instance_5_columns_reflect_offset_and_used(self, result):
+        # After two offset advances and a3's match, only a4, a5 remain.
+        assert result.instances[4].column_a == ["a4:(45, 73)", "a5:(50, 80)"]
+        assert result.instances[4].column_b == ["b3:67", "b4:71", "b5:74"]
+
+    def test_instance_6_b4_fails_everywhere(self, result):
+        assert result.instances[5].lines == [
+            "* b4:71 IN a4:(45, 73) => NO OVERLAP",
+            "* b4:71 IN a5:(50, 80) => NO MATCH",
+        ]
+
+    def test_instance_7_b5_max_prunes_a4(self, result):
+        assert result.instances[6].lines == ["* b5:74 > a4:(45, 73) => MAX PRUNE"]
+
+    def test_instance_8_final_match(self, result):
+        assert result.instances[7].lines == ["* b5:74 IN a5:(50, 80) => MATCH"]
+
+    def test_render_contains_every_instance_header(self, result):
+        rendered = result.render()
+        for number in range(1, 9):
+            assert f"<< {number} >>" in rendered
+        assert rendered.endswith("MATCHES = {<b2, a3>, <b5, a5>}")
+
+
+class TestFigure3Verbatim:
+    """The Ex-MinMax replay must match the paper's Figure 3 exactly."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return replay_ex_minmax(FIGURE3_B, FIGURE3_A, FIGURE3_ORACLE)
+
+    def test_six_instances(self, result):
+        assert len(result.instances) == 6
+
+    def test_instance_1_accumulates_and_flushes(self, result):
+        lines = result.instances[0].lines
+        assert lines[0] == "* b1:40 IN a1:(30, 55) => MATCH (maxV = 55)"
+        assert lines[1] == "* b1:40 IN a2:(33, 60) => NO OVERLAP"
+        assert lines[2] == "* b1:40 IN a3:(38, 57) => MATCH (maxV = 57)"
+        assert lines[3] == "* b1:40 < a4:(45, 73) => MIN PRUNE (b2 > maxV)"
+        assert lines[4] == "  => CSF(<b1, a1>, <b1, a3>)"
+
+    def test_instance_2_keeps_segment_open(self, result):
+        lines = result.instances[1].lines
+        assert lines[-1] == "* b2:58 IN a5:(50, 80) => NO MATCH (b3 < maxV)"
+        assert not any("CSF" in line for line in lines)
+
+    def test_instance_2_columns_dropped_flushed_entries(self, result):
+        # a1 and a3 were consumed by the first CSF flush.
+        assert result.instances[1].column_a == [
+            "a2:(33, 60)",
+            "a4:(45, 73)",
+            "a5:(50, 80)",
+        ]
+
+    def test_instance_3_max_prune_with_live_maxv(self, result):
+        assert result.instances[2].max_v == 73
+        assert result.instances[2].lines == ["* b3:67 > a2:(33, 60) => MAX PRUNE"]
+
+    def test_instance_4_edge_case_flush(self, result):
+        lines = result.instances[3].lines
+        assert lines[0] == "* b3:67 IN a4:(45, 73) => MATCH (maxV = 73)"
+        assert lines[1] == "* b3:67 IN a5:(50, 80) => NO MATCH (b4 > maxV)"
+        assert lines[2] == "  => CSF(<b2, a2>, <b2, a4>, <b3, a4>)"
+
+    def test_instance_5_no_overlap_only(self, result):
+        assert result.instances[4].max_v == 0
+        assert result.instances[4].lines == [
+            "* b4:74 IN a5:(50, 80) => NO OVERLAP"
+        ]
+
+    def test_instance_6_final_max_prune(self, result):
+        assert result.instances[5].lines == ["* b5:81 > a5:(50, 80) => MAX PRUNE"]
+
+    def test_csf_selects_maximum_per_segment(self, result):
+        # Segment 1 covers b1 once; segment 2 covers both b2 and b3.
+        assert len(result.matches) == 3
+        matched_b = {b for b, _ in result.matches}
+        assert matched_b == {"b1", "b2", "b3"}
+
+    def test_matches_are_one_to_one(self, result):
+        a_side = [a for _, a in result.matches]
+        assert len(set(a_side)) == len(a_side)
+
+
+class TestReplayValidation:
+    def test_unsorted_b_rejected(self):
+        entries = [EncodedB("b1", 50), EncodedB("b2", 40)]
+        with pytest.raises(ValidationError, match="ascend"):
+            replay_ap_minmax(entries, FIGURE2_A, FIGURE2_ORACLE)
+
+    def test_unsorted_a_rejected(self):
+        entries = [EncodedA("a1", 50, 60), EncodedA("a2", 40, 70)]
+        with pytest.raises(ValidationError, match="ascend"):
+            replay_ap_minmax(FIGURE2_B, entries, FIGURE2_ORACLE)
+
+    def test_missing_oracle_entry(self):
+        with pytest.raises(ConfigurationError, match="no outcome"):
+            replay_ap_minmax(FIGURE2_B, FIGURE2_A, {})
+
+    def test_invalid_outcome(self):
+        oracle = dict(FIGURE2_ORACLE)
+        oracle[("b1", "a1")] = "MAYBE"
+        with pytest.raises(ConfigurationError, match="unknown oracle outcome"):
+            replay_ap_minmax(FIGURE2_B, FIGURE2_A, oracle)

@@ -1,0 +1,88 @@
+"""Unit tests for the event machinery (repro.core.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventTrace, EventType, TraceEvent
+
+
+class TestEventType:
+    def test_paper_names(self):
+        assert EventType.MIN_PRUNE.value == "MIN PRUNE"
+        assert EventType.MAX_PRUNE.value == "MAX PRUNE"
+        assert EventType.NO_OVERLAP.value == "NO OVERLAP"
+        assert EventType.NO_MATCH.value == "NO MATCH"
+        assert EventType.MATCH.value == "MATCH"
+
+
+class TestTraceEvent:
+    def test_match_format_uses_in_connector(self):
+        event = TraceEvent(EventType.MATCH, "b2:48", "a3:(42, 72)")
+        assert event.format() == "* b2:48 IN a3:(42, 72) => MATCH"
+
+    def test_min_prune_uses_less_than(self):
+        event = TraceEvent(EventType.MIN_PRUNE, "b1:40", "a3:(42, 72)")
+        assert event.format() == "* b1:40 < a3:(42, 72) => MIN PRUNE"
+
+    def test_max_prune_uses_greater_than(self):
+        event = TraceEvent(EventType.MAX_PRUNE, "b3:67", "a1:(30, 55)")
+        assert event.format() == "* b3:67 > a1:(30, 55) => MAX PRUNE"
+
+    def test_detail_appended(self):
+        event = TraceEvent(EventType.MATCH, "b1:40", "a1:(30, 55)", "maxV = 55")
+        assert event.format().endswith("=> MATCH (maxV = 55)")
+
+    def test_single_label(self):
+        event = TraceEvent(EventType.MATCH, b_label="b1")
+        assert event.format() == "* b1 => MATCH"
+
+
+class TestEventTrace:
+    def test_counts_without_recording(self):
+        trace = EventTrace(record=False)
+        trace.emit(EventType.MATCH)
+        trace.emit(EventType.NO_MATCH)
+        trace.emit(EventType.NO_MATCH)
+        assert trace.counts.match == 1
+        assert trace.counts.no_match == 2
+        assert trace.events == []
+
+    def test_recording_stores_events(self):
+        trace = EventTrace(record=True)
+        trace.emit(EventType.MIN_PRUNE, "b1", "a1")
+        assert len(trace.events) == 1
+        assert trace.events[0].kind is EventType.MIN_PRUNE
+
+    def test_emit_bulk(self):
+        trace = EventTrace()
+        trace.emit_bulk(EventType.NO_OVERLAP, 7)
+        assert trace.counts.no_overlap == 7
+
+    def test_emit_bulk_ignores_non_positive(self):
+        trace = EventTrace()
+        trace.emit_bulk(EventType.MATCH, 0)
+        trace.emit_bulk(EventType.MATCH, -3)
+        assert trace.counts.match == 0
+
+    def test_notes_only_when_recording(self):
+        silent = EventTrace(record=False)
+        silent.note("CSF(...)")
+        assert silent.notes == []
+        recording = EventTrace(record=True)
+        recording.note("CSF(<b1, a1>)")
+        assert recording.notes == ["CSF(<b1, a1>)"]
+
+    def test_format_includes_events_and_notes(self):
+        trace = EventTrace(record=True)
+        trace.emit(EventType.MATCH, "b1:10", "a1:(5, 15)")
+        trace.note("CSF(<b1, a1>)")
+        formatted = trace.format()
+        assert "=> MATCH" in formatted
+        assert "CSF(<b1, a1>)" in formatted
+
+    def test_all_event_kinds_counted(self):
+        trace = EventTrace()
+        for kind in EventType:
+            trace.emit(kind)
+        assert trace.counts.total == len(EventType)

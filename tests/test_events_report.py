@@ -1,0 +1,69 @@
+"""Tests for pruning-effectiveness reporting (repro.analysis.events_report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.events_report import profile_events, render_event_report
+from repro.core.errors import ConfigurationError
+from repro.core.types import Community
+from tests.conftest import random_couple
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    vectors_b, vectors_a = random_couple(55, n_b=30, n_a=40, high=40)
+    community_b = Community("B", vectors_b)
+    community_a = Community("A", vectors_a)
+    return profile_events(community_b, community_a, epsilon=1)
+
+
+class TestProfileEvents:
+    def test_one_profile_per_method(self, profiles):
+        assert [p.method for p in profiles] == [
+            "ap-baseline",
+            "ap-minmax",
+            "ex-baseline",
+            "ex-minmax",
+        ]
+
+    def test_ex_baseline_is_exhaustive(self, profiles):
+        ex_baseline = next(p for p in profiles if p.method == "ex-baseline")
+        assert ex_baseline.counts.comparisons == ex_baseline.exhaustive_comparisons
+        assert ex_baseline.comparisons_saved_percent == pytest.approx(0.0)
+
+    def test_minmax_saves_comparisons(self, profiles):
+        minmax = next(p for p in profiles if p.method == "ex-minmax")
+        baseline = next(p for p in profiles if p.method == "ex-baseline")
+        assert minmax.counts.comparisons < baseline.counts.comparisons
+        assert minmax.comparisons_saved_percent > 0.0
+
+    def test_minmax_uses_pruning_events(self, profiles):
+        minmax = next(p for p in profiles if p.method == "ap-minmax")
+        assert (
+            minmax.counts.min_prune
+            + minmax.counts.max_prune
+            + minmax.counts.no_overlap
+        ) > 0
+
+    def test_engine_override_rejected(self):
+        vectors_b, vectors_a = random_couple(1)
+        with pytest.raises(ConfigurationError, match="python engine"):
+            profile_events(
+                Community("B", vectors_b),
+                Community("A", vectors_a),
+                epsilon=1,
+                engine="numpy",
+            )
+
+
+class TestRenderEventReport:
+    def test_render_has_headers_and_rows(self, profiles):
+        rendered = render_event_report(profiles)
+        assert "MIN PRUNE" in rendered
+        assert "Ex-MinMax" in rendered
+        assert rendered.count("\n") >= 5
+
+    def test_saved_column_formatted(self, profiles):
+        rendered = render_event_report(profiles)
+        assert "%" in rendered

@@ -1,0 +1,117 @@
+"""Tests for the MinMax-SuperEGO hybrid (repro.algorithms.hybrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import csj_similarity
+from repro.algorithms.hybrid import ApHybrid, ExHybrid
+from repro.core.errors import ConfigurationError
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_couple,
+)
+
+
+def couple(seed: int) -> tuple[Community, Community]:
+    vectors_b, vectors_a = random_couple(seed)
+    return Community("B", vectors_b), Community("A", vectors_a)
+
+
+class TestExHybrid:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equals_ex_baseline(self, seed):
+        b, a = couple(seed + 40)
+        hybrid = ExHybrid(1, t=4).join(b, a)
+        baseline = csj_similarity(b, a, epsilon=1, method="ex-baseline")
+        assert set(hybrid.pair_tuples()) == set(baseline.pair_tuples())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hopcroft_karp_reaches_oracle(self, seed):
+        b, a = couple(seed + 80)
+        result = ExHybrid(1, t=4, matcher="hopcroft_karp").join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(b.vectors, a.vectors, 1)
+        )
+        assert result.n_matched == oracle
+
+    @pytest.mark.parametrize("t", [2, 8, 64, 1024])
+    def test_threshold_invariance(self, t):
+        b, a = couple(11)
+        reference = ExHybrid(1, t=4).join(b, a)
+        varied = ExHybrid(1, t=t).join(b, a)
+        assert set(varied.pair_tuples()) == set(reference.pair_tuples())
+
+    @pytest.mark.parametrize("epsilon", [0, 1, 3])
+    def test_epsilon_grid(self, epsilon):
+        b, a = couple(13)
+        result = ExHybrid(epsilon, t=4, matcher="hopcroft_karp").join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(b.vectors, a.vectors, epsilon)
+        )
+        assert result.n_matched == oracle
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, epsilon)
+
+    def test_no_accuracy_loss_unlike_normalized_superego(self, vk_mini_couple):
+        # Section 6.2: the hybrid works on raw numeric data, so it keeps
+        # the exact similarity SuperEGO's normalisation loses.
+        b, a = vk_mini_couple
+        hybrid = ExHybrid(1).join(b, a)
+        exact = csj_similarity(b, a, epsilon=1, method="ex-minmax")
+        assert hybrid.n_matched == exact.n_matched
+
+    def test_flags(self):
+        assert ExHybrid(1).name == "ex-hybrid"
+        assert ExHybrid(1).exact is True
+        with pytest.raises(ConfigurationError):
+            ExHybrid(1, t=1)
+
+
+class TestApHybrid:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_one_to_one(self, seed):
+        b, a = couple(seed + 120)
+        result = ApHybrid(1, t=4).join(b, a)
+        result.check_one_to_one()
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_beats_exact(self, seed):
+        b, a = couple(seed + 160)
+        approx = ApHybrid(1, t=4).join(b, a)
+        exact = ExHybrid(1, t=4, matcher="hopcroft_karp").join(b, a)
+        assert approx.n_matched <= exact.n_matched
+
+    def test_registry_exposure(self):
+        from repro import get_algorithm
+        from repro.algorithms import HYBRID_METHODS, method_display_name
+
+        assert HYBRID_METHODS == ("ap-hybrid", "ex-hybrid")
+        assert isinstance(get_algorithm("ex-hybrid", 1), ExHybrid)
+        assert method_display_name("ex-hybrid") == "Ex-Hybrid"
+
+    def test_flags(self):
+        assert ApHybrid(1).name == "ap-hybrid"
+        assert ApHybrid(1).exact is False
+
+
+class TestHybridSpeedClaim:
+    def test_fewer_full_comparisons_than_raw_superego_leaves(self):
+        # The Section 6.2 claim: the encoded leaf join runs fewer full
+        # d-dimensional comparisons than the plain nested-loop leaves of
+        # raw SuperEGO on the same data.
+        from repro.algorithms.superego import ExSuperEGO
+
+        rng = np.random.default_rng(5)
+        base = rng.integers(0, 60, size=(150, 9))
+        noisy = np.maximum(base + rng.integers(-1, 2, size=base.shape), 0)
+        b = Community("B", base)
+        a = Community("A", noisy)
+        hybrid = ExHybrid(1, t=16).join(b, a)
+        superego = ExSuperEGO(1, t=16, use_normalized=False).join(b, a)
+        assert hybrid.n_matched == superego.n_matched
+        assert hybrid.events.comparisons < superego.events.comparisons

@@ -1,0 +1,128 @@
+"""Tests for incremental community maintenance (repro.core.incremental)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import csj_similarity
+from repro.core.errors import ValidationError
+from repro.core.incremental import IncrementalCommunity
+
+
+@pytest.fixture
+def community() -> IncrementalCommunity:
+    return IncrementalCommunity("Nike", 4, category="Sport", page_id=9)
+
+
+class TestLifecycle:
+    def test_starts_empty(self, community):
+        assert community.n_users == 0
+        assert community.version == 0
+        assert community.user_ids() == []
+
+    def test_subscribe_assigns_stable_ids(self, community):
+        first = community.subscribe()
+        second = community.subscribe([1, 2, 3, 4])
+        assert (first, second) == (0, 1)
+        assert community.n_users == 2
+        assert np.array_equal(community.profile(1), [1, 2, 3, 4])
+
+    def test_unsubscribe_keeps_id_reserved(self, community):
+        first = community.subscribe()
+        community.unsubscribe(first)
+        third = community.subscribe()
+        assert third == 1  # id 0 is never reused
+        assert first not in community
+
+    def test_unsubscribe_unknown_user(self, community):
+        with pytest.raises(ValidationError, match="not subscribed"):
+            community.unsubscribe(42)
+
+    def test_version_bumps_on_every_mutation(self, community):
+        user = community.subscribe()
+        version_after_subscribe = community.version
+        community.record_like(user, 0)
+        assert community.version == version_after_subscribe + 1
+        community.unsubscribe(user)
+        assert community.version == version_after_subscribe + 2
+
+    def test_initial_vectors(self):
+        community = IncrementalCommunity(
+            "X", 3, vectors=np.array([[1, 2, 3], [4, 5, 6]])
+        )
+        assert community.n_users == 2
+        assert np.array_equal(community.profile(1), [4, 5, 6])
+
+    def test_initial_vectors_dimension_mismatch(self):
+        with pytest.raises(ValidationError, match="expected"):
+            IncrementalCommunity("X", 5, vectors=np.ones((2, 3), dtype=np.int64))
+
+
+class TestLikes:
+    def test_record_like_increments(self, community):
+        user = community.subscribe()
+        community.record_like(user, 2)
+        community.record_like(user, 2, count=4)
+        assert community.profile(user)[2] == 5
+
+    def test_zero_count_is_noop(self, community):
+        user = community.subscribe()
+        version = community.version
+        community.record_like(user, 0, count=0)
+        assert community.version == version
+
+    def test_negative_count_rejected(self, community):
+        user = community.subscribe()
+        with pytest.raises(ValidationError, match=">= 0"):
+            community.record_like(user, 0, count=-1)
+
+    def test_dimension_out_of_range(self, community):
+        user = community.subscribe()
+        with pytest.raises(ValidationError, match="out of range"):
+            community.record_like(user, 4)
+
+    def test_profile_returns_copy(self, community):
+        user = community.subscribe([1, 1, 1, 1])
+        profile = community.profile(user)
+        profile[0] = 99
+        assert community.profile(user)[0] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_row_order_follows_user_ids(self, community):
+        community.subscribe([1, 0, 0, 0])
+        middle = community.subscribe([2, 0, 0, 0])
+        community.subscribe([3, 0, 0, 0])
+        community.unsubscribe(middle)
+        snapshot = community.snapshot()
+        assert snapshot.n_users == 2
+        assert snapshot.vectors[:, 0].tolist() == [1, 3]
+        assert snapshot.category == "Sport"
+        assert snapshot.page_id == 9
+
+    def test_snapshot_is_independent_of_later_mutations(self, community):
+        user = community.subscribe([1, 1, 1, 1])
+        snapshot = community.snapshot()
+        community.record_like(user, 0, count=10)
+        assert snapshot.vectors[0, 0] == 1
+
+    def test_empty_snapshot_rejected(self, community):
+        with pytest.raises(ValidationError, match="no subscribers"):
+            community.snapshot()
+
+    def test_snapshot_custom_name(self, community):
+        community.subscribe()
+        assert community.snapshot(name="frozen").name == "frozen"
+
+    def test_snapshots_joinable(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 30, size=(20, 4))
+        left = IncrementalCommunity("L", 4, vectors=base)
+        right = IncrementalCommunity("R", 4, vectors=base)
+        # Drift one user in `right` beyond epsilon.
+        right.record_like(0, 0, count=100)
+        result = csj_similarity(
+            left.snapshot(), right.snapshot(), epsilon=1, method="ex-minmax"
+        )
+        assert result.similarity == pytest.approx(19 / 20)

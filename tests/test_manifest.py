@@ -1,0 +1,75 @@
+"""Tests for dataset manifests (repro.datasets.manifest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.datasets.manifest import (
+    build_manifest,
+    load_manifest,
+    save_manifest,
+    verify_manifest,
+)
+
+TINY = 1 / 4096
+
+
+class TestBuildManifest:
+    def test_structure(self):
+        manifest = build_manifest(dataset="vk", seed=7, scale=TINY, couples=(1, 2))
+        assert manifest["dataset"] == "vk"
+        assert len(manifest["couples"]) == 2
+        entry = manifest["couples"][0]
+        assert entry["c_id"] == 1
+        assert len(entry["digest_b"]) == 64
+        assert entry["size_b"] > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError):
+            build_manifest(dataset="csv", couples=(1,))
+
+    def test_unknown_couple(self):
+        with pytest.raises(ValidationError):
+            build_manifest(couples=(99,))
+
+
+class TestVerifyManifest:
+    def test_regeneration_matches(self):
+        manifest = build_manifest(dataset="vk", seed=7, scale=TINY, couples=(1, 5))
+        assert verify_manifest(manifest) == []
+
+    def test_synthetic_regeneration_matches(self):
+        manifest = build_manifest(
+            dataset="synthetic", seed=3, scale=TINY, couples=(10,)
+        )
+        assert verify_manifest(manifest) == []
+
+    def test_detects_tampering(self):
+        manifest = build_manifest(dataset="vk", seed=7, scale=TINY, couples=(1,))
+        manifest["couples"][0]["digest_b"] = "0" * 64
+        mismatches = verify_manifest(manifest)
+        assert mismatches
+        assert "digest_b" in mismatches[0]
+
+    def test_detects_seed_drift(self):
+        manifest = build_manifest(dataset="vk", seed=7, scale=TINY, couples=(1,))
+        manifest["seed"] = 8
+        assert verify_manifest(manifest)
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValidationError, match="not a dataset manifest"):
+            verify_manifest({"format": "something"})
+
+
+class TestManifestIO:
+    def test_round_trip(self, tmp_path):
+        manifest = build_manifest(dataset="vk", seed=7, scale=TINY, couples=(1,))
+        path = save_manifest(tmp_path / "manifest.json", manifest)
+        loaded = load_manifest(path)
+        assert loaded == manifest
+        assert verify_manifest(loaded) == []
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such manifest"):
+            load_manifest(tmp_path / "ghost.json")

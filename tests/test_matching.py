@@ -1,0 +1,191 @@
+"""Unit tests for the matching substrate (repro.core.matching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.matching import (
+    MATCHERS,
+    build_adjacency,
+    cover_smallest_first,
+    get_matcher,
+    greedy_first_fit,
+    hopcroft_karp,
+    linf_match,
+    linf_match_mask,
+    matching_size_upper_bound,
+    pairs_are_one_to_one,
+    pairs_respect_graph,
+)
+from tests.conftest import maximum_matching_size
+
+
+class TestLinfPredicates:
+    def test_exact_boundary_matches(self):
+        assert linf_match(np.array([3, 4]), np.array([4, 3]), epsilon=1)
+
+    def test_one_dimension_over_fails(self):
+        assert not linf_match(np.array([3, 4]), np.array([5, 4]), epsilon=1)
+
+    def test_epsilon_zero_requires_equality(self):
+        assert linf_match(np.array([2, 2]), np.array([2, 2]), epsilon=0)
+        assert not linf_match(np.array([2, 2]), np.array([2, 3]), epsilon=0)
+
+    def test_mask_matches_scalar_predicate(self):
+        rng = np.random.default_rng(0)
+        vector_b = rng.integers(0, 5, size=6)
+        matrix_a = rng.integers(0, 5, size=(40, 6))
+        mask = linf_match_mask(vector_b, matrix_a, epsilon=1)
+        for row in range(40):
+            assert mask[row] == linf_match(vector_b, matrix_a[row], epsilon=1)
+
+    def test_mask_unsigned_safety(self):
+        # Differences of unsigned-ish inputs must not wrap around.
+        vector_b = np.array([0, 0], dtype=np.int64)
+        matrix_a = np.array([[5, 5]], dtype=np.uint16)
+        assert not linf_match_mask(vector_b, matrix_a, epsilon=1)[0]
+
+
+class TestBuildAdjacency:
+    def test_both_directions(self):
+        matched_b, matched_a = build_adjacency([(0, 1), (0, 2), (3, 1)])
+        assert matched_b == {0: {1, 2}, 3: {1}}
+        assert matched_a == {1: {0, 3}, 2: {0}}
+
+    def test_empty(self):
+        matched_b, matched_a = build_adjacency([])
+        assert matched_b == {} and matched_a == {}
+
+    def test_duplicates_collapse(self):
+        matched_b, _ = build_adjacency([(0, 1), (0, 1)])
+        assert matched_b == {0: {1}}
+
+
+class TestCoverSmallestFirst:
+    def test_single_edge(self):
+        matched_b, matched_a = build_adjacency([(0, 7)])
+        assert cover_smallest_first(matched_b, matched_a) == [(0, 7)]
+
+    def test_prefers_covering_degree_one_vertices(self):
+        # b0 only matches a0; b1 matches both. Greedy by smallest degree
+        # must cover b0 with a0 first, leaving a1 for b1 (2 matches).
+        matched_b, matched_a = build_adjacency([(0, 0), (1, 0), (1, 1)])
+        pairs = cover_smallest_first(matched_b, matched_a)
+        assert set(pairs) == {(0, 0), (1, 1)}
+
+    def test_finds_maximum_on_chain(self):
+        # Chain b0-a0, a0-b1, b1-a1: maximum matching = 2.
+        matched_b, matched_a = build_adjacency([(0, 0), (1, 0), (1, 1)])
+        assert len(cover_smallest_first(matched_b, matched_a)) == 2
+
+    def test_one_to_one_always(self):
+        rng = np.random.default_rng(9)
+        pairs = {(int(rng.integers(0, 12)), int(rng.integers(0, 12))) for _ in range(60)}
+        matched_b, matched_a = build_adjacency(pairs)
+        result = cover_smallest_first(matched_b, matched_a)
+        assert pairs_are_one_to_one(result)
+        assert pairs_respect_graph(result, matched_b)
+
+    def test_input_maps_not_modified(self):
+        matched_b, matched_a = build_adjacency([(0, 0), (1, 0), (1, 1)])
+        before_b = {b: set(v) for b, v in matched_b.items()}
+        cover_smallest_first(matched_b, matched_a)
+        assert matched_b == before_b
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(11)
+        pairs = {(int(rng.integers(0, 20)), int(rng.integers(0, 20))) for _ in range(80)}
+        matched_b, matched_a = build_adjacency(pairs)
+        first = cover_smallest_first(matched_b, matched_a)
+        second = cover_smallest_first(matched_b, matched_a)
+        assert first == second
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_exceeds_maximum(self, seed):
+        rng = np.random.default_rng(seed)
+        pairs = {
+            (int(rng.integers(0, 15)), int(rng.integers(0, 15))) for _ in range(50)
+        }
+        matched_b, matched_a = build_adjacency(pairs)
+        csf_size = len(cover_smallest_first(matched_b, matched_a))
+        assert csf_size <= maximum_matching_size(pairs)
+        # Minimum-degree greedy is a 1/2-approximation at worst.
+        assert csf_size >= maximum_matching_size(pairs) / 2
+
+    def test_empty_input(self):
+        assert cover_smallest_first({}, {}) == []
+
+
+class TestHopcroftKarp:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_networkx_maximum(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        pairs = {
+            (int(rng.integers(0, 18)), int(rng.integers(0, 18))) for _ in range(70)
+        }
+        matched_b, matched_a = build_adjacency(pairs)
+        result = hopcroft_karp(matched_b, matched_a)
+        assert pairs_are_one_to_one(result)
+        assert pairs_respect_graph(result, matched_b)
+        assert len(result) == maximum_matching_size(pairs)
+
+    def test_perfect_matching_on_disjoint_edges(self):
+        pairs = [(i, i) for i in range(10)]
+        matched_b, matched_a = build_adjacency(pairs)
+        assert sorted(hopcroft_karp(matched_b, matched_a)) == pairs
+
+    def test_augmenting_path_case(self):
+        # Greedy first-fit would match b0-a0 and strand b1; HK must
+        # augment to the perfect matching.
+        pairs = [(0, 0), (0, 1), (1, 0)]
+        matched_b, matched_a = build_adjacency(pairs)
+        result = hopcroft_karp(matched_b, matched_a)
+        assert len(result) == 2
+
+    def test_empty(self):
+        assert hopcroft_karp({}, {}) == []
+
+    def test_at_least_as_large_as_csf(self):
+        for seed in range(6):
+            rng = np.random.default_rng(200 + seed)
+            pairs = {
+                (int(rng.integers(0, 25)), int(rng.integers(0, 25)))
+                for _ in range(120)
+            }
+            matched_b, matched_a = build_adjacency(pairs)
+            assert len(hopcroft_karp(matched_b, matched_a)) >= len(
+                cover_smallest_first(matched_b, matched_a)
+            )
+
+
+class TestGreedyFirstFit:
+    def test_commits_in_id_order(self):
+        matched_b, matched_a = build_adjacency([(0, 0), (0, 1), (1, 0)])
+        assert greedy_first_fit(matched_b, matched_a) == [(0, 0)]
+
+    def test_one_to_one(self):
+        matched_b, matched_a = build_adjacency([(0, 0), (1, 0), (1, 1), (2, 1)])
+        result = greedy_first_fit(matched_b, matched_a)
+        assert pairs_are_one_to_one(result)
+
+
+class TestRegistryAndHelpers:
+    def test_registry_contains_all(self):
+        assert set(MATCHERS) == {"csf", "hopcroft_karp", "greedy"}
+
+    def test_get_matcher(self):
+        assert get_matcher("csf") is cover_smallest_first
+
+    def test_unknown_matcher(self):
+        with pytest.raises(ConfigurationError, match="unknown matcher"):
+            get_matcher("magic")
+
+    def test_upper_bound(self):
+        matched_b, _ = build_adjacency([(0, 0), (1, 0), (2, 0)])
+        assert matching_size_upper_bound(matched_b) == 1
+
+    def test_pairs_respect_graph_detects_foreign_edge(self):
+        matched_b, _ = build_adjacency([(0, 0)])
+        assert not pairs_respect_graph([(0, 1)], matched_b)

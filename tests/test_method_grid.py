@@ -1,0 +1,91 @@
+"""Systematic grid: every method x engine x epsilon on oracle-checked data.
+
+A single parametrised battery that sweeps the full configuration space
+on small structured inputs and validates every combination against the
+brute-force oracle — the safety net that catches regressions in any
+corner of the method matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import csj_similarity, get_algorithm
+from repro.algorithms import ALGORITHMS
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_couple,
+)
+
+ALL_REGISTERED = tuple(sorted(ALGORITHMS))
+EXACT_RAW = (
+    ("ex-baseline", {}),
+    ("ex-minmax", {}),
+    ("ex-hybrid", {}),
+    ("ex-superego", {"use_normalized": False, "t": 4}),
+)
+
+
+@pytest.fixture(scope="module")
+def grid_couples():
+    couples = {}
+    for seed in (1001, 1002, 1003):
+        vectors_b, vectors_a = random_couple(seed)
+        couples[seed] = (Community("B", vectors_b), Community("A", vectors_a))
+    return couples
+
+
+class TestFullGrid:
+    @pytest.mark.parametrize("seed", (1001, 1002, 1003))
+    @pytest.mark.parametrize("epsilon", (0, 1, 2))
+    @pytest.mark.parametrize("method", ALL_REGISTERED)
+    def test_validity_and_bound(self, grid_couples, method, epsilon, seed):
+        b, a = grid_couples[seed]
+        result = csj_similarity(b, a, epsilon=epsilon, method=method)
+        result.check_one_to_one()
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, epsilon)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(b.vectors, a.vectors, epsilon)
+        )
+        assert result.n_matched <= oracle
+
+    @pytest.mark.parametrize("epsilon", (0, 1, 2))
+    @pytest.mark.parametrize("method_and_options", EXACT_RAW)
+    def test_exact_raw_methods_reach_oracle(
+        self, grid_couples, method_and_options, epsilon
+    ):
+        method, options = method_and_options
+        b, a = grid_couples[1001]
+        result = get_algorithm(
+            method, epsilon, matcher="hopcroft_karp", **options
+        ).join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(b.vectors, a.vectors, epsilon)
+        )
+        assert result.n_matched == oracle
+
+    @pytest.mark.parametrize("seed", (1001, 1003))
+    @pytest.mark.parametrize("method", ALL_REGISTERED)
+    def test_engines_agree_everywhere(self, grid_couples, method, seed):
+        b, a = grid_couples[seed]
+        python = csj_similarity(b, a, epsilon=1, method=method, engine="python")
+        numpy_ = csj_similarity(b, a, epsilon=1, method=method, engine="numpy")
+        assert set(python.pair_tuples()) == set(numpy_.pair_tuples())
+
+    @pytest.mark.parametrize("method", ("ex-baseline", "ex-minmax", "ex-hybrid"))
+    @pytest.mark.parametrize("matcher", ("csf", "hopcroft_karp"))
+    def test_matcher_grid(self, grid_couples, method, matcher):
+        b, a = grid_couples[1002]
+        result = get_algorithm(method, 1, matcher=matcher).join(b, a)
+        result.check_one_to_one()
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+
+    @pytest.mark.parametrize("method", ALL_REGISTERED)
+    def test_determinism(self, grid_couples, method):
+        b, a = grid_couples[1001]
+        first = csj_similarity(b, a, epsilon=1, method=method)
+        second = csj_similarity(b, a, epsilon=1, method=method)
+        assert first.pair_tuples() == second.pair_tuples()

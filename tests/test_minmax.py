@@ -1,0 +1,173 @@
+"""Tests for Ap-MinMax and Ex-MinMax (repro.algorithms.minmax)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.baseline import ApBaseline, ExBaseline
+from repro.algorithms.minmax import ApMinMax, ExMinMax
+from repro.core.events import EventType
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_couple,
+)
+
+
+class TestApMinMax:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_engines_agree(self, seed):
+        vectors_b, vectors_a = random_couple(seed)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        python = ApMinMax(1, engine="python").join(b, a)
+        numpy_ = ApMinMax(1, engine="numpy").join(b, a)
+        assert python.pair_tuples() == numpy_.pair_tuples()
+
+    @pytest.mark.parametrize("n_parts", [1, 2, 3, 4])
+    def test_matching_valid_for_any_parts(self, small_couple, n_parts):
+        b, a = small_couple
+        result = ApMinMax(1, n_parts=n_parts).join(b, a)
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_match_count_class_as_ap_baseline(self, seed):
+        # Both are first-fit greedy; scan orders differ (sorted vs raw),
+        # so counts may differ slightly but stay within the candidate
+        # graph's maximum.
+        vectors_b, vectors_a = random_couple(seed + 10)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        minmax = ApMinMax(1).join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(vectors_b, vectors_a, 1)
+        )
+        assert minmax.n_matched <= oracle
+
+    def test_python_engine_emits_all_event_kinds(self):
+        # Construct data guaranteed to produce every event type.
+        vectors_b = np.array([[0, 0], [3, 3], [6, 6], [40, 0]])
+        vectors_a = np.array([[0, 0], [3, 4], [20, 20], [0, 40]])
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        algorithm = ApMinMax(1, n_parts=2, engine="python", record_trace=True)
+        result = algorithm.join(b, a)
+        counts = result.events
+        assert counts.match >= 1
+        assert counts.min_prune >= 1
+        assert counts.no_overlap >= 1
+
+    def test_trace_recording(self, small_couple):
+        b, a = small_couple
+        algorithm = ApMinMax(1, engine="python", record_trace=True)
+        algorithm.join(b, a)
+        trace = algorithm.last_trace
+        assert trace is not None
+        assert len(trace.events) == trace.counts.total
+        assert trace.format()
+
+    def test_numpy_engine_has_no_trace_events(self, small_couple):
+        b, a = small_couple
+        algorithm = ApMinMax(1, engine="numpy", record_trace=True)
+        algorithm.join(b, a)
+        assert algorithm.last_trace.events == []
+
+
+class TestExMinMax:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_engines_agree(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 30)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        python = ExMinMax(1, engine="python").join(b, a)
+        numpy_ = ExMinMax(1, engine="numpy").join(b, a)
+        assert set(python.pair_tuples()) == set(numpy_.pair_tuples())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_segmented_csf_equals_global_csf(self, seed):
+        # Ex-MinMax flushes CSF per maxV segment; segments are unions of
+        # connected components, so the result must equal Ex-Baseline's
+        # single global CSF call.
+        vectors_b, vectors_a = random_couple(seed + 60)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        minmax = ExMinMax(1, engine="python").join(b, a)
+        baseline = ExBaseline(1, engine="python").join(b, a)
+        assert set(minmax.pair_tuples()) == set(baseline.pair_tuples())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hopcroft_karp_reaches_maximum(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 90)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ExMinMax(1, matcher="hopcroft_karp").join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(vectors_b, vectors_a, 1)
+        )
+        assert result.n_matched == oracle
+
+    @pytest.mark.parametrize("n_parts", [1, 2, 4])
+    @pytest.mark.parametrize("epsilon", [0, 1, 2])
+    def test_parts_and_epsilon_grid(self, epsilon, n_parts):
+        vectors_b, vectors_a = random_couple(7, d=8)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ExMinMax(epsilon, n_parts=n_parts, matcher="hopcroft_karp").join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(vectors_b, vectors_a, epsilon)
+        )
+        assert result.n_matched == oracle
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, epsilon)
+
+    def test_dominates_approximate(self, small_couple):
+        b, a = small_couple
+        exact = ExMinMax(1, matcher="hopcroft_karp").join(b, a)
+        approx = ApMinMax(1).join(b, a)
+        assert exact.n_matched >= approx.n_matched
+
+    def test_csf_trace_notes_record_segments(self):
+        vectors_b = np.array([[0, 0], [1, 1], [50, 50], [51, 51]])
+        vectors_a = np.array([[0, 1], [1, 0], [50, 51], [51, 50]])
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        algorithm = ExMinMax(1, n_parts=2, engine="python", record_trace=True)
+        algorithm.join(b, a)
+        notes = algorithm.last_trace.notes
+        # Two well-separated groups -> at least two CSF flushes.
+        assert len(notes) >= 2
+        assert all(note.startswith("CSF(") for note in notes)
+
+    def test_match_events_carry_maxv_detail(self):
+        vectors_b = np.array([[2, 2]])
+        vectors_a = np.array([[2, 3]])
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        algorithm = ExMinMax(1, n_parts=2, engine="python", record_trace=True)
+        algorithm.join(b, a)
+        match_events = [
+            event
+            for event in algorithm.last_trace.events
+            if event.kind is EventType.MATCH
+        ]
+        assert match_events
+        assert match_events[0].detail.startswith("maxV = ")
+
+    def test_exact_flag_and_name(self):
+        assert ExMinMax(1).exact is True
+        assert ExMinMax(1).name == "ex-minmax"
+        assert ApMinMax(1).name == "ap-minmax"
+
+
+class TestMinMaxPruningEffectiveness:
+    def test_minmax_compares_less_than_baseline(self):
+        # The encoding must cut the number of full d-dimensional
+        # comparisons versus the exhaustive nested loop.
+        rng = np.random.default_rng(4)
+        vectors_b = rng.integers(0, 60, size=(60, 9))
+        vectors_a = rng.integers(0, 60, size=(70, 9))
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        minmax = ApMinMax(1, engine="python").join(b, a)
+        baseline = ApBaseline(1, engine="python").join(b, a)
+        assert minmax.events.comparisons < baseline.events.comparisons
+
+    def test_no_overlap_filter_actually_fires(self):
+        rng = np.random.default_rng(14)
+        vectors_b = rng.integers(0, 40, size=(40, 8))
+        vectors_a = rng.integers(0, 40, size=(40, 8))
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ApMinMax(1, engine="python").join(b, a)
+        assert result.events.no_overlap > 0

@@ -1,0 +1,114 @@
+"""Tests for the out-of-core join extension (repro.extensions.out_of_core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import csj_similarity
+from repro.core.errors import ConfigurationError, ValidationError
+from repro.core.types import Community
+from repro.extensions import OnDiskCommunity, out_of_core_similarity
+from tests.conftest import assert_valid_matching, random_couple
+
+
+@pytest.fixture
+def disk_couple(tmp_path):
+    vectors_b, vectors_a = random_couple(313, n_b=40, n_a=55)
+    disk_b = OnDiskCommunity.create(tmp_path / "b", vectors_b, name="B")
+    disk_a = OnDiskCommunity.create(tmp_path / "a", vectors_a, name="A")
+    return disk_b, disk_a, vectors_b, vectors_a
+
+
+class TestOnDiskCommunity:
+    def test_create_and_open(self, tmp_path):
+        vectors = np.arange(12).reshape(4, 3)
+        created = OnDiskCommunity.create(
+            tmp_path / "c", vectors, name="Nike", category="Sport"
+        )
+        reopened = OnDiskCommunity.open(tmp_path / "c")
+        assert reopened.name == "Nike"
+        assert reopened.category == "Sport"
+        assert reopened.n_users == 4
+        assert np.array_equal(np.asarray(reopened.vectors), vectors)
+        assert created.n_dims == 3
+
+    def test_from_community(self, tmp_path):
+        community = Community("X", np.ones((5, 2), dtype=np.int64), "Media")
+        disk = OnDiskCommunity.from_community(tmp_path / "x", community)
+        assert disk.name == "X"
+        assert disk.category == "Media"
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(ValidationError, match="no on-disk community"):
+            OnDiskCommunity.open(tmp_path / "ghost")
+
+    def test_open_rejects_wrong_shape(self, tmp_path):
+        np.save(tmp_path / "flat.npy", np.arange(5))
+        with pytest.raises(ValidationError, match="2-D"):
+            OnDiskCommunity.open(tmp_path / "flat")
+
+    def test_streaming_row_sums(self, disk_couple):
+        disk_b, _, vectors_b, _ = disk_couple
+        for chunk_size in (1, 7, 1000):
+            sums = disk_b.row_sums(chunk_size)
+            assert np.array_equal(sums, vectors_b.sum(axis=1))
+
+    def test_streaming_window_bounds(self, disk_couple):
+        _, disk_a, _, vectors_a = disk_couple
+        minimum, maximum = disk_a.window_bounds(epsilon=2, chunk_size=9)
+        assert np.array_equal(minimum, np.maximum(vectors_a - 2, 0).sum(axis=1))
+        assert np.array_equal(maximum, (vectors_a + 2).sum(axis=1))
+
+
+class TestOutOfCoreJoin:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 17, 4096])
+    def test_equals_in_memory_ex_minmax(self, disk_couple, chunk_size):
+        disk_b, disk_a, vectors_b, vectors_a = disk_couple
+        disk_result = out_of_core_similarity(
+            disk_b, disk_a, epsilon=1, chunk_size=chunk_size
+        )
+        memory_result = csj_similarity(
+            Community("B", vectors_b),
+            Community("A", vectors_a),
+            epsilon=1,
+            method="ex-minmax",
+        )
+        assert set(disk_result.pair_tuples()) == set(memory_result.pair_tuples())
+
+    def test_hopcroft_karp_matcher(self, disk_couple):
+        disk_b, disk_a, vectors_b, vectors_a = disk_couple
+        result = out_of_core_similarity(
+            disk_b, disk_a, epsilon=1, matcher="hopcroft_karp"
+        )
+        assert_valid_matching(result.pair_tuples(), vectors_b, vectors_a, 1)
+        csf = out_of_core_similarity(disk_b, disk_a, epsilon=1)
+        assert result.n_matched >= csf.n_matched
+
+    def test_requires_smaller_first(self, disk_couple):
+        disk_b, disk_a, _, _ = disk_couple
+        with pytest.raises(ValidationError, match="smaller community first"):
+            out_of_core_similarity(disk_a, disk_b, epsilon=1)
+
+    def test_dimension_mismatch(self, tmp_path, disk_couple):
+        disk_b, _, _, _ = disk_couple
+        other = OnDiskCommunity.create(
+            tmp_path / "other", np.ones((60, 2), dtype=np.int64)
+        )
+        with pytest.raises(ValidationError, match="dimension mismatch"):
+            out_of_core_similarity(disk_b, other, epsilon=1)
+
+    def test_invalid_chunk_size(self, disk_couple):
+        disk_b, disk_a, _, _ = disk_couple
+        with pytest.raises(ConfigurationError):
+            out_of_core_similarity(disk_b, disk_a, epsilon=1, chunk_size=0)
+
+    def test_no_matches(self, tmp_path):
+        disk_b = OnDiskCommunity.create(
+            tmp_path / "zb", np.zeros((5, 3), dtype=np.int64)
+        )
+        disk_a = OnDiskCommunity.create(
+            tmp_path / "za", np.full((6, 3), 1000, dtype=np.int64)
+        )
+        result = out_of_core_similarity(disk_b, disk_a, epsilon=1)
+        assert result.n_matched == 0

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the load-bearing guarantees of the system:
+
+* the MinMax encoding is a *necessary* condition — no candidate pair is
+  ever pruned falsely;
+* CSF and Hopcroft–Karp always return valid one-to-one matchings inside
+  the candidate graph, with HK reaching the networkx maximum;
+* every method's matching satisfies the CSJ per-dimension condition for
+  arbitrary inputs, epsilons and part counts;
+* the two engines of each method agree on arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import csj_similarity
+from repro.core.encoding import MinMaxEncoder, split_dimensions
+from repro.core.matching import (
+    build_adjacency,
+    cover_smallest_first,
+    hopcroft_karp,
+    pairs_are_one_to_one,
+    pairs_respect_graph,
+)
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+counter_matrices = st.integers(min_value=2, max_value=10).flatmap(
+    lambda n: st.integers(min_value=2, max_value=6).flatmap(
+        lambda d: st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), min_size=d, max_size=d),
+            min_size=n,
+            max_size=n,
+        )
+    )
+)
+
+edge_sets = st.sets(
+    st.tuples(
+        st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10)
+    ),
+    max_size=40,
+)
+
+
+def make_couple(rows_b: list[list[int]], rows_a: list[list[int]]):
+    d = min(len(rows_b[0]), len(rows_a[0]))
+    vectors_b = np.array([row[:d] for row in rows_b], dtype=np.int64)
+    vectors_a = np.array([row[:d] for row in rows_a], dtype=np.int64)
+    if len(vectors_b) > len(vectors_a):
+        vectors_b, vectors_a = vectors_a, vectors_b
+    # Respect the CSJ size-ratio rule: |A| <= 2 * |B|.
+    vectors_a = vectors_a[: 2 * len(vectors_b)]
+    return Community("B", vectors_b), Community("A", vectors_a)
+
+
+# ----------------------------------------------------------------------
+# encoding invariants
+# ----------------------------------------------------------------------
+
+
+@given(
+    rows=counter_matrices,
+    epsilon=st.integers(min_value=0, max_value=3),
+    n_parts=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=60, deadline=None)
+def test_encoding_never_prunes_a_true_match(rows, epsilon, n_parts):
+    vectors = np.array(rows, dtype=np.int64)
+    encoder = MinMaxEncoder(epsilon, n_parts)
+    targets = encoder.encode_targets(vectors)
+    candidates = encoder.encode_candidates(vectors)
+    pos_b = {int(real): i for i, real in enumerate(targets.real_ids)}
+    pos_a = {int(real): j for j, real in enumerate(candidates.real_ids)}
+    n = len(vectors)
+    for b_row in range(n):
+        for a_row in range(n):
+            if np.abs(vectors[b_row] - vectors[a_row]).max() > epsilon:
+                continue
+            i, j = pos_b[b_row], pos_a[a_row]
+            assert candidates.encoded_min[j] <= targets.encoded_id[i] <= candidates.encoded_max[j]
+            assert MinMaxEncoder.parts_overlap(
+                targets.parts[i], candidates.range_min[j], candidates.range_max[j]
+            )
+
+
+@given(
+    n_dims=st.integers(min_value=1, max_value=40),
+    n_parts=st.integers(min_value=1, max_value=8),
+)
+def test_split_dimensions_partitions(n_dims, n_parts):
+    if n_parts > n_dims:
+        n_parts = n_dims
+    slices = split_dimensions(n_dims, n_parts)
+    assert len(slices) == n_parts
+    covered = []
+    for sl in slices:
+        covered.extend(range(sl.start, sl.stop))
+    assert covered == list(range(n_dims))
+    sizes = [sl.stop - sl.start for sl in slices]
+    assert max(sizes) - min(sizes) <= 1
+    # Remainder goes to the last parts (Figure 1 layout).
+    assert sizes == sorted(sizes)
+
+
+# ----------------------------------------------------------------------
+# matcher invariants
+# ----------------------------------------------------------------------
+
+
+@given(pairs=edge_sets)
+@settings(max_examples=100, deadline=None)
+def test_csf_valid_and_half_optimal(pairs):
+    matched_b, matched_a = build_adjacency(pairs)
+    result = cover_smallest_first(matched_b, matched_a)
+    assert pairs_are_one_to_one(result)
+    assert pairs_respect_graph(result, matched_b)
+    optimum = maximum_matching_size(pairs)
+    assert optimum / 2 <= len(result) <= optimum
+
+
+@given(pairs=edge_sets)
+@settings(max_examples=100, deadline=None)
+def test_hopcroft_karp_is_maximum(pairs):
+    matched_b, matched_a = build_adjacency(pairs)
+    result = hopcroft_karp(matched_b, matched_a)
+    assert pairs_are_one_to_one(result)
+    assert pairs_respect_graph(result, matched_b)
+    assert len(result) == maximum_matching_size(pairs)
+
+
+# ----------------------------------------------------------------------
+# whole-method invariants
+# ----------------------------------------------------------------------
+
+
+@given(
+    rows_b=counter_matrices,
+    rows_a=counter_matrices,
+    epsilon=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_method_returns_valid_matchings(rows_b, rows_a, epsilon):
+    b, a = make_couple(rows_b, rows_a)
+    for method in ("ap-baseline", "ap-minmax", "ex-baseline", "ex-minmax"):
+        result = csj_similarity(
+            b, a, epsilon=epsilon, method=method, engine="numpy"
+        )
+        assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, epsilon)
+        assert 0.0 <= result.similarity <= 1.0
+
+
+@given(
+    rows_b=counter_matrices,
+    rows_a=counter_matrices,
+    epsilon=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=30, deadline=None)
+def test_engines_agree_on_arbitrary_inputs(rows_b, rows_a, epsilon):
+    b, a = make_couple(rows_b, rows_a)
+    for method in ("ap-minmax", "ex-minmax"):
+        python = csj_similarity(b, a, epsilon=epsilon, method=method, engine="python")
+        numpy_ = csj_similarity(b, a, epsilon=epsilon, method=method, engine="numpy")
+        assert set(python.pair_tuples()) == set(numpy_.pair_tuples())
+
+
+@given(
+    rows_b=counter_matrices,
+    rows_a=counter_matrices,
+    epsilon=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=30, deadline=None)
+def test_exact_methods_agree_and_reach_oracle(rows_b, rows_a, epsilon):
+    b, a = make_couple(rows_b, rows_a)
+    baseline = csj_similarity(
+        b, a, epsilon=epsilon, method="ex-baseline", matcher="hopcroft_karp"
+    )
+    minmax = csj_similarity(
+        b, a, epsilon=epsilon, method="ex-minmax", matcher="hopcroft_karp"
+    )
+    oracle = maximum_matching_size(
+        brute_force_candidate_pairs(b.vectors, a.vectors, epsilon)
+    )
+    assert baseline.n_matched == minmax.n_matched == oracle
+
+
+@given(
+    rows_b=counter_matrices,
+    rows_a=counter_matrices,
+    epsilon=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=30, deadline=None)
+def test_hybrid_agrees_with_exact_baseline(rows_b, rows_a, epsilon):
+    b, a = make_couple(rows_b, rows_a)
+    hybrid = csj_similarity(
+        b, a, epsilon=epsilon, method="ex-hybrid", matcher="hopcroft_karp"
+    )
+    baseline = csj_similarity(
+        b, a, epsilon=epsilon, method="ex-baseline", matcher="hopcroft_karp"
+    )
+    assert hybrid.n_matched == baseline.n_matched
+    assert_valid_matching(hybrid.pair_tuples(), b.vectors, a.vectors, epsilon)
+
+
+@given(rows=counter_matrices, epsilon=st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_self_join_is_full_similarity(rows, epsilon):
+    vectors = np.array(rows, dtype=np.int64)
+    b = Community("B", vectors)
+    a = Community("A", vectors)
+    result = csj_similarity(b, a, epsilon=epsilon, method="ex-minmax")
+    # Every user matches at least itself, so a perfect matching exists.
+    assert result.similarity == 1.0

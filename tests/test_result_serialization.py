@@ -1,0 +1,63 @@
+"""Tests for CSJResult (de)serialisation (to_dict / from_dict)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import csj_similarity
+from repro.core.errors import ValidationError
+from repro.core.types import Community, CSJResult
+from tests.conftest import random_couple
+
+
+@pytest.fixture
+def result() -> CSJResult:
+    vectors_b, vectors_a = random_couple(123)
+    return csj_similarity(
+        Community("B", vectors_b), Community("A", vectors_a), epsilon=1,
+        method="ex-minmax", engine="python",
+    )
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, result):
+        restored = CSJResult.from_dict(result.to_dict())
+        assert restored.method == result.method
+        assert restored.exact == result.exact
+        assert restored.pair_tuples() == result.pair_tuples()
+        assert restored.similarity == pytest.approx(result.similarity)
+        assert restored.events.as_dict() == result.events.as_dict()
+        assert restored.engine == result.engine
+
+    def test_json_round_trip(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = CSJResult.from_dict(payload)
+        assert restored.n_matched == result.n_matched
+
+    def test_to_dict_is_json_serialisable(self, result):
+        json.dumps(result.to_dict())  # must not raise
+
+    def test_minimal_payload(self):
+        restored = CSJResult.from_dict(
+            {
+                "method": "ex-minmax",
+                "exact": True,
+                "size_b": 4,
+                "size_a": 5,
+                "epsilon": 1,
+            }
+        )
+        assert restored.n_matched == 0
+        assert restored.similarity == 0.0
+
+    def test_similarity_consistency_enforced(self, result):
+        payload = result.to_dict()
+        payload["similarity"] = 0.987654
+        with pytest.raises(ValidationError, match="disagrees"):
+            CSJResult.from_dict(payload)
+
+    def test_stored_similarity_matches(self, result):
+        payload = result.to_dict()
+        assert payload["similarity"] == pytest.approx(result.similarity)

@@ -1,0 +1,83 @@
+"""Tests for experiment result persistence (repro.analysis.results_io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import render_method_table, run_method_table, run_scalability
+from repro.analysis.results_io import (
+    load_scalability_cells,
+    load_table_run,
+    save_scalability_cells,
+    save_table_run,
+)
+from repro.core.errors import ValidationError
+
+TINY = 1 / 2048
+
+
+@pytest.fixture(scope="module")
+def table_run():
+    return run_method_table(4, scale=TINY, seed=7)
+
+
+class TestTableRunRoundTrip:
+    def test_round_trip_preserves_cells(self, tmp_path, table_run):
+        path = save_table_run(tmp_path / "t4.json", table_run)
+        restored = load_table_run(path)
+        assert restored.table == table_run.table
+        assert restored.methods == table_run.methods
+        assert len(restored.rows) == len(table_run.rows)
+        for original, loaded in zip(table_run.rows, restored.rows):
+            assert loaded.spec.c_id == original.spec.c_id
+            for method in table_run.methods:
+                assert loaded.results[method].n_matched == (
+                    original.results[method].n_matched
+                )
+                assert loaded.results[method].similarity == pytest.approx(
+                    original.results[method].similarity
+                )
+
+    def test_restored_run_renders(self, tmp_path, table_run):
+        path = save_table_run(tmp_path / "t4.json", table_run)
+        rendered = render_method_table(load_table_run(path))
+        assert "Table 4" in rendered
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such results"):
+            load_table_run(tmp_path / "ghost.json")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValidationError, match="not a table-run"):
+            load_table_run(path)
+
+    def test_unknown_couple_rejected(self, tmp_path, table_run):
+        path = save_table_run(tmp_path / "t4.json", table_run)
+        payload = json.loads(path.read_text())
+        payload["rows"][0]["c_id"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="unknown couple"):
+            load_table_run(path)
+
+
+class TestScalabilityRoundTrip:
+    def test_round_trip(self, tmp_path):
+        cells = run_scalability(
+            scale=TINY, categories=("Job_search",), steps=(1, 2)
+        )
+        path = save_scalability_cells(tmp_path / "t11.json", cells, scale=TINY)
+        restored, scale = load_scalability_cells(path)
+        assert scale == TINY
+        assert [c.average_size for c in restored] == [
+            c.average_size for c in cells
+        ]
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValidationError, match="not a scalability"):
+            load_scalability_cells(path)

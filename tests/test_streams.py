@@ -1,0 +1,107 @@
+"""Tests for the like-event stream simulator (repro.datasets.streams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.incremental import IncrementalCommunity
+from repro.datasets.streams import LikeEvent, LikeStreamSimulator, replay
+
+
+def make_community(n_users: int = 5, n_dims: int = 6) -> IncrementalCommunity:
+    rng = np.random.default_rng(3)
+    return IncrementalCommunity(
+        "Stream", n_dims, vectors=rng.integers(0, 10, size=(n_users, n_dims))
+    )
+
+
+class TestLikeEvent:
+    def test_category_name(self):
+        event = LikeEvent(tick=1, user_id=0, dimension=0)
+        assert event.category == "Entertainment"
+
+    def test_category_out_of_range(self):
+        event = LikeEvent(tick=1, user_id=0, dimension=99)
+        assert event.category == "dim_99"
+
+
+class TestSimulator:
+    def test_events_reference_subscribers(self):
+        community = make_community()
+        simulator = LikeStreamSimulator(community, seed=1)
+        for event in simulator.events(50):
+            assert event.user_id in community
+            assert 0 <= event.dimension < community.n_dims
+
+    def test_ticks_are_sequential(self):
+        community = make_community()
+        simulator = LikeStreamSimulator(community, seed=1)
+        ticks = [event.tick for event in simulator.events(10)]
+        assert ticks == list(range(1, 11))
+
+    def test_reproducible_across_runs(self):
+        events_a = list(
+            LikeStreamSimulator(make_community(), seed=5).events(30)
+        )
+        events_b = list(
+            LikeStreamSimulator(make_community(), seed=5).events(30)
+        )
+        assert events_a == events_b
+
+    def test_different_seeds_differ(self):
+        events_a = list(LikeStreamSimulator(make_community(), seed=1).events(30))
+        events_b = list(LikeStreamSimulator(make_community(), seed=2).events(30))
+        assert events_a != events_b
+
+    def test_reinforcement_favours_existing_preferences(self):
+        community = IncrementalCommunity(
+            "Biased", 4, vectors=np.array([[100, 0, 0, 0]])
+        )
+        simulator = LikeStreamSimulator(community, seed=1, reinforcement=1.0)
+        events = list(simulator.events(40))
+        # With full reinforcement the dominant dimension keeps winning.
+        assert sum(1 for e in events if e.dimension == 0) >= 35
+
+    def test_invalid_reinforcement(self):
+        with pytest.raises(ConfigurationError):
+            LikeStreamSimulator(make_community(), reinforcement=1.5)
+
+    def test_empty_community_rejected(self):
+        empty = IncrementalCommunity("Empty", 3)
+        simulator = LikeStreamSimulator(empty, seed=1)
+        with pytest.raises(ConfigurationError, match="no subscribers"):
+            list(simulator.events(1))
+
+    def test_negative_n_rejected(self):
+        simulator = LikeStreamSimulator(make_community(), seed=1)
+        with pytest.raises(ConfigurationError):
+            list(simulator.events(-1))
+
+
+class TestReplay:
+    def test_replay_applies_all_events(self):
+        community = make_community()
+        before = community.snapshot().vectors.sum()
+        events = list(LikeStreamSimulator(community, seed=2).events(25))
+        applied = replay(community, events)
+        assert applied == 25
+        assert community.snapshot().vectors.sum() == before + 25
+
+    def test_replay_skips_departed_users(self):
+        community = make_community(n_users=3)
+        events = [
+            LikeEvent(tick=1, user_id=0, dimension=0),
+            LikeEvent(tick=2, user_id=1, dimension=0),
+        ]
+        community.unsubscribe(1)
+        assert replay(community, events) == 1
+
+    def test_counters_only_grow(self):
+        community = make_community()
+        before = community.snapshot().vectors
+        events = LikeStreamSimulator(community, seed=4).events(60)
+        replay(community, events)
+        after = community.snapshot().vectors
+        assert (after >= before).all()

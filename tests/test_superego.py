@@ -1,0 +1,186 @@
+"""Tests for Ap-SuperEGO and Ex-SuperEGO (repro.algorithms.superego)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.baseline import ExBaseline
+from repro.algorithms.superego import ApSuperEGO, ExSuperEGO, ego_order, grid_cells
+from repro.core.errors import ConfigurationError
+from repro.core.types import Community
+from tests.conftest import (
+    assert_valid_matching,
+    brute_force_candidate_pairs,
+    maximum_matching_size,
+    random_couple,
+)
+
+
+class TestGridHelpers:
+    def test_grid_cells_basic(self):
+        vectors = np.array([[0, 14, 15, 29]])
+        assert grid_cells(vectors, 15).tolist() == [[0, 0, 1, 1]]
+
+    def test_grid_cells_zero_width_degenerates(self):
+        vectors = np.array([[0, 3, 7]])
+        assert grid_cells(vectors, 0).tolist() == [[0, 3, 7]]
+
+    def test_ego_order_sorts_lexicographically(self):
+        cells = np.array([[1, 0], [0, 1], [0, 0]])
+        order = ego_order(cells, np.array([0, 1]))
+        assert cells[order].tolist() == [[0, 0], [0, 1], [1, 0]]
+
+    def test_ego_order_respects_dim_priority(self):
+        cells = np.array([[1, 0], [0, 1]])
+        # Dimension 1 first: row with cell 0 in dim 1 sorts first.
+        order = ego_order(cells, np.array([1, 0]))
+        assert cells[order].tolist() == [[1, 0], [0, 1]]
+
+
+class TestRawModeEquivalence:
+    """With use_normalized=False the join condition is the exact CSJ one,
+    so SuperEGO must agree with the brute-force oracle exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ex_superego_raw_equals_baseline(self, seed):
+        vectors_b, vectors_a = random_couple(seed)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        superego = ExSuperEGO(1, use_normalized=False, t=4).join(b, a)
+        baseline = ExBaseline(1).join(b, a)
+        assert superego.n_matched == baseline.n_matched
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_raw_hopcroft_karp_reaches_maximum(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 40)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ExSuperEGO(
+            1, use_normalized=False, matcher="hopcroft_karp", t=4
+        ).join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(vectors_b, vectors_a, 1)
+        )
+        assert result.n_matched == oracle
+
+    @pytest.mark.parametrize("t", [2, 4, 16, 64])
+    def test_threshold_does_not_change_result(self, t):
+        vectors_b, vectors_a = random_couple(3)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        reference = ExSuperEGO(1, use_normalized=False, t=4).join(b, a)
+        varied = ExSuperEGO(1, use_normalized=False, t=t).join(b, a)
+        assert varied.n_matched == reference.n_matched
+
+    def test_pruning_actually_fires_on_separated_data(self):
+        b = Community("B", np.zeros((20, 4), dtype=np.int64))
+        a = Community("A", np.full((20, 4), 1000, dtype=np.int64))
+        algorithm = ExSuperEGO(1, use_normalized=False, t=4)
+        result = algorithm.join(b, a)
+        assert result.n_matched == 0
+        # EGO-strategy prunes are reported as MIN PRUNE events.
+        assert result.events.min_prune >= 1
+        # The whole rectangle must be pruned without any comparison.
+        assert result.events.comparisons == 0
+
+
+class TestNormalizedMode:
+    """The paper's adaptation: aggregate epsilon over normalised data."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_returned_pairs_satisfy_true_condition(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 70)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        for algorithm in (ApSuperEGO(1, t=4), ExSuperEGO(1, t=4)):
+            result = algorithm.join(b, a)
+            assert_valid_matching(result.pair_tuples(), b.vectors, a.vectors, 1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_beats_true_exact(self, seed):
+        # False candidates can only waste users: the verified count is
+        # bounded by the true maximum matching.
+        vectors_b, vectors_a = random_couple(seed + 100)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        superego = ExSuperEGO(1, t=4).join(b, a)
+        oracle = maximum_matching_size(
+            brute_force_candidate_pairs(vectors_b, vectors_a, 1)
+        )
+        assert superego.n_matched <= oracle
+
+    def test_aggregate_condition_superset(self):
+        # A pair violating per-dimension epsilon but within the
+        # aggregate ball is matched internally and then discarded,
+        # consuming the user: the loss mechanism of Tables 3-6.
+        vectors_b = np.array([[10, 10, 10], [12, 10, 10]])
+        # a0 differs from b0 by 3 in one dim (aggregate 3 <= d*eps = 3).
+        vectors_a = np.array([[13, 10, 10], [12, 11, 10]])
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ApSuperEGO(1, t=2).join(b, a)
+        # b0 grabs a0 under the aggregate condition, the pair fails
+        # verification, so at most b1's pair survives.
+        assert result.n_matched <= 1
+
+    def test_explicit_max_value_used(self):
+        vectors_b, vectors_a = random_couple(1)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        fixed = ExSuperEGO(1, max_value=1000, t=4).join(b, a)
+        auto = ExSuperEGO(1, t=4).join(b, a)
+        # Different normalisation must not invalidate the matching.
+        assert_valid_matching(fixed.pair_tuples(), b.vectors, a.vectors, 1)
+        assert fixed.n_matched <= max(auto.n_matched + 5, auto.n_matched)
+
+
+class TestParallelCollection:
+    """The paper notes SuperEGO can run in parallel; Ex parallelises."""
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_parallel_equals_serial(self, seed, n_jobs):
+        vectors_b, vectors_a = random_couple(seed + 300)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        serial = ExSuperEGO(1, t=4).join(b, a)
+        parallel = ExSuperEGO(1, t=4, n_jobs=n_jobs).join(b, a)
+        assert set(serial.pair_tuples()) == set(parallel.pair_tuples())
+
+    def test_parallel_raw_mode(self):
+        vectors_b, vectors_a = random_couple(77)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        serial = ExSuperEGO(1, use_normalized=False, t=4).join(b, a)
+        parallel = ExSuperEGO(1, use_normalized=False, t=4, n_jobs=3).join(b, a)
+        assert set(serial.pair_tuples()) == set(parallel.pair_tuples())
+
+    def test_more_jobs_than_rows(self):
+        vectors_b, vectors_a = random_couple(5, n_b=4, n_a=6)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ExSuperEGO(1, t=2, n_jobs=16).join(b, a)
+        result.check_one_to_one()
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ExSuperEGO(1, n_jobs=0)
+
+    def test_python_engine_stays_serial(self):
+        vectors_b, vectors_a = random_couple(9)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        result = ExSuperEGO(1, t=4, n_jobs=4, engine="python").join(b, a)
+        reference = ExSuperEGO(1, t=4, engine="python").join(b, a)
+        assert set(result.pair_tuples()) == set(reference.pair_tuples())
+
+
+class TestConfiguration:
+    def test_t_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            ExSuperEGO(1, t=1)
+
+    def test_names_and_flags(self):
+        assert ApSuperEGO(1).name == "ap-superego"
+        assert ApSuperEGO(1).exact is False
+        assert ExSuperEGO(1).name == "ex-superego"
+        assert ExSuperEGO(1).exact is True
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_engines_agree(self, seed):
+        vectors_b, vectors_a = random_couple(seed + 7)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+        for cls in (ApSuperEGO, ExSuperEGO):
+            python = cls(1, engine="python", t=4).join(b, a)
+            numpy_ = cls(1, engine="numpy", t=4).join(b, a)
+            assert set(python.pair_tuples()) == set(numpy_.pair_tuples())

@@ -1,0 +1,84 @@
+"""Tests for the top-k community pair operator (repro.apps.topk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import top_k_pairs
+from repro.core.errors import ConfigurationError
+from repro.core.types import Community
+
+
+def community_family(seed: int = 0) -> list[Community]:
+    """Four communities with a controlled overlap hierarchy."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 50, size=(80, 5))
+
+    def variant(name: str, keep: float, shift: int) -> Community:
+        n_keep = int(keep * len(base))
+        kept = np.maximum(base[:n_keep] + rng.integers(-1, 2, size=(n_keep, 5)), 0)
+        fresh = rng.integers(500 + shift, 600 + shift, size=(len(base) - n_keep, 5))
+        return Community(name, np.concatenate([kept, fresh]))
+
+    return [
+        Community("base", base),
+        variant("close", 0.7, 0),
+        variant("mid", 0.4, 1000),
+        variant("far", 0.1, 2000),
+    ]
+
+
+class TestTopK:
+    def test_orders_by_similarity(self):
+        communities = community_family()
+        scores = top_k_pairs(communities, epsilon=1, k=3)
+        assert len(scores) == 3
+        similarities = [score.similarity for score in scores]
+        assert similarities == sorted(similarities, reverse=True)
+        top_pair = {scores[0].name_b, scores[0].name_a}
+        assert top_pair == {"base", "close"}
+
+    def test_k_one(self):
+        communities = community_family()
+        scores = top_k_pairs(communities, epsilon=1, k=1)
+        assert len(scores) == 1
+
+    def test_k_larger_than_pair_count(self):
+        communities = community_family()[:2]
+        scores = top_k_pairs(communities, epsilon=1, k=10)
+        assert len(scores) == 1  # only one joinable pair exists
+
+    def test_refined_results_are_exact(self):
+        communities = community_family()
+        scores = top_k_pairs(communities, epsilon=1, k=2)
+        for score in scores:
+            assert score.result.exact
+            assert score.result.method == "ex-minmax"
+
+    def test_size_ratio_pairs_skipped(self):
+        rng = np.random.default_rng(1)
+        small = Community("small", rng.integers(0, 9, size=(10, 3)))
+        giant = Community("giant", rng.integers(0, 9, size=(100, 3)))
+        scores = top_k_pairs([small, giant], epsilon=1, k=5)
+        assert scores == []
+
+    def test_duplicate_names_rejected(self):
+        rng = np.random.default_rng(2)
+        twin = Community("twin", rng.integers(0, 9, size=(10, 3)))
+        with pytest.raises(ConfigurationError, match="unique"):
+            top_k_pairs([twin, twin], epsilon=1, k=1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_pairs(community_family(), epsilon=1, k=0)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ConfigurationError):
+            top_k_pairs(community_family(), epsilon=1, k=1, screen_margin=0.0)
+
+    def test_label(self):
+        communities = community_family()
+        score = top_k_pairs(communities, epsilon=1, k=1)[0]
+        assert score.label.startswith("<")
+        assert score.name_b in score.label

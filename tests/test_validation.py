@@ -1,0 +1,122 @@
+"""Unit tests for input validation (repro.core.validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, SizeRatioError, ValidationError
+from repro.core.types import Community
+from repro.core.validation import (
+    check_dimensions,
+    check_size_ratio,
+    orient_pair,
+    validate_epsilon,
+    validate_pair,
+)
+
+
+def community(n: int, d: int = 3, name: str = "c") -> Community:
+    return Community(name, np.ones((n, d), dtype=np.int64))
+
+
+class TestDimensions:
+    def test_matching_dimensions_pass(self):
+        check_dimensions(community(3, 4), community(5, 4))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError) as excinfo:
+            check_dimensions(community(3, 4), community(5, 6))
+        assert excinfo.value.dims_b == 4
+        assert excinfo.value.dims_a == 6
+
+
+class TestSizeRatio:
+    def test_equal_sizes_pass(self):
+        check_size_ratio(community(10), community(10))
+
+    def test_exact_half_boundary_even(self):
+        # |A| = 10 -> ceil(10/2) = 5 is allowed.
+        check_size_ratio(community(5), community(10))
+
+    def test_below_half_rejected_even(self):
+        with pytest.raises(SizeRatioError):
+            check_size_ratio(community(4), community(10))
+
+    def test_ceiling_boundary_odd(self):
+        # |A| = 11 -> ceil(11/2) = 6; 5 must fail, 6 must pass.
+        check_size_ratio(community(6), community(11))
+        with pytest.raises(SizeRatioError):
+            check_size_ratio(community(5), community(11))
+
+    def test_b_larger_than_a_rejected(self):
+        with pytest.raises(SizeRatioError):
+            check_size_ratio(community(11), community(10))
+
+
+class TestOrientPair:
+    def test_keeps_order_when_first_smaller(self):
+        b, a = community(3, name="small"), community(5, name="big")
+        oriented_b, oriented_a, swapped = orient_pair(b, a)
+        assert not swapped
+        assert oriented_b.name == "small"
+
+    def test_swaps_when_first_larger(self):
+        big, small = community(5, name="big"), community(3, name="small")
+        oriented_b, oriented_a, swapped = orient_pair(big, small)
+        assert swapped
+        assert oriented_b.name == "small"
+        assert oriented_a.name == "big"
+
+    def test_tie_keeps_caller_order(self):
+        first, second = community(4, name="first"), community(4, name="second")
+        oriented_b, _, swapped = orient_pair(first, second)
+        assert not swapped
+        assert oriented_b.name == "first"
+
+
+class TestValidateEpsilon:
+    def test_accepts_zero(self):
+        assert validate_epsilon(0) == 0
+
+    def test_accepts_positive(self):
+        assert validate_epsilon(15000) == 15000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            validate_epsilon(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            validate_epsilon(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            validate_epsilon(1.5)
+
+
+class TestValidatePair:
+    def test_auto_orient_and_ratio(self):
+        big, small = community(6, name="big"), community(4, name="small")
+        oriented_b, oriented_a, swapped = validate_pair(big, small)
+        assert swapped
+        assert oriented_b.name == "small"
+
+    def test_ratio_enforced_after_orientation(self):
+        with pytest.raises(SizeRatioError):
+            validate_pair(community(20), community(4))
+
+    def test_ratio_can_be_disabled(self):
+        oriented_b, oriented_a, _ = validate_pair(
+            community(2), community(20), enforce_size_ratio=False
+        )
+        assert oriented_b.n_users == 2
+
+    def test_no_auto_orient_keeps_order(self):
+        big, small = community(6), community(4)
+        with pytest.raises(SizeRatioError):
+            validate_pair(big, small, auto_orient=False)
+
+    def test_dimension_check_runs_first(self):
+        with pytest.raises(DimensionMismatchError):
+            validate_pair(community(3, d=2), community(3, d=5))
