@@ -1,0 +1,197 @@
+"""Batch engine benchmark: serial vs parallel vs cache-warm top-k.
+
+The broadcast scenario (Section 1.2 ii.b) at platform scale: a fleet of
+communities spread over distinct activity bands (families perturbing
+shared archetypes, bands far apart in like-counts), ranked for the
+global top-k most similar pairs.  Four executions of the identical
+workload are timed:
+
+* ``reference`` — the pre-engine serial ``top_k_pairs`` loop (no
+  envelope screen, no cache, in-process);
+* ``engine_serial`` — the batch engine at ``n_jobs=1``;
+* ``engine_parallel`` — the batch engine at ``n_jobs=4`` over the
+  shared-memory vector store;
+* ``engine_cached`` — a second engine run against a warm join cache.
+
+All four must produce byte-identical pair rankings (asserted via a
+canonical JSON serialisation), and at full scale the parallel engine
+must beat the reference path.  Results are recorded in
+``BENCH_engine.json`` at the repository root.
+
+Runs are marked with the ``bench`` marker and excluded from tier-1;
+``scripts/bench_smoke.sh`` runs a tiny-scale variant (which skips the
+speedup assertion — at toy sizes fixed pool overhead dominates).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps import top_k_pairs, top_k_pairs_reference
+from repro.core.types import Community
+from repro.engine import JoinResultCache
+
+#: Workload knobs (overridable for the smoke-scale run).
+BANDS = int(os.environ.get("REPRO_BENCH_ENGINE_BANDS", 12))
+PER_BAND = int(os.environ.get("REPRO_BENCH_ENGINE_PER_BAND", 4))
+USERS = int(os.environ.get("REPRO_BENCH_ENGINE_USERS", 200))
+DIMS = int(os.environ.get("REPRO_BENCH_ENGINE_DIMS", 8))
+EPSILON = int(os.environ.get("REPRO_BENCH_ENGINE_EPSILON", 2))
+TOP_K = int(os.environ.get("REPRO_BENCH_ENGINE_K", 10))
+N_JOBS = int(os.environ.get("REPRO_BENCH_ENGINE_N_JOBS", 4))
+#: Smoke mode checks correctness only (pool overhead dominates tiny runs).
+SMOKE = os.environ.get("REPRO_BENCH_ENGINE_SMOKE", "0") == "1"
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def build_fleet(seed: int = 7) -> list[Community]:
+    """Communities in ``BANDS`` activity bands of ``PER_BAND`` members.
+
+    Members of a band perturb the same archetype matrix (real join work,
+    non-trivial similarity); bands are separated by far more than
+    epsilon in every dimension, so inter-band pairs are exactly the
+    envelope pre-screen's provably-zero case.
+    """
+    rng = np.random.default_rng(seed)
+    fleet: list[Community] = []
+    for band in range(BANDS):
+        base = rng.integers(0, 40, size=(USERS, DIMS)) + 600 * band
+        for member in range(PER_BAND):
+            noise = rng.integers(-1, 2, size=(USERS, DIMS))
+            fleet.append(
+                Community(f"band{band:02d}-m{member}", np.maximum(base + noise, 0))
+            )
+    return fleet
+
+
+def ranking_bytes(scores) -> bytes:
+    """Canonical byte serialisation of a top-k ranking."""
+    return json.dumps(
+        [
+            {
+                "name_b": score.name_b,
+                "name_a": score.name_a,
+                "similarity": repr(score.similarity),
+                "matching": score.result.pair_tuples(),
+            }
+            for score in scores
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+def timed(label: str, func):
+    started = time.perf_counter()
+    result = func()
+    elapsed = time.perf_counter() - started
+    print(f"  {label:16s} {elapsed:8.3f}s")
+    return result, elapsed
+
+
+@pytest.mark.bench
+def bench_engine_batch(report_writer):
+    fleet = build_fleet()
+    kwargs = dict(epsilon=EPSILON, k=TOP_K)
+
+    reference, t_reference = timed(
+        "reference", lambda: top_k_pairs_reference(fleet, **kwargs)
+    )
+    serial, t_serial = timed(
+        "engine n_jobs=1", lambda: top_k_pairs(fleet, n_jobs=1, **kwargs)
+    )
+    parallel, t_parallel = timed(
+        f"engine n_jobs={N_JOBS}",
+        lambda: top_k_pairs(fleet, n_jobs=N_JOBS, **kwargs),
+    )
+    cache = JoinResultCache(max_entries=4096)
+    timed("cache cold fill", lambda: top_k_pairs(fleet, cache=cache, **kwargs))
+    cached, t_cached = timed(
+        "engine cache-warm", lambda: top_k_pairs(fleet, cache=cache, **kwargs)
+    )
+
+    expected = ranking_bytes(reference)
+    assert ranking_bytes(serial) == expected
+    assert ranking_bytes(parallel) == expected
+    assert ranking_bytes(cached) == expected
+    assert cache.hits > 0
+
+    n_communities = len(fleet)
+    payload = {
+        "workload": {
+            "communities": n_communities,
+            "bands": BANDS,
+            "per_band": PER_BAND,
+            "users_per_community": USERS,
+            "dims": DIMS,
+            "epsilon": EPSILON,
+            "k": TOP_K,
+            "all_pairs": n_communities * (n_communities - 1) // 2,
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "n_jobs": N_JOBS,
+            "smoke": SMOKE,
+        },
+        "seconds": {
+            "reference_serial_topk": round(t_reference, 4),
+            "engine_serial": round(t_serial, 4),
+            "engine_parallel": round(t_parallel, 4),
+            "engine_cache_warm": round(t_cached, 4),
+        },
+        "speedup_vs_reference": {
+            "engine_serial": round(t_reference / t_serial, 2),
+            "engine_parallel": round(t_reference / t_parallel, 2),
+            "engine_cache_warm": round(t_reference / t_cached, 2),
+        },
+        "cache": cache.stats(),
+        "rankings_byte_identical": True,
+    }
+    report = json.dumps(payload, indent=2)
+    report_writer("engine_batch", report)
+    if not SMOKE:
+        _JSON_PATH.write_text(report + "\n")
+        print(f"[results recorded in {_JSON_PATH}]")
+        assert t_parallel < t_reference, (
+            f"parallel engine ({t_parallel:.3f}s) did not beat the serial "
+            f"reference top-k path ({t_reference:.3f}s)"
+        )
+
+
+@pytest.mark.bench
+def bench_engine_sweep_cache(report_writer):
+    """Repeated epsilon sweeps: the join cache removes the second pass."""
+    from repro.analysis.sweeps import epsilon_sweep
+
+    fleet = build_fleet()
+    community_b, community_a = fleet[0], fleet[1]
+    epsilons = sorted({0, 1, EPSILON, 2 * EPSILON, 4 * EPSILON})
+    cache = JoinResultCache(max_entries=1024)
+
+    cold, t_cold = timed(
+        "sweep cold",
+        lambda: epsilon_sweep(
+            community_b, community_a, epsilons=epsilons, cache=cache
+        ),
+    )
+    warm, t_warm = timed(
+        "sweep warm",
+        lambda: epsilon_sweep(
+            community_b, community_a, epsilons=epsilons, cache=cache
+        ),
+    )
+    assert [p.similarity_percent for p in cold] == [
+        p.similarity_percent for p in warm
+    ]
+    assert cache.hits >= len(epsilons)
+    report_writer(
+        "engine_sweep_cache",
+        f"epsilon sweep x{len(epsilons)}: cold {t_cold:.3f}s, "
+        f"warm {t_warm:.3f}s ({cache.stats()})",
+    )

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tiny-scale smoke run of the engine benchmarks.
+#
+# Exercises the full bench code path (reference vs engine-serial vs
+# engine-parallel vs cache-warm, byte-identical ranking assertions) in a
+# few seconds.  Smoke mode skips the speedup assertion and does NOT
+# overwrite BENCH_engine.json — run the bench without these knobs to
+# record real numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export REPRO_BENCH_ENGINE_SMOKE=1
+export REPRO_BENCH_ENGINE_BANDS=3
+export REPRO_BENCH_ENGINE_PER_BAND=3
+export REPRO_BENCH_ENGINE_USERS=40
+export REPRO_BENCH_ENGINE_DIMS=5
+export REPRO_BENCH_ENGINE_N_JOBS=2
+
+PYTHONPATH=src python -m pytest benchmarks/bench_engine_batch.py -m bench -q -s "$@"

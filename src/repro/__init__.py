@@ -52,6 +52,14 @@ from .datasets import (
     VKGenerator,
     build_couple,
 )
+from .engine import (
+    BatchEngine,
+    Disposition,
+    JoinResultCache,
+    PairJob,
+    PairOutcome,
+    community_fingerprint,
+)
 
 from ._version import __version__  # noqa: E402
 
@@ -86,6 +94,12 @@ __all__ = [
     "build_couple",
     "VK_EPSILON",
     "SYNTHETIC_EPSILON",
+    "BatchEngine",
+    "Disposition",
+    "JoinResultCache",
+    "PairJob",
+    "PairOutcome",
+    "community_fingerprint",
 ]
 
 

@@ -65,16 +65,28 @@ class ApBaseline(CSJAlgorithm):
     ) -> list[tuple[int, int]]:
         n_a = len(vectors_a)
         used_a = np.zeros(n_a, dtype=bool)
+        offset = 0
         pairs: list[tuple[int, int]] = []
         for b_index, vector_b in enumerate(vectors_b):
+            while offset < n_a and used_a[offset]:
+                offset += 1
             mask = linf_match_mask(vector_b, vectors_a, self.epsilon)
             mask &= ~used_a
             candidates = np.flatnonzero(mask)
             if candidates.size:
                 a_index = int(candidates[0])
+                # The python engine scans free slots in order and fails
+                # on every free a before the first fit.
+                trace.emit_bulk(
+                    EventType.NO_MATCH, int(np.count_nonzero(~used_a[offset:a_index]))
+                )
                 used_a[a_index] = True
                 pairs.append((b_index, a_index))
                 trace.emit_bulk(EventType.MATCH, 1)
+            else:
+                trace.emit_bulk(
+                    EventType.NO_MATCH, int(np.count_nonzero(~used_a[offset:]))
+                )
         return pairs
 
 
@@ -124,6 +136,9 @@ class ExBaseline(CSJAlgorithm):
             vectors_b, vectors_a, self.epsilon, block_size=self.block_size
         )
         trace.emit_bulk(EventType.MATCH, len(raw_pairs))
+        trace.emit_bulk(
+            EventType.NO_MATCH, len(vectors_b) * len(vectors_a) - len(raw_pairs)
+        )
         return self._select(raw_pairs, trace)
 
     def _select(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from ..algorithms import APPROXIMATE_METHODS, EXACT_METHODS, get_algorithm
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
+from ..engine import BatchEngine, JoinResultCache, PairJob
 from ..datasets.categories import CATEGORIES
 from ..datasets.couples import (
     DEFAULT_SCALE,
@@ -130,6 +131,29 @@ class TableRun:
         return paper_similarity(self.table, c_id, method)
 
 
+def _method_jobs(
+    first: int,
+    second: int,
+    methods: tuple[str, ...],
+    *,
+    epsilon: int,
+    engine: str,
+    method_options: dict[str, dict] | None,
+) -> list[PairJob]:
+    """One engine job per requested method for a couple at (first, second)."""
+    options = method_options or {}
+    return [
+        PairJob.build(
+            first,
+            second,
+            method,
+            epsilon,
+            {"engine": engine, **options.get(method, {})},
+        )
+        for method in methods
+    ]
+
+
 def run_couple(
     spec: CoupleSpec,
     generator: VKGenerator | SyntheticGenerator,
@@ -139,16 +163,25 @@ def run_couple(
     scale: float = DEFAULT_SCALE,
     engine: str = "numpy",
     method_options: dict[str, dict] | None = None,
+    n_jobs: int = 1,
+    cache: JoinResultCache | int | None = None,
 ) -> CoupleRun:
-    """Build one couple and run every requested method on it."""
+    """Build one couple and run every requested method on it.
+
+    The methods execute on the :class:`~repro.engine.BatchEngine`, so a
+    shared ``cache`` carries results across repeated calls and
+    ``n_jobs`` > 1 runs the methods in parallel worker processes.
+    """
     community_b, community_a = build_couple(spec, generator, scale=scale)
     run = CoupleRun(spec=spec, size_b=len(community_b), size_a=len(community_a))
-    options = method_options or {}
-    for method in methods:
-        algorithm = get_algorithm(
-            method, epsilon, engine=engine, **options.get(method, {})
-        )
-        run.results[method] = algorithm.join(community_b, community_a)
+    jobs = _method_jobs(
+        0, 1, methods, epsilon=epsilon, engine=engine, method_options=method_options
+    )
+    with BatchEngine(
+        [community_b, community_a], n_jobs=n_jobs, cache=cache
+    ) as batch_engine:
+        for job, outcome in zip(jobs, batch_engine.run(jobs)):
+            run.results[job.method] = outcome.result
     return run
 
 
@@ -161,8 +194,18 @@ def run_method_table(
     methods: tuple[str, ...] | None = None,
     couples: tuple[CoupleSpec, ...] | None = None,
     method_options: dict[str, dict] | None = None,
+    n_jobs: int = 1,
+    cache: JoinResultCache | int | None = None,
 ) -> TableRun:
-    """Regenerate one of Tables 3–10 at the given scale."""
+    """Regenerate one of Tables 3–10 at the given scale.
+
+    All couples are generated up front (dataset generation stays
+    deterministic and serial), then every ``couple x method`` join runs
+    as one :class:`~repro.engine.BatchEngine` batch: ``n_jobs`` > 1
+    spreads the joins over worker processes sharing the vectors through
+    shared memory, and ``cache`` makes sweep-style repeated table runs
+    (or overlapping tables) skip identical joins entirely.
+    """
     dataset = dataset_for_table(table)
     chosen_methods = methods if methods is not None else methods_for_table(table)
     chosen_couples = couples if couples is not None else couples_for_table(table)
@@ -175,18 +218,29 @@ def run_method_table(
         scale=scale,
         methods=tuple(chosen_methods),
     )
+    communities: list[Community] = []
     for spec in chosen_couples:
+        community_b, community_a = build_couple(spec, generator, scale=scale)
+        communities.extend((community_b, community_a))
         run.rows.append(
-            run_couple(
-                spec,
-                generator,
+            CoupleRun(spec=spec, size_b=len(community_b), size_a=len(community_a))
+        )
+    jobs: list[PairJob] = []
+    for row_index in range(len(chosen_couples)):
+        jobs.extend(
+            _method_jobs(
+                2 * row_index,
+                2 * row_index + 1,
                 tuple(chosen_methods),
                 epsilon=epsilon,
-                scale=scale,
                 engine=engine,
                 method_options=method_options,
             )
         )
+    with BatchEngine(communities, n_jobs=n_jobs, cache=cache) as batch_engine:
+        outcomes = batch_engine.run(jobs)
+    for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
+        run.rows[index // len(chosen_methods)].results[job.method] = outcome.result
     return run
 
 

@@ -14,14 +14,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..algorithms import get_algorithm
 from ..core.errors import ConfigurationError
-from ..core.types import Community
+from ..core.types import Community, CSJResult
 from ..datasets.couples import CoupleSpec, build_couple
 from ..datasets.synthetic import SyntheticGenerator
 from ..datasets.vk import VKGenerator
+from ..engine import BatchEngine, JoinResultCache, PairJob
 
 __all__ = ["SweepPoint", "epsilon_sweep", "scale_sweep", "render_sweep"]
+
+
+def _point(parameter: float, result: CSJResult) -> "SweepPoint":
+    return SweepPoint(
+        parameter=parameter,
+        similarity_percent=result.similarity_percent,
+        n_matched=result.n_matched,
+        elapsed_seconds=result.elapsed_seconds,
+    )
 
 
 @dataclass(frozen=True)
@@ -40,6 +49,8 @@ def epsilon_sweep(
     epsilons: list[int],
     *,
     method: str = "ex-minmax",
+    n_jobs: int = 1,
+    cache: JoinResultCache | int | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Similarity as a function of epsilon on a fixed couple.
@@ -48,25 +59,26 @@ def epsilon_sweep(
     threshold only adds candidate edges), which the returned curve
     exhibits; the interesting feature is *where* it saturates — the
     data's meaningful epsilon.
+
+    The joins run as one :class:`~repro.engine.BatchEngine` batch, so a
+    shared ``cache`` makes repeated sweeps over the same couple free and
+    ``n_jobs`` > 1 evaluates the epsilon grid in parallel.
     """
     if not epsilons:
         raise ConfigurationError("epsilon_sweep needs at least one epsilon")
     if sorted(epsilons) != list(epsilons):
         raise ConfigurationError("epsilons must be given in ascending order")
-    points: list[SweepPoint] = []
-    for epsilon in epsilons:
-        result = get_algorithm(method, epsilon, **options).join(
-            community_b, community_a
-        )
-        points.append(
-            SweepPoint(
-                parameter=float(epsilon),
-                similarity_percent=result.similarity_percent,
-                n_matched=result.n_matched,
-                elapsed_seconds=result.elapsed_seconds,
-            )
-        )
-    return points
+    jobs = [
+        PairJob.build(0, 1, method, epsilon, options) for epsilon in epsilons
+    ]
+    with BatchEngine(
+        [community_b, community_a], n_jobs=n_jobs, cache=cache
+    ) as engine:
+        outcomes = engine.run(jobs)
+    return [
+        _point(float(epsilon), outcome.result)
+        for epsilon, outcome in zip(epsilons, outcomes)
+    ]
 
 
 def scale_sweep(
@@ -76,30 +88,35 @@ def scale_sweep(
     *,
     epsilon: int,
     method: str = "ex-minmax",
+    n_jobs: int = 1,
+    cache: JoinResultCache | int | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Runtime as a function of couple size for one couple spec.
 
     Each point rebuilds the couple at the given scale and times the
-    method — a per-method generalisation of Table 11.
+    method — a per-method generalisation of Table 11.  The joins of all
+    scales execute as one :class:`~repro.engine.BatchEngine` batch.
     """
     if not scales:
         raise ConfigurationError("scale_sweep needs at least one scale")
-    points: list[SweepPoint] = []
+    communities: list[Community] = []
     for scale in scales:
         community_b, community_a = build_couple(spec, generator, scale=scale)
-        result = get_algorithm(method, epsilon, **options).join(
-            community_b, community_a
+        communities.extend((community_b, community_a))
+    jobs = [
+        PairJob.build(2 * index, 2 * index + 1, method, epsilon, options)
+        for index in range(len(scales))
+    ]
+    with BatchEngine(communities, n_jobs=n_jobs, cache=cache) as engine:
+        outcomes = engine.run(jobs)
+    return [
+        _point(
+            float(len(communities[2 * index]) + len(communities[2 * index + 1])) / 2,
+            outcome.result,
         )
-        points.append(
-            SweepPoint(
-                parameter=float(len(community_b) + len(community_a)) / 2,
-                similarity_percent=result.similarity_percent,
-                n_matched=result.n_matched,
-                elapsed_seconds=result.elapsed_seconds,
-            )
-        )
-    return points
+        for index, outcome in enumerate(outcomes)
+    ]
 
 
 def render_sweep(points: list[SweepPoint], *, parameter_name: str) -> str:

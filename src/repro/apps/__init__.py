@@ -1,6 +1,6 @@
 """Application layer: the recommendation scenarios of Section 1.2."""
 
-from .topk import PairScore, top_k_pairs
+from .topk import PairScore, top_k_pairs, top_k_pairs_reference
 from .recommendation import (
     BroadcastPlanner,
     BroadcastSlot,
@@ -15,6 +15,7 @@ from .recommendation import (
 __all__ = [
     "PairScore",
     "top_k_pairs",
+    "top_k_pairs_reference",
     "FriendRecommender",
     "FriendSuggestion",
     "PartnerRecommender",

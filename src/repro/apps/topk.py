@@ -6,6 +6,14 @@ priority order; Section 3 prescribes the economical execution: a fast
 approximate method screens all pairs, then the exact method refines
 only the survivors.  :func:`top_k_pairs` packages that pipeline over an
 arbitrary community collection.
+
+Both phases execute on the :class:`~repro.engine.BatchEngine`: the
+all-pairs screen and the refinement pool become batches of
+:class:`~repro.engine.PairJob` entries, which gives this operator the
+envelope pre-screen, the join-result cache and multi-process execution
+(``n_jobs``) for free.  ``top_k_pairs_reference`` preserves the
+pre-engine serial loop as a differential-testing oracle and as the
+baseline the engine benchmarks measure against.
 """
 
 from __future__ import annotations
@@ -16,8 +24,9 @@ from dataclasses import dataclass
 from ..algorithms import get_algorithm
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
+from ..engine import BatchEngine, JoinResultCache, PairJob, canonical_options
 
-__all__ = ["PairScore", "top_k_pairs"]
+__all__ = ["PairScore", "top_k_pairs", "top_k_pairs_reference"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +48,22 @@ def _joinable(first: Community, second: Community) -> bool:
     return len(small) * 2 >= len(large)
 
 
+def _validate(communities: list[Community], k: int, screen_margin: float) -> None:
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not 0.0 < screen_margin <= 1.0:
+        raise ConfigurationError(
+            f"screen_margin must be within (0, 1], got {screen_margin}"
+        )
+    names = [community.name for community in communities]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("community names must be unique for ranking")
+
+
+def _pool_size(n_screened: int, k: int, screen_margin: float) -> int:
+    return min(n_screened, max(k, int(round(k / screen_margin))))
+
+
 def top_k_pairs(
     communities: list[Community],
     *,
@@ -47,6 +72,9 @@ def top_k_pairs(
     screen_method: str = "ap-minmax",
     refine_method: str = "ex-minmax",
     screen_margin: float = 0.8,
+    n_jobs: int = 1,
+    cache: JoinResultCache | int | None = None,
+    envelope_screen: bool = True,
     **options: object,
 ) -> list[PairScore]:
     """The k most similar pairs among ``communities``.
@@ -58,30 +86,90 @@ def top_k_pairs(
 
     ``screen_margin`` < 1 widens the refinement pool to protect against
     approximate underestimation promoting the wrong pairs.
-    """
-    if k < 1:
-        raise ConfigurationError(f"k must be >= 1, got {k}")
-    if not 0.0 < screen_margin <= 1.0:
-        raise ConfigurationError(
-            f"screen_margin must be within (0, 1], got {screen_margin}"
-        )
-    names = [community.name for community in communities]
-    if len(set(names)) != len(names):
-        raise ConfigurationError("community names must be unique for ranking")
 
+    ``n_jobs`` > 1 distributes the joins across worker processes;
+    ``cache`` (an :class:`~repro.engine.JoinResultCache`, or an int
+    capacity) memoises joins across calls; ``envelope_screen`` skips
+    pairs whose min/max envelopes prove a zero similarity.  All three
+    leave the returned ranking identical to the serial computation.
+    """
+    _validate(communities, k, screen_margin)
+    job_options = canonical_options(options)
+    joinable = [
+        (i, j)
+        for i, j in itertools.combinations(range(len(communities)), 2)
+        if _joinable(communities[i], communities[j])
+    ]
+    with BatchEngine(
+        communities, n_jobs=n_jobs, screen=envelope_screen, cache=cache
+    ) as engine:
+        screen_jobs = [
+            PairJob(i, j, screen_method, epsilon, job_options) for i, j in joinable
+        ]
+        screened: list[tuple[float, int, int]] = [
+            (outcome.result.similarity, job.first, job.second)
+            for job, outcome in zip(screen_jobs, engine.run(screen_jobs))
+        ]
+        screened.sort(
+            key=lambda entry: (
+                -entry[0],
+                communities[entry[1]].name,
+                communities[entry[2]].name,
+            )
+        )
+        pool = screened[: _pool_size(len(screened), k, screen_margin)]
+        refine_jobs = [
+            PairJob(first, second, refine_method, epsilon, job_options)
+            for _, first, second in pool
+        ]
+        refined: list[PairScore] = []
+        for job, outcome in zip(refine_jobs, engine.run(refine_jobs)):
+            result = outcome.result
+            oriented = (
+                (job.second, job.first) if result.swapped else (job.first, job.second)
+            )
+            refined.append(
+                PairScore(
+                    name_b=communities[oriented[0]].name,
+                    name_a=communities[oriented[1]].name,
+                    similarity=result.similarity,
+                    result=result,
+                )
+            )
+    refined.sort(key=lambda score: (-score.similarity, score.name_b, score.name_a))
+    return refined[:k]
+
+
+def top_k_pairs_reference(
+    communities: list[Community],
+    *,
+    epsilon: int,
+    k: int,
+    screen_method: str = "ap-minmax",
+    refine_method: str = "ex-minmax",
+    screen_margin: float = 0.8,
+    **options: object,
+) -> list[PairScore]:
+    """Pre-engine serial implementation, kept as an oracle and baseline.
+
+    Joins every pair in-process with no envelope screen and no cache
+    (algorithm instances are still built once per phase).  The engine
+    tests assert :func:`top_k_pairs` matches this ranking exactly, and
+    ``benchmarks/bench_engine_batch.py`` measures the engine against it.
+    """
+    _validate(communities, k, screen_margin)
+    screener = get_algorithm(screen_method, epsilon, **options)
     screened: list[tuple[float, Community, Community]] = []
     for first, second in itertools.combinations(communities, 2):
         if not _joinable(first, second):
             continue
-        screener = get_algorithm(screen_method, epsilon, **options)
         result = screener.join(first, second)
         screened.append((result.similarity, first, second))
     screened.sort(key=lambda entry: (-entry[0], entry[1].name, entry[2].name))
 
-    pool_size = min(len(screened), max(k, int(round(k / screen_margin))))
+    refiner = get_algorithm(refine_method, epsilon, **options)
     refined: list[PairScore] = []
-    for _, first, second in screened[:pool_size]:
-        refiner = get_algorithm(refine_method, epsilon, **options)
+    for _, first, second in screened[: _pool_size(len(screened), k, screen_margin)]:
         result = refiner.join(first, second)
         oriented = (first, second) if not result.swapped else (second, first)
         refined.append(

@@ -39,6 +39,30 @@ from .datasets.categories import CATEGORIES
 __all__ = ["main", "build_parser"]
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Batch-engine knobs shared by the batch subcommands."""
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch engine (1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        metavar="ENTRIES",
+        help="join-result cache capacity (0 disables caching)",
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "n_jobs": args.n_jobs,
+        "cache": args.cache if args.cache > 0 else None,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-csj",
@@ -67,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print paper-vs-measured instead of the runtime layout",
         )
+        _add_engine_arguments(sub)
 
     table11 = subparsers.add_parser("table11", help="scalability (Table 11)")
     table11.add_argument("--scale", type=float, default=DEFAULT_SCALE)
@@ -88,6 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--epsilons", type=int, nargs="+", default=[0, 1, 2, 4, 8, 16]
     )
     sweep.add_argument("--method", choices=tuple(ALGORITHMS), default="ex-minmax")
+    _add_engine_arguments(sweep)
+
+    topk = subparsers.add_parser(
+        "topk", help="rank the most similar community pairs (batch engine)"
+    )
+    topk.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    topk.add_argument("--scale", type=float, default=DEFAULT_SCALE / 4)
+    topk.add_argument("--seed", type=int, default=7)
+    topk.add_argument("--k", type=int, default=5)
+    topk.add_argument(
+        "--couples",
+        type=int,
+        default=10,
+        choices=range(1, 21),
+        help="how many paper couples feed the community fleet (2 each)",
+    )
+    topk.add_argument(
+        "--epsilon", type=int, default=None, help="defaults to the dataset's epsilon"
+    )
+    topk.add_argument(
+        "--no-screen",
+        action="store_true",
+        help="disable the envelope pre-screen",
+    )
+    _add_engine_arguments(topk)
 
     events = subparsers.add_parser(
         "events", help="pruning-event breakdown on one couple (python engines)"
@@ -176,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
             community_a,
             epsilons=sorted(args.epsilons),
             method=args.method,
+            **_engine_kwargs(args),
         )
         print(
             f"cID {spec.c_id} on {args.dataset}: |B|={len(community_b)}, "
@@ -270,6 +321,50 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
         return 0 if report.passed else 1
 
+    if command == "topk":
+        import dataclasses
+
+        from .apps import top_k_pairs
+        from .datasets.couples import build_couple
+
+        generator = make_generator(args.dataset, seed=args.seed)
+        communities = []
+        for spec in PAPER_COUPLES[: args.couples]:
+            couple = build_couple(spec, generator, scale=args.scale)
+            for side, community in zip("BA", couple):
+                # Paper couple names repeat across cIDs; rankings need
+                # unique community names.
+                communities.append(
+                    dataclasses.replace(
+                        community, name=f"c{spec.c_id}{side}:{community.name}"
+                    )
+                )
+        epsilon = (
+            args.epsilon
+            if args.epsilon is not None
+            else epsilon_for_dataset(args.dataset)
+        )
+        scores = top_k_pairs(
+            communities,
+            epsilon=epsilon,
+            k=args.k,
+            envelope_screen=not args.no_screen,
+            **_engine_kwargs(args),
+        )
+        print(
+            f"top-{args.k} of {len(communities)} {args.dataset} communities "
+            f"(epsilon={epsilon}, n_jobs={args.n_jobs})"
+        )
+        for rank, score in enumerate(scores, start=1):
+            print(
+                f"{rank:3d}. {score.label}  "
+                f"{100 * score.similarity:6.2f}%  "
+                f"matched={score.result.n_matched}"
+            )
+        if not scores:
+            print("(no joinable pairs)")
+        return 0
+
     if command == "couple":
         spec = next(s for s in PAPER_COUPLES if s.c_id == args.cid)
         generator = make_generator(args.dataset, seed=args.seed)
@@ -288,7 +383,11 @@ def main(argv: list[str] | None = None) -> int:
 
     table = int(command.removeprefix("table"))
     run = run_method_table(
-        table, scale=args.scale, seed=args.seed, engine=args.engine
+        table,
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+        **_engine_kwargs(args),
     )
     if args.reference:
         print(render_method_table_with_reference(run))

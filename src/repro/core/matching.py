@@ -75,6 +75,10 @@ def enumerate_candidate_pairs(
     if block_size < 1:
         raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
     pairs: Pairs = []
+    # Same int64 widening as linf_match/linf_match_mask: narrow unsigned
+    # or small-int dtypes would otherwise wrap around in the subtraction.
+    vectors_b = vectors_b.astype(np.int64, copy=False)
+    vectors_a = vectors_a.astype(np.int64, copy=False)
     n_b, n_dims = vectors_b.shape
     n_a = len(vectors_a)
     for start in range(0, n_b, block_size):

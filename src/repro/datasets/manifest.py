@@ -11,15 +11,15 @@ datasets behind reported numbers are identical.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
 from .._version import __version__
 from ..core.errors import ValidationError
+# The manifest digest recipe is shared with the batch engine's
+# content-addressed join cache: one fingerprint certifies both.
+from ..engine.fingerprint import matrix_fingerprint as _matrix_digest
 from .couples import DEFAULT_SCALE, PAPER_COUPLES, build_couple
 from .synthetic import SyntheticGenerator
 from .vk import VKGenerator
@@ -27,13 +27,6 @@ from .vk import VKGenerator
 __all__ = ["CoupleFingerprint", "build_manifest", "verify_manifest", "save_manifest", "load_manifest"]
 
 _FORMAT = "repro.dataset-manifest.v1"
-
-
-def _matrix_digest(matrix: np.ndarray) -> str:
-    digest = hashlib.sha256()
-    digest.update(str(matrix.shape).encode())
-    digest.update(np.ascontiguousarray(matrix).tobytes())
-    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

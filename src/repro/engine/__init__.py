@@ -1,0 +1,34 @@
+"""Batch execution engine: parallel joins, pre-screening and caching.
+
+The substrate behind every batch workload (top-k pair ranking, the
+table harness, parameter sweeps): a :class:`BatchEngine` fans
+community-pair jobs out over worker processes backed by a shared-memory
+vector store, skips pairs whose min/max envelopes prove a zero
+similarity, and memoises results in a content-addressed LRU cache.
+"""
+
+from .batch import BatchEngine, Disposition, PairJob, PairOutcome
+from .cache import JoinResultCache, canonical_options, join_key
+from .envelope import Envelope, community_envelope, envelopes_separated
+from .fingerprint import community_fingerprint, matrix_fingerprint, pair_fingerprint
+from .shared import AttachedVectorStore, CommunitySpec, SharedVectorStore, StoreLayout
+
+__all__ = [
+    "BatchEngine",
+    "Disposition",
+    "PairJob",
+    "PairOutcome",
+    "JoinResultCache",
+    "canonical_options",
+    "join_key",
+    "Envelope",
+    "community_envelope",
+    "envelopes_separated",
+    "community_fingerprint",
+    "matrix_fingerprint",
+    "pair_fingerprint",
+    "SharedVectorStore",
+    "AttachedVectorStore",
+    "CommunitySpec",
+    "StoreLayout",
+]

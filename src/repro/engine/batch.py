@@ -1,0 +1,395 @@
+"""Parallel batch execution of community-pair joins.
+
+:class:`BatchEngine` evaluates an arbitrary list of :class:`PairJob`
+descriptions over a fixed community collection.  Each job passes three
+gates, cheapest first:
+
+1. **Envelope pre-screen** — if the pair's per-dimension envelopes are
+   separated by more than the job's epsilon, the similarity is provably
+   zero and the job resolves to a ``SCREENED`` outcome without running
+   the join.
+2. **Join-result cache** — a content-addressed LRU lookup keyed by the
+   oriented pair's fingerprints plus ``(epsilon, method, options)``;
+   hits resolve to ``CACHED`` outcomes.
+3. **Execution** — survivors run the actual join: in-process when
+   ``n_jobs == 1`` (the deterministic serial fallback), otherwise across
+   a ``ProcessPoolExecutor`` whose workers read vectors from a
+   shared-memory store instead of receiving pickled matrices.
+
+Joins are deterministic, so serial and parallel execution produce
+identical results; the tests assert this and the batch benchmarks rely
+on it.  Algorithm instances are built once per ``(method, epsilon,
+options)`` configuration — never per pair — both in the parent and in
+each worker.
+"""
+
+from __future__ import annotations
+
+import enum
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from typing import Iterable, Mapping, Sequence
+
+from ..algorithms import get_algorithm
+from ..algorithms.registry import ALGORITHMS
+from ..core.errors import ConfigurationError, UnknownAlgorithmError
+from ..core.types import Community, CSJResult, EventCounts
+from ..core.validation import validate_pair
+from .cache import JoinKey, JoinResultCache, canonical_options, join_key
+from .envelope import Envelope, community_envelope, envelopes_separated
+from .fingerprint import community_fingerprint
+from .shared import AttachedVectorStore, SharedVectorStore, StoreLayout
+
+__all__ = ["Disposition", "PairJob", "PairOutcome", "BatchEngine"]
+
+#: Label recorded in ``CSJResult.engine`` for screened-out pairs.
+SCREEN_ENGINE = "envelope-screen"
+
+
+class Disposition(enum.Enum):
+    """How the engine resolved one job."""
+
+    COMPUTED = "computed"  # the join actually ran
+    SCREENED = "screened"  # envelopes proved similarity 0
+    CACHED = "cached"  # served from the join-result cache
+
+
+@dataclass(frozen=True)
+class PairJob:
+    """One community-pair join request.
+
+    ``first``/``second`` index into the engine's community collection
+    (order is preserved — orientation to the paper's ``(B, A)``
+    convention happens inside the join exactly as in a direct call).
+    ``options`` is a canonical tuple as produced by
+    :func:`~repro.engine.cache.canonical_options`.
+    """
+
+    first: int
+    second: int
+    method: str
+    epsilon: int
+    options: tuple = ()
+
+    @classmethod
+    def build(
+        cls,
+        first: int,
+        second: int,
+        method: str,
+        epsilon: int,
+        options: Mapping[str, object] | None = None,
+    ) -> "PairJob":
+        """Convenience constructor canonicalising an options mapping."""
+        return cls(
+            first=first,
+            second=second,
+            method=method,
+            epsilon=epsilon,
+            options=canonical_options(options or {}),
+        )
+
+
+@dataclass
+class PairOutcome:
+    """The engine's answer to one :class:`PairJob`."""
+
+    job: PairJob
+    disposition: Disposition
+    result: CSJResult
+
+    @property
+    def similarity(self) -> float:
+        return self.result.similarity
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_WORKER_STORE: AttachedVectorStore | None = None
+_WORKER_ALGORITHMS: dict[tuple, object] = {}
+
+
+def _init_worker(layout: StoreLayout) -> None:
+    global _WORKER_STORE
+    _WORKER_STORE = AttachedVectorStore(layout)
+    _WORKER_ALGORITHMS.clear()
+
+
+def _worker_algorithm(method: str, epsilon: int, options: tuple):
+    key = (method, epsilon, options)
+    algorithm = _WORKER_ALGORITHMS.get(key)
+    if algorithm is None:
+        algorithm = get_algorithm(method, epsilon, **dict(options))
+        _WORKER_ALGORITHMS[key] = algorithm
+    return algorithm
+
+
+def _run_chunk(
+    chunk: list[tuple[int, int, int, str, int, tuple]], enforce_size_ratio: bool
+) -> list[tuple[int, dict]]:
+    """Execute a chunk of jobs against the attached store.
+
+    Each entry is ``(position, first, second, method, epsilon, options)``;
+    results travel back as ``CSJResult.to_dict`` payloads keyed by the
+    caller's position so reassembly is order-independent.
+    """
+    assert _WORKER_STORE is not None, "worker initialised without a store"
+    out: list[tuple[int, dict]] = []
+    for position, first, second, method, epsilon, options in chunk:
+        algorithm = _worker_algorithm(method, epsilon, options)
+        result = algorithm.join(
+            _WORKER_STORE.community(first),
+            _WORKER_STORE.community(second),
+            enforce_size_ratio=enforce_size_ratio,
+        )
+        out.append((position, result.to_dict()))
+    return out
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+class BatchEngine:
+    """Batch executor over a fixed community collection.
+
+    Parameters
+    ----------
+    communities:
+        The collection jobs index into.  Envelopes and fingerprints are
+        computed lazily, once per community, across all ``run`` calls.
+    n_jobs:
+        Worker processes.  ``1`` (default) runs everything in-process.
+    screen:
+        Enable the envelope pre-screen (sound: screened pairs have
+        similarity exactly 0).
+    cache:
+        ``None`` disables caching; an ``int`` builds an LRU
+        :class:`JoinResultCache` of that capacity; an existing cache
+        instance is used as-is (and may be shared between engines).
+    enforce_size_ratio:
+        Forwarded to every join; jobs violating the CSJ size-ratio rule
+        raise exactly as a direct ``join`` call would.
+    """
+
+    def __init__(
+        self,
+        communities: Sequence[Community],
+        *,
+        n_jobs: int = 1,
+        screen: bool = True,
+        cache: JoinResultCache | int | None = None,
+        enforce_size_ratio: bool = True,
+    ) -> None:
+        if n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.communities = list(communities)
+        self.n_jobs = int(n_jobs)
+        self.screen = bool(screen)
+        if isinstance(cache, int):
+            cache = JoinResultCache(max_entries=cache)
+        self.cache = cache
+        self.enforce_size_ratio = bool(enforce_size_ratio)
+        self.screened_count = 0
+        self.computed_count = 0
+        self._envelopes: dict[int, Envelope] = {}
+        self._fingerprints: dict[int, str] = {}
+        self._algorithms: dict[tuple, object] = {}
+        self._store: SharedVectorStore | None = None
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- bookkeeping ---------------------------------------------------
+    def envelope(self, index: int) -> Envelope:
+        envelope = self._envelopes.get(index)
+        if envelope is None:
+            envelope = community_envelope(self.communities[index])
+            self._envelopes[index] = envelope
+        return envelope
+
+    def fingerprint(self, index: int) -> str:
+        fingerprint = self._fingerprints.get(index)
+        if fingerprint is None:
+            fingerprint = community_fingerprint(self.communities[index])
+            self._fingerprints[index] = fingerprint
+        return fingerprint
+
+    def _algorithm(self, job: PairJob):
+        key = (job.method, job.epsilon, job.options)
+        algorithm = self._algorithms.get(key)
+        if algorithm is None:
+            algorithm = get_algorithm(job.method, job.epsilon, **dict(job.options))
+            self._algorithms[key] = algorithm
+        return algorithm
+
+    def _cache_key(self, job: PairJob) -> tuple[JoinKey, bool]:
+        """Content key of the *oriented* pair plus the job's swap flag."""
+        first = self.communities[job.first]
+        second = self.communities[job.second]
+        if first.n_users > second.n_users:
+            oriented = (job.second, job.first)
+            swapped = True
+        else:
+            oriented = (job.first, job.second)
+            swapped = False
+        key = join_key(
+            self.fingerprint(oriented[0]),
+            self.fingerprint(oriented[1]),
+            job.epsilon,
+            job.method,
+            job.options,
+        )
+        return key, swapped
+
+    def _screened_result(self, job: PairJob, swapped: bool) -> CSJResult:
+        """A similarity-0 result for a pair the envelopes ruled out."""
+        oriented = (job.second, job.first) if swapped else (job.first, job.second)
+        community_b = self.communities[oriented[0]]
+        community_a = self.communities[oriented[1]]
+        algorithm_cls = ALGORITHMS[job.method.strip().lower()]
+        return CSJResult(
+            method=algorithm_cls.name,
+            exact=algorithm_cls.exact,
+            size_b=community_b.n_users,
+            size_a=community_a.n_users,
+            epsilon=job.epsilon,
+            pairs=[],
+            events=EventCounts(),
+            elapsed_seconds=0.0,
+            engine=SCREEN_ENGINE,
+            swapped=swapped,
+        )
+
+    # -- execution -----------------------------------------------------
+    def run(self, jobs: Iterable[PairJob]) -> list[PairOutcome]:
+        """Resolve every job, preserving input order in the output."""
+        jobs = list(jobs)
+        outcomes: list[PairOutcome | None] = [None] * len(jobs)
+        pending: list[tuple[int, PairJob, JoinKey | None, bool]] = []
+        for position, job in enumerate(jobs):
+            first = self.communities[job.first]
+            second = self.communities[job.second]
+            # Raise dimension/size-ratio errors exactly like a direct join.
+            _, _, swapped = validate_pair(
+                first, second, enforce_size_ratio=self.enforce_size_ratio
+            )
+            if job.method.strip().lower() not in ALGORITHMS:
+                raise UnknownAlgorithmError(job.method, tuple(ALGORITHMS))
+            if self.screen and envelopes_separated(
+                self.envelope(job.first), self.envelope(job.second), job.epsilon
+            ):
+                self.screened_count += 1
+                outcomes[position] = PairOutcome(
+                    job, Disposition.SCREENED, self._screened_result(job, swapped)
+                )
+                continue
+            key: JoinKey | None = None
+            if self.cache is not None:
+                key, _ = self._cache_key(job)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    # The stored result is oriented; only the swap flag
+                    # depends on the order this job named the pair in.
+                    cached.swapped = swapped
+                    outcomes[position] = PairOutcome(job, Disposition.CACHED, cached)
+                    continue
+            pending.append((position, job, key, swapped))
+
+        if pending:
+            if self.n_jobs == 1 or len(pending) == 1:
+                computed = self._run_serial(pending)
+            else:
+                computed = self._run_parallel(pending)
+            for (position, job, key, _), result in zip(pending, computed):
+                self.computed_count += 1
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, result)
+                outcomes[position] = PairOutcome(job, Disposition.COMPUTED, result)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_serial(
+        self, pending: list[tuple[int, PairJob, JoinKey | None, bool]]
+    ) -> list[CSJResult]:
+        results = []
+        for _, job, _, _ in pending:
+            algorithm = self._algorithm(job)
+            results.append(
+                algorithm.join(
+                    self.communities[job.first],
+                    self.communities[job.second],
+                    enforce_size_ratio=self.enforce_size_ratio,
+                )
+            )
+        return results
+
+    def _run_parallel(
+        self, pending: list[tuple[int, PairJob, JoinKey | None, bool]]
+    ) -> list[CSJResult]:
+        pool = self._ensure_pool()
+        tasks = [
+            (position, job.first, job.second, job.method, job.epsilon, job.options)
+            for position, job, _, _ in pending
+        ]
+        workers = min(self.n_jobs, len(tasks))
+        chunk_size = max(1, -(-len(tasks) // (workers * 4)))
+        chunks = [
+            tasks[start : start + chunk_size]
+            for start in range(0, len(tasks), chunk_size)
+        ]
+        by_position: dict[int, CSJResult] = {}
+        futures = [
+            pool.submit(_run_chunk, chunk, self.enforce_size_ratio)
+            for chunk in chunks
+        ]
+        for future in futures:
+            for position, payload in future.result():
+                by_position[position] = CSJResult.from_dict(payload)
+        return [by_position[position] for position, _, _, _ in pending]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self._store is None:
+                self._store = SharedVectorStore(self.communities)
+            methods = get_all_start_methods()
+            context = get_context("fork" if "fork" in methods else "spawn")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self._store.layout,),
+            )
+        return self._pool
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down and release the shared store."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def stats(self) -> dict[str, object]:
+        """Dispositions plus cache counters, for reports and logs."""
+        stats: dict[str, object] = {
+            "computed": self.computed_count,
+            "screened": self.screened_count,
+            "n_jobs": self.n_jobs,
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

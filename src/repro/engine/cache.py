@@ -1,0 +1,123 @@
+"""Content-addressed LRU cache of join results.
+
+Sweeps and repeated top-k calls evaluate the same community pair under
+the same configuration over and over; the join is deterministic, so the
+second evaluation is pure waste.  :class:`JoinResultCache` memoises
+results keyed by ``(fingerprint(B), fingerprint(A), epsilon, method,
+options)`` — content fingerprints, not object identities, so hits
+survive regeneration of identical data and cross process boundaries.
+
+The cache stores the JSON-style payload of
+:meth:`~repro.core.types.CSJResult.to_dict` rather than the live object:
+payloads are cheap to copy, immutable from the caller's perspective, and
+each hit is rehydrated into a fresh ``CSJResult`` so callers can never
+corrupt a cached entry.  Entries are bounded by an LRU policy and the
+cache keeps hit/miss/eviction counters for observability.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Mapping
+
+from ..core.errors import ConfigurationError
+from ..core.types import CSJResult
+
+__all__ = ["JoinKey", "JoinResultCache", "canonical_options"]
+
+#: ``(fingerprint_b, fingerprint_a, epsilon, method, options)``.
+JoinKey = tuple[str, str, int, str, tuple]
+
+
+def canonical_options(options: Mapping[str, object]) -> tuple:
+    """Normalise a method-options mapping into a hashable cache-key part.
+
+    Primitive values are kept as-is; anything else falls back to its
+    ``repr`` so arbitrary configurations stay hashable and deterministic.
+    """
+    canonical = []
+    for key in sorted(options):
+        value = options[key]
+        if not isinstance(value, (bool, int, float, str, bytes, type(None))):
+            value = repr(value)
+        canonical.append((key, value))
+    return tuple(canonical)
+
+
+def join_key(
+    fingerprint_b: str,
+    fingerprint_a: str,
+    epsilon: int,
+    method: str,
+    options: Mapping[str, object] | tuple = (),
+) -> JoinKey:
+    """Build the content-addressed key of one configured join."""
+    if isinstance(options, Mapping):
+        options = canonical_options(options)
+    return (fingerprint_b, fingerprint_a, int(epsilon), method, tuple(options))
+
+
+class JoinResultCache:
+    """Bounded LRU cache mapping :data:`JoinKey` to result payloads."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[JoinKey, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: JoinKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: JoinKey) -> CSJResult | None:
+        """Look up a join result, counting the hit or miss."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return CSJResult.from_dict(copy.deepcopy(payload))
+
+    def put(self, key: JoinKey, result: CSJResult) -> None:
+        """Insert (or refresh) a result, evicting the LRU entry if full."""
+        self._entries[key] = result.to_dict()
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters are kept (they describe history)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        """Counters snapshot for logs and benchmark reports."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JoinResultCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,61 @@
+"""Per-dimension min/max envelopes and the pair-level pre-screen.
+
+LSF-Join-style distributed similarity joins hinge on cheap per-pair
+filters that discard work before the expensive join runs.  CSJ admits a
+particularly strong one: the join condition requires *every* dimension
+of a matched pair to differ by at most epsilon, so if the value ranges
+of two communities are separated by more than epsilon in even a single
+dimension, **no** user pair can match and the CSJ similarity is exactly
+zero.  The envelope (per-dimension min and max over a community's
+users) is computed once per community in O(n·d) and each pair test is
+O(d) — negligible next to a join.
+
+Soundness: for a dimension ``t`` with ``min_A[t] - max_B[t] > eps`` (or
+symmetrically ``min_B[t] - max_A[t] > eps``), every ``b in B`` and
+``a in A`` satisfy ``|b[t] - a[t]| >= min_A[t] - max_B[t] > eps``, so
+the candidate graph is empty, every method returns an empty matching,
+and Eq. (1) evaluates to 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import Community
+
+__all__ = ["Envelope", "community_envelope", "envelopes_separated"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Per-dimension value bounds of one community's user vectors."""
+
+    mins: np.ndarray  # shape (d,), int64
+    maxs: np.ndarray  # shape (d,), int64
+
+    @property
+    def n_dims(self) -> int:
+        return int(self.mins.shape[0])
+
+
+def community_envelope(community: Community) -> Envelope:
+    """Compute the per-dimension min/max envelope of a community."""
+    vectors = community.vectors
+    return Envelope(
+        mins=vectors.min(axis=0).astype(np.int64, copy=False),
+        maxs=vectors.max(axis=0).astype(np.int64, copy=False),
+    )
+
+
+def envelopes_separated(first: Envelope, second: Envelope, epsilon: int) -> bool:
+    """True when some dimension separates the envelopes by more than epsilon.
+
+    A ``True`` verdict is a proof that the CSJ similarity of the two
+    communities is zero at this epsilon; ``False`` says nothing (the
+    envelopes may overlap while no individual pair matches).
+    """
+    gap_low = second.mins - first.maxs  # second strictly above first
+    gap_high = first.mins - second.maxs  # first strictly above second
+    return bool((gap_low > epsilon).any() or (gap_high > epsilon).any())

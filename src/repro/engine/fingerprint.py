@@ -1,0 +1,48 @@
+"""Content fingerprints for communities and raw counter matrices.
+
+The batch engine addresses join results by *content*, not by object
+identity: two communities generated in different processes (or loaded
+from disk twice) that hold the same counter matrix must map to the same
+cache key.  A fingerprint is therefore a SHA-256 digest over the matrix
+shape and its C-contiguous bytes — the exact recipe the dataset
+manifests use, so an engine cache key and a manifest entry certify the
+same thing.
+
+Fingerprints are deterministic across processes and platforms for the
+int64 matrices every :class:`~repro.core.types.Community` carries (the
+byte order of a little-endian int64 buffer is part of the content; all
+supported platforms are little-endian, matching the manifest format).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..core.types import Community
+
+__all__ = ["matrix_fingerprint", "community_fingerprint", "pair_fingerprint"]
+
+
+def matrix_fingerprint(matrix: np.ndarray) -> str:
+    """SHA-256 digest of a counter matrix (shape + raw bytes)."""
+    digest = hashlib.sha256()
+    digest.update(str(matrix.shape).encode())
+    digest.update(np.ascontiguousarray(matrix).tobytes())
+    return digest.hexdigest()
+
+
+def community_fingerprint(community: Community) -> str:
+    """Content fingerprint of a community's user vectors.
+
+    Deliberately ignores ``name``/``category``/``page_id``: a CSJ join
+    depends only on the vectors, so renamed copies of the same matrix
+    share cached results.
+    """
+    return matrix_fingerprint(community.vectors)
+
+
+def pair_fingerprint(community_b: Community, community_a: Community) -> tuple[str, str]:
+    """Fingerprints of an *oriented* ``(B, A)`` pair, in that order."""
+    return community_fingerprint(community_b), community_fingerprint(community_a)

@@ -1,0 +1,131 @@
+"""Shared-memory vector store for multi-process batch joins.
+
+Shipping a community to a worker by pickling its matrix costs a copy
+per *task*; with all-pairs workloads every community is needed by many
+tasks, so the engine instead publishes every matrix once into a single
+``multiprocessing.shared_memory`` block.  Workers attach to the block
+in their initializer and rebuild zero-copy :class:`Community` views on
+demand, so a task only ever pickles a handful of integers.
+
+Layout: all matrices are C-contiguous int64 (guaranteed by
+``Community``) and are packed back to back; :class:`StoreLayout` is the
+tiny picklable description (block name plus per-community name/offset/
+shape metadata) that travels to the workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from ..core.types import Community
+
+__all__ = ["CommunitySpec", "StoreLayout", "SharedVectorStore", "AttachedVectorStore"]
+
+_ITEMSIZE = np.dtype(np.int64).itemsize
+
+
+@dataclass(frozen=True)
+class CommunitySpec:
+    """Picklable metadata locating one community inside the block."""
+
+    name: str
+    category: str
+    page_id: int
+    offset: int
+    n_users: int
+    n_dims: int
+
+
+@dataclass(frozen=True)
+class StoreLayout:
+    """Everything a worker needs to attach: block name + specs."""
+
+    shm_name: str
+    specs: tuple[CommunitySpec, ...]
+
+
+def _view(buffer, spec: CommunitySpec) -> np.ndarray:
+    return np.ndarray(
+        (spec.n_users, spec.n_dims),
+        dtype=np.int64,
+        buffer=buffer,
+        offset=spec.offset,
+    )
+
+
+class SharedVectorStore:
+    """Owner side: packs communities into one shared-memory block.
+
+    The creating process is responsible for :meth:`close` (which also
+    unlinks the block); the engine does this from ``BatchEngine.close``.
+    """
+
+    def __init__(self, communities: Sequence[Community]) -> None:
+        specs: list[CommunitySpec] = []
+        offset = 0
+        for community in communities:
+            specs.append(
+                CommunitySpec(
+                    name=community.name,
+                    category=community.category,
+                    page_id=community.page_id,
+                    offset=offset,
+                    n_users=community.n_users,
+                    n_dims=community.n_dims,
+                )
+            )
+            offset += community.n_users * community.n_dims * _ITEMSIZE
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for community, spec in zip(communities, specs):
+            _view(self._shm.buf, spec)[:] = community.vectors
+        self.layout = StoreLayout(shm_name=self._shm.name, specs=tuple(specs))
+        self._closed = False
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedVectorStore:
+    """Worker side: attaches to the block and serves zero-copy communities."""
+
+    def __init__(self, layout: StoreLayout) -> None:
+        self.layout = layout
+        self._shm = shared_memory.SharedMemory(name=layout.shm_name)
+        self._communities: dict[int, Community] = {}
+
+    def community(self, index: int) -> Community:
+        """Rebuild (and memoise) the community at ``index``."""
+        community = self._communities.get(index)
+        if community is None:
+            spec = self.layout.specs[index]
+            community = Community(
+                name=spec.name,
+                vectors=_view(self._shm.buf, spec),
+                category=spec.category,
+                page_id=spec.page_id,
+            )
+            self._communities[index] = community
+        return community
+
+    def close(self) -> None:
+        """Detach from the block (the owner unlinks it)."""
+        self._communities.clear()
+        self._shm.close()

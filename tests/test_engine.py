@@ -1,0 +1,341 @@
+"""Tests for the batch execution engine (repro.engine)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.apps import top_k_pairs, top_k_pairs_reference
+from repro.core.errors import (
+    ConfigurationError,
+    SizeRatioError,
+    UnknownAlgorithmError,
+)
+from repro.core.types import Community
+from repro.engine import (
+    BatchEngine,
+    Disposition,
+    JoinResultCache,
+    PairJob,
+    canonical_options,
+    community_envelope,
+    community_fingerprint,
+    envelopes_separated,
+    join_key,
+    matrix_fingerprint,
+)
+from repro.engine.shared import AttachedVectorStore, SharedVectorStore
+
+
+def banded_fleet(
+    n_bands: int = 3, per_band: int = 4, *, users: int = 24, dims: int = 5, seed: int = 3
+) -> list[Community]:
+    """Communities in well-separated value bands.
+
+    Within a band every community perturbs the same archetypes, so
+    intra-band pairs have real similarity; bands sit hundreds of counts
+    apart, so inter-band pairs are provably dissimilar at small epsilon
+    (the envelope pre-screen's home turf).
+    """
+    rng = np.random.default_rng(seed)
+    fleet: list[Community] = []
+    for band in range(n_bands):
+        base = rng.integers(0, 20, size=(users, dims)) + 500 * band
+        for member in range(per_band):
+            noise = rng.integers(-1, 2, size=(users, dims))
+            vectors = np.maximum(base + noise, 0)
+            fleet.append(Community(f"band{band}-m{member}", vectors))
+    return fleet
+
+
+def all_pair_jobs(
+    fleet: list[Community], method: str = "ex-minmax", epsilon: int = 2
+) -> list[PairJob]:
+    n = len(fleet)
+    return [
+        PairJob.build(i, j, method, epsilon)
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+
+
+def comparable(outcomes) -> list[tuple]:
+    """Result payloads without the timing fields."""
+    rows = []
+    for outcome in outcomes:
+        result = outcome.result
+        rows.append(
+            (
+                result.method,
+                result.size_b,
+                result.size_a,
+                round(result.similarity, 12),
+                tuple(result.pair_tuples()),
+                result.swapped,
+            )
+        )
+    return rows
+
+
+class TestSerialParallelDeterminism:
+    def test_identical_results_and_matchings(self):
+        fleet = banded_fleet()
+        jobs = all_pair_jobs(fleet)
+        with BatchEngine(fleet, n_jobs=1) as serial_engine:
+            serial = serial_engine.run(jobs)
+        with BatchEngine(fleet, n_jobs=2) as parallel_engine:
+            parallel = parallel_engine.run(jobs)
+        assert comparable(serial) == comparable(parallel)
+        assert [o.result.events.as_dict() for o in serial] == [
+            o.result.events.as_dict() for o in parallel
+        ]
+
+    def test_parallel_pool_reuse_across_runs(self):
+        fleet = banded_fleet(2, 3)
+        jobs = all_pair_jobs(fleet)
+        with BatchEngine(fleet, n_jobs=2) as engine:
+            first = engine.run(jobs)
+            second = engine.run(jobs)
+        assert comparable(first) == comparable(second)
+
+    def test_mixed_methods_in_one_batch(self):
+        fleet = banded_fleet(2, 3)
+        jobs = [
+            PairJob.build(0, 1, "ap-minmax", 2),
+            PairJob.build(0, 1, "ex-minmax", 2),
+            PairJob.build(1, 2, "ex-baseline", 2),
+        ]
+        with BatchEngine(fleet, n_jobs=1) as serial_engine:
+            serial = serial_engine.run(jobs)
+        with BatchEngine(fleet, n_jobs=2) as parallel_engine:
+            parallel = parallel_engine.run(jobs)
+        assert comparable(serial) == comparable(parallel)
+        assert [o.result.method for o in serial] == [
+            "ap-minmax",
+            "ex-minmax",
+            "ex-baseline",
+        ]
+
+
+class TestEnvelopeScreen:
+    def test_screened_pairs_have_zero_similarity_by_direct_join(self):
+        fleet = banded_fleet()
+        jobs = all_pair_jobs(fleet)
+        with BatchEngine(fleet, n_jobs=1, screen=True) as engine:
+            outcomes = engine.run(jobs)
+        screened = [o for o in outcomes if o.disposition is Disposition.SCREENED]
+        assert screened, "band structure should trigger the pre-screen"
+        with BatchEngine(fleet, n_jobs=1, screen=False) as verifier:
+            direct = verifier.run([o.job for o in screened])
+        for screened_outcome, direct_outcome in zip(screened, direct):
+            assert direct_outcome.result.similarity == 0.0
+            assert direct_outcome.result.n_matched == 0
+            assert screened_outcome.result.similarity == 0.0
+            assert screened_outcome.result.pairs == []
+
+    def test_screen_on_and_off_rank_identically(self):
+        fleet = banded_fleet()
+        jobs = all_pair_jobs(fleet)
+        with BatchEngine(fleet, screen=True) as yes:
+            with BatchEngine(fleet, screen=False) as no:
+                similarities_yes = [o.result.similarity for o in yes.run(jobs)]
+                similarities_no = [o.result.similarity for o in no.run(jobs)]
+        assert similarities_yes == similarities_no
+
+    def test_screen_respects_epsilon(self):
+        close = Community("close", np.array([[0, 0], [1, 1]]))
+        far = Community("far", np.array([[10, 10], [11, 11]]))
+        env_close, env_far = community_envelope(close), community_envelope(far)
+        assert envelopes_separated(env_close, env_far, epsilon=5)
+        assert not envelopes_separated(env_close, env_far, epsilon=9)
+        assert not envelopes_separated(env_close, env_close, epsilon=0)
+
+    def test_screened_disposition_counted(self):
+        fleet = banded_fleet(2, 2)
+        jobs = all_pair_jobs(fleet)
+        with BatchEngine(fleet, screen=True) as engine:
+            outcomes = engine.run(jobs)
+            screened = sum(
+                1 for o in outcomes if o.disposition is Disposition.SCREENED
+            )
+            assert engine.stats()["screened"] == screened == 4  # cross-band pairs
+
+
+class TestJoinResultCache:
+    def test_hit_miss_accounting(self):
+        fleet = banded_fleet(1, 4)
+        jobs = all_pair_jobs(fleet)
+        cache = JoinResultCache(max_entries=64)
+        with BatchEngine(fleet, cache=cache, screen=False) as engine:
+            cold = engine.run(jobs)
+            assert cache.misses == len(jobs)
+            assert cache.hits == 0
+            warm = engine.run(jobs)
+            assert cache.hits == len(jobs)
+            assert cache.misses == len(jobs)
+        assert comparable(cold) == comparable(warm)
+        assert all(o.disposition is Disposition.CACHED for o in warm)
+        assert 0.0 < cache.hit_rate < 1.0
+
+    def test_cache_shared_across_engines_and_content_addressed(self):
+        rng = np.random.default_rng(11)
+        vectors = rng.integers(0, 6, size=(16, 4))
+        cache = JoinResultCache()
+        first_fleet = [Community("x", vectors), Community("y", vectors + 1)]
+        # Same matrices under different names: content addressing hits.
+        second_fleet = [Community("p", vectors.copy()), Community("q", vectors + 1)]
+        job = PairJob.build(0, 1, "ex-minmax", 1)
+        with BatchEngine(first_fleet, cache=cache) as engine:
+            engine.run([job])
+        with BatchEngine(second_fleet, cache=cache) as engine:
+            outcome = engine.run([job])[0]
+        assert outcome.disposition is Disposition.CACHED
+        assert cache.hits == 1
+
+    def test_cached_swap_flag_tracks_job_order(self):
+        rng = np.random.default_rng(12)
+        small = Community("small", rng.integers(0, 6, size=(12, 4)))
+        large = Community("large", rng.integers(0, 6, size=(16, 4)))
+        cache = JoinResultCache()
+        with BatchEngine([small, large], cache=cache, screen=False) as engine:
+            forward = engine.run([PairJob.build(0, 1, "ex-minmax", 1)])[0]
+            reverse = engine.run([PairJob.build(1, 0, "ex-minmax", 1)])[0]
+        assert reverse.disposition is Disposition.CACHED
+        assert forward.result.swapped is False
+        assert reverse.result.swapped is True
+        assert forward.result.pair_tuples() == reverse.result.pair_tuples()
+
+    def test_lru_eviction(self):
+        cache = JoinResultCache(max_entries=2)
+        fleet = banded_fleet(1, 4)
+        jobs = all_pair_jobs(fleet)[:3]
+        with BatchEngine(fleet, cache=cache, screen=False) as engine:
+            engine.run(jobs)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_distinct_configurations_do_not_collide(self):
+        fleet = banded_fleet(1, 2)
+        cache = JoinResultCache()
+        with BatchEngine(fleet, cache=cache) as engine:
+            engine.run([PairJob.build(0, 1, "ex-minmax", 1)])
+            engine.run([PairJob.build(0, 1, "ex-minmax", 2)])
+            engine.run([PairJob.build(0, 1, "ap-minmax", 1)])
+            engine.run([PairJob.build(0, 1, "ex-minmax", 1, {"engine": "python"})])
+        assert cache.hits == 0
+        assert cache.misses == 4
+        assert len(cache) == 4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JoinResultCache(max_entries=0)
+
+    def test_int_cache_parameter_builds_cache(self):
+        fleet = banded_fleet(1, 2)
+        with BatchEngine(fleet, cache=8) as engine:
+            engine.run([PairJob.build(0, 1, "ex-minmax", 1)])
+            assert engine.cache is not None
+            assert engine.cache.max_entries == 8
+
+
+class TestFingerprints:
+    def test_stable_across_processes(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.integers(0, 9, size=(20, 6)).astype(np.int64)
+        local = matrix_fingerprint(matrix)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(matrix_fingerprint, matrix).result()
+        assert local == remote
+
+    def test_name_independent(self):
+        rng = np.random.default_rng(6)
+        vectors = rng.integers(0, 9, size=(10, 3))
+        assert community_fingerprint(
+            Community("first-name", vectors)
+        ) == community_fingerprint(Community("other-name", vectors.copy()))
+
+    def test_content_sensitive(self):
+        rng = np.random.default_rng(7)
+        vectors = rng.integers(0, 9, size=(10, 3))
+        changed = vectors.copy()
+        changed[0, 0] += 1
+        assert community_fingerprint(
+            Community("c", vectors)
+        ) != community_fingerprint(Community("c", changed))
+
+    def test_join_key_canonicalises_option_order(self):
+        key_a = join_key("fb", "fa", 1, "ex-minmax", {"engine": "numpy", "matcher": "csf"})
+        key_b = join_key("fb", "fa", 1, "ex-minmax", {"matcher": "csf", "engine": "numpy"})
+        assert key_a == key_b
+        assert canonical_options({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+
+class TestSharedStore:
+    def test_roundtrip_through_shared_memory(self):
+        fleet = banded_fleet(2, 2)
+        store = SharedVectorStore(fleet)
+        try:
+            attached = AttachedVectorStore(store.layout)
+            for index, community in enumerate(fleet):
+                rebuilt = attached.community(index)
+                assert rebuilt.name == community.name
+                assert rebuilt.category == community.category
+                assert np.array_equal(rebuilt.vectors, community.vectors)
+                assert attached.community(index) is rebuilt  # memoised
+        finally:
+            store.close()
+
+    def test_close_is_idempotent(self):
+        store = SharedVectorStore(banded_fleet(1, 2))
+        store.close()
+        store.close()
+
+
+class TestEngineErrors:
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            BatchEngine(banded_fleet(1, 2), n_jobs=0)
+
+    def test_unknown_method(self):
+        with BatchEngine(banded_fleet(1, 2)) as engine:
+            with pytest.raises(UnknownAlgorithmError):
+                engine.run([PairJob.build(0, 1, "no-such-method", 1)])
+
+    def test_size_ratio_violation_raises_like_direct_join(self):
+        rng = np.random.default_rng(8)
+        tiny = Community("tiny", rng.integers(0, 5, size=(5, 3)))
+        giant = Community("giant", rng.integers(0, 5, size=(50, 3)))
+        with BatchEngine([tiny, giant]) as engine:
+            with pytest.raises(SizeRatioError):
+                engine.run([PairJob.build(0, 1, "ex-minmax", 1)])
+
+    def test_ratio_enforcement_can_be_disabled(self):
+        rng = np.random.default_rng(9)
+        tiny = Community("tiny", rng.integers(0, 5, size=(5, 3)))
+        giant = Community("giant", rng.integers(0, 5, size=(50, 3)))
+        with BatchEngine([tiny, giant], enforce_size_ratio=False) as engine:
+            outcome = engine.run([PairJob.build(0, 1, "ex-minmax", 1)])[0]
+        assert outcome.result.size_b == 5
+
+
+class TestTopKOnEngine:
+    def test_matches_reference_serial(self):
+        fleet = banded_fleet()
+        reference = top_k_pairs_reference(fleet, epsilon=2, k=4)
+        engine_scores = top_k_pairs(fleet, epsilon=2, k=4)
+        assert [
+            (s.name_b, s.name_a, round(s.similarity, 12)) for s in reference
+        ] == [(s.name_b, s.name_a, round(s.similarity, 12)) for s in engine_scores]
+
+    def test_matches_reference_parallel_and_cached(self):
+        fleet = banded_fleet(2, 3)
+        reference = top_k_pairs_reference(fleet, epsilon=2, k=3)
+        cache = JoinResultCache()
+        parallel = top_k_pairs(fleet, epsilon=2, k=3, n_jobs=2, cache=cache)
+        warm = top_k_pairs(fleet, epsilon=2, k=3, cache=cache)
+        expected = [(s.name_b, s.name_a, round(s.similarity, 12)) for s in reference]
+        assert [(s.name_b, s.name_a, round(s.similarity, 12)) for s in parallel] == expected
+        assert [(s.name_b, s.name_a, round(s.similarity, 12)) for s in warm] == expected
+        assert cache.hits > 0

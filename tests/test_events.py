@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.algorithms.baseline import ApBaseline, ExBaseline
 from repro.core.events import EventTrace, EventType, TraceEvent
+from repro.core.types import Community
 
 
 class TestEventType:
@@ -86,3 +88,38 @@ class TestEventTrace:
         for kind in EventType:
             trace.emit(kind)
         assert trace.counts.total == len(EventType)
+
+
+class TestBaselineEngineParity:
+    """Python and numpy baseline engines must report identical totals.
+
+    The python engines emit one event per scanned pair; the numpy
+    engines account the same pairs in bulk.  Totals (not just MATCH but
+    also NO_MATCH) must agree so event reports are engine-independent.
+    """
+
+    @pytest.mark.parametrize("algorithm_cls", [ApBaseline, ExBaseline])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_event_totals_match(self, algorithm_cls, seed):
+        from repro.testing import random_counter_couple
+
+        vectors_b, vectors_a = random_counter_couple(
+            seed, n_b=14, n_a=20, n_dims=5, high=6
+        )
+        community_b = Community("B", vectors_b)
+        community_a = Community("A", vectors_a)
+        python = algorithm_cls(1, engine="python").join(community_b, community_a)
+        vectorised = algorithm_cls(1, engine="numpy").join(community_b, community_a)
+        assert python.pair_tuples() == vectorised.pair_tuples()
+        assert python.events.as_dict() == vectorised.events.as_dict()
+        assert python.events.comparisons == vectorised.events.comparisons
+
+    @pytest.mark.parametrize("algorithm_cls", [ApBaseline, ExBaseline])
+    def test_parity_when_nothing_matches(self, algorithm_cls):
+        community_b = Community("B", [[0, 0]] * 4)
+        community_a = Community("A", [[90, 90]] * 5)
+        python = algorithm_cls(1, engine="python").join(community_b, community_a)
+        vectorised = algorithm_cls(1, engine="numpy").join(community_b, community_a)
+        assert python.events.as_dict() == vectorised.events.as_dict()
+        assert vectorised.events.no_match == 20
+        assert vectorised.events.match == 0

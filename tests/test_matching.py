@@ -10,6 +10,7 @@ from repro.core.matching import (
     MATCHERS,
     build_adjacency,
     cover_smallest_first,
+    enumerate_candidate_pairs,
     get_matcher,
     greedy_first_fit,
     hopcroft_karp,
@@ -46,6 +47,41 @@ class TestLinfPredicates:
         vector_b = np.array([0, 0], dtype=np.int64)
         matrix_a = np.array([[5, 5]], dtype=np.uint16)
         assert not linf_match_mask(vector_b, matrix_a, epsilon=1)[0]
+
+
+class TestEnumerateCandidatePairs:
+    def test_uint8_wraparound_regression(self):
+        # 5 - 250 wraps to 11 in uint8 arithmetic; the enumeration must
+        # widen to int64 exactly like linf_match and report no pair.
+        vectors_b = np.array([[5]], dtype=np.uint8)
+        vectors_a = np.array([[250]], dtype=np.uint8)
+        assert enumerate_candidate_pairs(vectors_b, vectors_a, epsilon=20) == []
+        assert not linf_match(vectors_b[0], vectors_a[0], epsilon=20)
+
+    def test_uint_dtypes_agree_with_scalar_predicate(self):
+        rng = np.random.default_rng(42)
+        for dtype, high in ((np.uint8, 255), (np.uint16, 65535), (np.int16, 32767)):
+            vectors_b = rng.integers(0, high, size=(12, 3)).astype(dtype)
+            vectors_a = rng.integers(0, high, size=(15, 3)).astype(dtype)
+            epsilon = int(high) // 2
+            pairs = set(
+                enumerate_candidate_pairs(vectors_b, vectors_a, epsilon=epsilon)
+            )
+            expected = {
+                (b, a)
+                for b in range(12)
+                for a in range(15)
+                if linf_match(vectors_b[b], vectors_a[a], epsilon=epsilon)
+            }
+            assert pairs == expected
+
+    def test_blockwise_equals_single_block(self):
+        rng = np.random.default_rng(43)
+        vectors_b = rng.integers(0, 250, size=(20, 4)).astype(np.uint8)
+        vectors_a = rng.integers(0, 250, size=(17, 4)).astype(np.uint8)
+        assert enumerate_candidate_pairs(
+            vectors_b, vectors_a, epsilon=10, block_size=3
+        ) == enumerate_candidate_pairs(vectors_b, vectors_a, epsilon=10)
 
 
 class TestBuildAdjacency:
