@@ -30,12 +30,13 @@ import os
 import time
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.apps import top_k_pairs, top_k_pairs_reference
 from repro.core.types import Community
 from repro.engine import JoinResultCache
+from repro.obs import MetricsRegistry
+from repro.testing import banded_community_fleet
 
 #: Workload knobs (overridable for the smoke-scale run).
 BANDS = int(os.environ.get("REPRO_BENCH_ENGINE_BANDS", 12))
@@ -59,16 +60,16 @@ def build_fleet(seed: int = 7) -> list[Community]:
     epsilon in every dimension, so inter-band pairs are exactly the
     envelope pre-screen's provably-zero case.
     """
-    rng = np.random.default_rng(seed)
-    fleet: list[Community] = []
-    for band in range(BANDS):
-        base = rng.integers(0, 40, size=(USERS, DIMS)) + 600 * band
-        for member in range(PER_BAND):
-            noise = rng.integers(-1, 2, size=(USERS, DIMS))
-            fleet.append(
-                Community(f"band{band:02d}-m{member}", np.maximum(base + noise, 0))
-            )
-    return fleet
+    return banded_community_fleet(
+        BANDS,
+        PER_BAND,
+        users=USERS,
+        dims=DIMS,
+        seed=seed,
+        band_gap=600,
+        high=40,
+        name_format="band{band:02d}-m{member}",
+    )
 
 
 def ranking_bytes(scores) -> bytes:
@@ -116,10 +117,39 @@ def bench_engine_batch(report_writer):
         "engine cache-warm", lambda: top_k_pairs(fleet, cache=cache, **kwargs)
     )
 
+    # Telemetry overhead: the serial engine with the registry disabled
+    # (the default) must stay within noise of the baseline serial run —
+    # the disabled path is one ``is None`` test per hook.  The enabled
+    # run is informational.  A shared-CPU runner drifts several percent
+    # between measurements taken minutes apart, so interleave fresh
+    # baseline/off/on triples and take best-of-three of each rather than
+    # comparing against the earlier ``t_serial`` measurement.
+    baseline_runs, disabled_runs, enabled_runs = [], [], []
+    for _ in range(3):
+        baseline_runs.append(
+            timed("serial baseline", lambda: top_k_pairs(fleet, **kwargs))[1]
+        )
+        disabled_runs.append(
+            timed("serial telemetry-off", lambda: top_k_pairs(fleet, **kwargs))[1]
+        )
+        registry = MetricsRegistry()
+        with_telemetry, t_enabled_run = timed(
+            "serial telemetry-on",
+            lambda: top_k_pairs(fleet, metrics=registry, **kwargs),
+        )
+        enabled_runs.append(t_enabled_run)
+    t_baseline = min(baseline_runs)
+    t_disabled = min(disabled_runs)
+    t_enabled = min(enabled_runs)
+    disabled_overhead_pct = 100.0 * (t_disabled / t_baseline - 1.0)
+    enabled_overhead_pct = 100.0 * (t_enabled / min(t_baseline, t_disabled) - 1.0)
+
     expected = ranking_bytes(reference)
     assert ranking_bytes(serial) == expected
     assert ranking_bytes(parallel) == expected
     assert ranking_bytes(cached) == expected
+    assert ranking_bytes(with_telemetry) == expected
+    assert registry.counter("engine_jobs_total", disposition="computed") > 0
     assert cache.hits > 0
 
     n_communities = len(fleet)
@@ -151,6 +181,12 @@ def bench_engine_batch(report_writer):
             "engine_cache_warm": round(t_reference / t_cached, 2),
         },
         "cache": cache.stats(),
+        "telemetry": {
+            "serial_disabled_seconds": round(t_disabled, 4),
+            "serial_enabled_seconds": round(t_enabled, 4),
+            "disabled_overhead_pct_vs_baseline": round(disabled_overhead_pct, 2),
+            "enabled_overhead_pct": round(enabled_overhead_pct, 2),
+        },
         "rankings_byte_identical": True,
     }
     report = json.dumps(payload, indent=2)
@@ -161,6 +197,10 @@ def bench_engine_batch(report_writer):
         assert t_parallel < t_reference, (
             f"parallel engine ({t_parallel:.3f}s) did not beat the serial "
             f"reference top-k path ({t_reference:.3f}s)"
+        )
+        assert disabled_overhead_pct < 5.0, (
+            f"telemetry-disabled serial run drifted {disabled_overhead_pct:.1f}% "
+            f"from the baseline serial run (must stay under 5%)"
         )
 
 

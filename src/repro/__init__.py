@@ -60,6 +60,7 @@ from .engine import (
     PairOutcome,
     community_fingerprint,
 )
+from .obs import JoinTelemetry, MetricsRegistry, StageClock, stage_timer
 
 from ._version import __version__  # noqa: E402
 
@@ -100,6 +101,10 @@ __all__ = [
     "PairJob",
     "PairOutcome",
     "community_fingerprint",
+    "JoinTelemetry",
+    "MetricsRegistry",
+    "StageClock",
+    "stage_timer",
 ]
 
 

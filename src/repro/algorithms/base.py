@@ -47,12 +47,24 @@ class CSJAlgorithm(abc.ABC):
     record_trace:
         When true, the python engine records every pairing event; the
         trace of the last join is available as :attr:`last_trace`.
+
+    Attributes
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        set (by the batch engine or directly), every join mirrors its
+        pairing events into the registry, times its stages, and stamps
+        the per-stage wall times onto the result's ``stage_seconds``.
+        ``None`` (the default) keeps the join on the uninstrumented
+        fast path.
     """
 
     #: registry name, e.g. ``"ap-minmax"`` — set by subclasses.
     name: str = ""
     #: whether the method computes the maximum-matching similarity.
     exact: bool = False
+    #: observability registry; assign to enable instrumentation.
+    metrics = None
 
     def __init__(
         self,
@@ -88,17 +100,27 @@ class CSJAlgorithm(abc.ABC):
         ``swapped`` flag records a reversal.  Matched pair indices always
         refer to the oriented ``(B, A)`` pair.
         """
-        community_b, community_a, swapped = validate_pair(
-            first,
-            second,
-            auto_orient=auto_orient,
-            enforce_size_ratio=enforce_size_ratio,
+        metrics = self.metrics
+        trace = EventTrace(
+            record=self.record_trace and self.engine == "python",
+            metrics=metrics,
         )
-        trace = EventTrace(record=self.record_trace and self.engine == "python")
-        started = time.perf_counter()
-        pairs = self._join(community_b.vectors, community_a.vectors, trace)
-        elapsed = time.perf_counter() - started
+        with trace.stage("join"):
+            with trace.stage("validate"):
+                community_b, community_a, swapped = validate_pair(
+                    first,
+                    second,
+                    auto_orient=auto_orient,
+                    enforce_size_ratio=enforce_size_ratio,
+                )
+            started = time.perf_counter()
+            with trace.stage("pairing"):
+                pairs = self._join(community_b.vectors, community_a.vectors, trace)
+            elapsed = time.perf_counter() - started
         self.last_trace = trace
+        if metrics is not None:
+            metrics.inc("csj_joins_total", 1, method=self.name, engine=self.engine)
+            metrics.observe("csj_join_seconds", elapsed, method=self.name)
         result = CSJResult(
             method=self.name,
             exact=self.exact,
@@ -110,6 +132,7 @@ class CSJAlgorithm(abc.ABC):
             elapsed_seconds=elapsed,
             engine=self.engine,
             swapped=swapped,
+            stage_seconds=trace.stage_seconds,
         )
         return result
 

@@ -132,9 +132,14 @@ class ExBaseline(CSJAlgorithm):
     def _join_numpy(
         self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
     ) -> list[tuple[int, int]]:
-        raw_pairs = enumerate_candidate_pairs(
-            vectors_b, vectors_a, self.epsilon, block_size=self.block_size
-        )
+        with trace.stage("enumerate"):
+            raw_pairs = enumerate_candidate_pairs(
+                vectors_b,
+                vectors_a,
+                self.epsilon,
+                block_size=self.block_size,
+                metrics=trace.metrics,
+            )
         trace.emit_bulk(EventType.MATCH, len(raw_pairs))
         trace.emit_bulk(
             EventType.NO_MATCH, len(vectors_b) * len(vectors_a) - len(raw_pairs)
@@ -147,6 +152,7 @@ class ExBaseline(CSJAlgorithm):
         """Build matched_B / matched_A and call the matcher once."""
         if not raw_pairs:
             return []
-        matched_b, matched_a = build_adjacency(raw_pairs)
-        trace.note(f"CSF over {len(raw_pairs)} candidate pairs")
-        return self._matcher(matched_b, matched_a)
+        with trace.stage("matching"):
+            matched_b, matched_a = build_adjacency(raw_pairs)
+            trace.note(f"CSF over {len(raw_pairs)} candidate pairs")
+            return self._matcher(matched_b, matched_a)

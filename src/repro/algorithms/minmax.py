@@ -97,9 +97,10 @@ class ApMinMax(_MinMaxBase):
     def _join_python(
         self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
     ) -> list[tuple[int, int]]:
-        encoder = self._encoder(vectors_b.shape[1])
-        targets = encoder.encode_targets(vectors_b)
-        candidates = encoder.encode_candidates(vectors_a)
+        with trace.stage("encode"):
+            encoder = self._encoder(vectors_b.shape[1])
+            targets = encoder.encode_targets(vectors_b)
+            candidates = encoder.encode_candidates(vectors_a)
         n_a = candidates.n_users
         used = np.zeros(n_a, dtype=bool)
         offset = 0
@@ -154,9 +155,10 @@ class ApMinMax(_MinMaxBase):
     def _join_numpy(
         self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
     ) -> list[tuple[int, int]]:
-        encoder = self._encoder(vectors_b.shape[1])
-        targets = encoder.encode_targets(vectors_b)
-        candidates = encoder.encode_candidates(vectors_a)
+        with trace.stage("encode"):
+            encoder = self._encoder(vectors_b.shape[1])
+            targets = encoder.encode_targets(vectors_b)
+            candidates = encoder.encode_candidates(vectors_a)
         used = np.zeros(candidates.n_users, dtype=bool)
         pairs: list[tuple[int, int]] = []
         for i in range(targets.n_users):
@@ -216,9 +218,10 @@ class ExMinMax(_MinMaxBase):
     def _join_python(
         self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
     ) -> list[tuple[int, int]]:
-        encoder = self._encoder(vectors_b.shape[1])
-        targets = encoder.encode_targets(vectors_b)
-        candidates = encoder.encode_candidates(vectors_a)
+        with trace.stage("encode"):
+            encoder = self._encoder(vectors_b.shape[1])
+            targets = encoder.encode_targets(vectors_b)
+            candidates = encoder.encode_candidates(vectors_a)
         n_a = candidates.n_users
         matched_b: dict[int, set[int]] = {}
         matched_a: dict[int, set[int]] = {}
@@ -312,9 +315,10 @@ class ExMinMax(_MinMaxBase):
     def _join_numpy(
         self, vectors_b: np.ndarray, vectors_a: np.ndarray, trace: EventTrace
     ) -> list[tuple[int, int]]:
-        encoder = self._encoder(vectors_b.shape[1])
-        targets = encoder.encode_targets(vectors_b)
-        candidates = encoder.encode_candidates(vectors_a)
+        with trace.stage("encode"):
+            encoder = self._encoder(vectors_b.shape[1])
+            targets = encoder.encode_targets(vectors_b)
+            candidates = encoder.encode_candidates(vectors_a)
         raw_pairs: list[tuple[int, int]] = []
         for i in range(targets.n_users):
             positions = self._candidate_positions(
@@ -337,5 +341,6 @@ class ExMinMax(_MinMaxBase):
             raw_pairs.extend((b_real, int(a_real)) for a_real in hits)
         if not raw_pairs:
             return []
-        matched_b, matched_a = build_adjacency(raw_pairs)
-        return self._matcher(matched_b, matched_a)
+        with trace.stage("matching"):
+            matched_b, matched_a = build_adjacency(raw_pairs)
+            return self._matcher(matched_b, matched_a)

@@ -30,6 +30,7 @@ from ..algorithms import APPROXIMATE_METHODS, EXACT_METHODS, get_algorithm
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
 from ..engine import BatchEngine, JoinResultCache, PairJob
+from ..obs import JoinTelemetry, MetricsRegistry
 from ..datasets.categories import CATEGORIES
 from ..datasets.couples import (
     DEFAULT_SCALE,
@@ -108,6 +109,8 @@ class CoupleRun:
     size_b: int
     size_a: int
     results: dict[str, CSJResult] = field(default_factory=dict)
+    #: Per-join telemetry records (populated when run with ``metrics``).
+    telemetry: list[JoinTelemetry] = field(default_factory=list)
 
     def similarity_percent(self, method: str) -> float:
         return self.results[method].similarity_percent
@@ -126,6 +129,8 @@ class TableRun:
     scale: float
     methods: tuple[str, ...]
     rows: list[CoupleRun] = field(default_factory=list)
+    #: Per-join telemetry records (populated when run with ``metrics``).
+    telemetry: list[JoinTelemetry] = field(default_factory=list)
 
     def paper_value(self, c_id: int, method: str) -> float | None:
         return paper_similarity(self.table, c_id, method)
@@ -165,12 +170,15 @@ def run_couple(
     method_options: dict[str, dict] | None = None,
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CoupleRun:
     """Build one couple and run every requested method on it.
 
     The methods execute on the :class:`~repro.engine.BatchEngine`, so a
     shared ``cache`` carries results across repeated calls and
     ``n_jobs`` > 1 runs the methods in parallel worker processes.
+    With ``metrics`` the engine's per-join telemetry lands on the
+    returned run's ``telemetry`` list.
     """
     community_b, community_a = build_couple(spec, generator, scale=scale)
     run = CoupleRun(spec=spec, size_b=len(community_b), size_a=len(community_a))
@@ -178,10 +186,11 @@ def run_couple(
         0, 1, methods, epsilon=epsilon, engine=engine, method_options=method_options
     )
     with BatchEngine(
-        [community_b, community_a], n_jobs=n_jobs, cache=cache
+        [community_b, community_a], n_jobs=n_jobs, cache=cache, metrics=metrics
     ) as batch_engine:
         for job, outcome in zip(jobs, batch_engine.run(jobs)):
             run.results[job.method] = outcome.result
+        run.telemetry = list(batch_engine.telemetry)
     return run
 
 
@@ -196,6 +205,7 @@ def run_method_table(
     method_options: dict[str, dict] | None = None,
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableRun:
     """Regenerate one of Tables 3–10 at the given scale.
 
@@ -204,7 +214,9 @@ def run_method_table(
     as one :class:`~repro.engine.BatchEngine` batch: ``n_jobs`` > 1
     spreads the joins over worker processes sharing the vectors through
     shared memory, and ``cache`` makes sweep-style repeated table runs
-    (or overlapping tables) skip identical joins entirely.
+    (or overlapping tables) skip identical joins entirely.  With
+    ``metrics`` the per-join telemetry records land on the returned
+    run's ``telemetry`` list (and on each row's, per couple).
     """
     dataset = dataset_for_table(table)
     chosen_methods = methods if methods is not None else methods_for_table(table)
@@ -237,10 +249,16 @@ def run_method_table(
                 method_options=method_options,
             )
         )
-    with BatchEngine(communities, n_jobs=n_jobs, cache=cache) as batch_engine:
+    with BatchEngine(
+        communities, n_jobs=n_jobs, cache=cache, metrics=metrics
+    ) as batch_engine:
         outcomes = batch_engine.run(jobs)
+        run.telemetry = list(batch_engine.telemetry)
     for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
         run.rows[index // len(chosen_methods)].results[job.method] = outcome.result
+    for record in run.telemetry:
+        # Jobs index communities pairwise, so the couple row is first // 2.
+        run.rows[record.first // 2].telemetry.append(record)
     return run
 
 

@@ -20,6 +20,7 @@ from ..datasets.couples import CoupleSpec, build_couple
 from ..datasets.synthetic import SyntheticGenerator
 from ..datasets.vk import VKGenerator
 from ..engine import BatchEngine, JoinResultCache, PairJob
+from ..obs import JoinTelemetry, MetricsRegistry
 
 __all__ = ["SweepPoint", "epsilon_sweep", "scale_sweep", "render_sweep"]
 
@@ -51,6 +52,8 @@ def epsilon_sweep(
     method: str = "ex-minmax",
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
+    metrics: MetricsRegistry | None = None,
+    telemetry: list[JoinTelemetry] | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Similarity as a function of epsilon on a fixed couple.
@@ -62,7 +65,9 @@ def epsilon_sweep(
 
     The joins run as one :class:`~repro.engine.BatchEngine` batch, so a
     shared ``cache`` makes repeated sweeps over the same couple free and
-    ``n_jobs`` > 1 evaluates the epsilon grid in parallel.
+    ``n_jobs`` > 1 evaluates the epsilon grid in parallel.  With
+    ``metrics`` attached, the engine's per-join records are appended to
+    ``telemetry`` (when given).
     """
     if not epsilons:
         raise ConfigurationError("epsilon_sweep needs at least one epsilon")
@@ -72,9 +77,11 @@ def epsilon_sweep(
         PairJob.build(0, 1, method, epsilon, options) for epsilon in epsilons
     ]
     with BatchEngine(
-        [community_b, community_a], n_jobs=n_jobs, cache=cache
+        [community_b, community_a], n_jobs=n_jobs, cache=cache, metrics=metrics
     ) as engine:
         outcomes = engine.run(jobs)
+        if telemetry is not None:
+            telemetry.extend(engine.telemetry)
     return [
         _point(float(epsilon), outcome.result)
         for epsilon, outcome in zip(epsilons, outcomes)
@@ -90,6 +97,8 @@ def scale_sweep(
     method: str = "ex-minmax",
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
+    metrics: MetricsRegistry | None = None,
+    telemetry: list[JoinTelemetry] | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Runtime as a function of couple size for one couple spec.
@@ -97,6 +106,8 @@ def scale_sweep(
     Each point rebuilds the couple at the given scale and times the
     method — a per-method generalisation of Table 11.  The joins of all
     scales execute as one :class:`~repro.engine.BatchEngine` batch.
+    With ``metrics`` attached, the engine's per-join records are
+    appended to ``telemetry`` (when given).
     """
     if not scales:
         raise ConfigurationError("scale_sweep needs at least one scale")
@@ -108,8 +119,12 @@ def scale_sweep(
         PairJob.build(2 * index, 2 * index + 1, method, epsilon, options)
         for index in range(len(scales))
     ]
-    with BatchEngine(communities, n_jobs=n_jobs, cache=cache) as engine:
+    with BatchEngine(
+        communities, n_jobs=n_jobs, cache=cache, metrics=metrics
+    ) as engine:
         outcomes = engine.run(jobs)
+        if telemetry is not None:
+            telemetry.extend(engine.telemetry)
     return [
         _point(
             float(len(communities[2 * index]) + len(communities[2 * index + 1])) / 2,

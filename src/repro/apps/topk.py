@@ -25,6 +25,7 @@ from ..algorithms import get_algorithm
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
 from ..engine import BatchEngine, JoinResultCache, PairJob, canonical_options
+from ..obs import JoinTelemetry, MetricsRegistry
 
 __all__ = ["PairScore", "top_k_pairs", "top_k_pairs_reference"]
 
@@ -75,6 +76,8 @@ def top_k_pairs(
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
     envelope_screen: bool = True,
+    metrics: MetricsRegistry | None = None,
+    telemetry: list[JoinTelemetry] | None = None,
     **options: object,
 ) -> list[PairScore]:
     """The k most similar pairs among ``communities``.
@@ -92,6 +95,8 @@ def top_k_pairs(
     capacity) memoises joins across calls; ``envelope_screen`` skips
     pairs whose min/max envelopes prove a zero similarity.  All three
     leave the returned ranking identical to the serial computation.
+    With ``metrics`` attached, per-join records for both phases are
+    appended to ``telemetry`` (when given).
     """
     _validate(communities, k, screen_margin)
     job_options = canonical_options(options)
@@ -101,7 +106,11 @@ def top_k_pairs(
         if _joinable(communities[i], communities[j])
     ]
     with BatchEngine(
-        communities, n_jobs=n_jobs, screen=envelope_screen, cache=cache
+        communities,
+        n_jobs=n_jobs,
+        screen=envelope_screen,
+        cache=cache,
+        metrics=metrics,
     ) as engine:
         screen_jobs = [
             PairJob(i, j, screen_method, epsilon, job_options) for i, j in joinable
@@ -136,6 +145,8 @@ def top_k_pairs(
                     result=result,
                 )
             )
+        if telemetry is not None:
+            telemetry.extend(engine.telemetry)
     refined.sort(key=lambda score: (-score.similarity, score.name_b, score.name_a))
     return refined[:k]
 

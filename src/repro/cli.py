@@ -63,6 +63,48 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by the batch subcommands."""
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-join telemetry and print the run summary",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON-lines telemetry log here (implies --telemetry)",
+    )
+
+
+def _telemetry_registry(args: argparse.Namespace):
+    """A fresh registry when telemetry was requested, else ``None``."""
+    if getattr(args, "telemetry", False) or getattr(args, "telemetry_out", None):
+        from .obs import MetricsRegistry
+
+        return MetricsRegistry()
+    return None
+
+
+def _emit_telemetry(args, records, metrics, **header: object) -> None:
+    """Write the run log and/or print the summary (no-op when disabled)."""
+    if metrics is None:
+        return
+    from .obs import summarize_records, write_jsonl
+
+    header = {"command": args.command, **header}
+    if args.telemetry_out:
+        summary = write_jsonl(
+            args.telemetry_out, records, header=header, snapshot=metrics.snapshot()
+        )
+        print(f"telemetry log written to {args.telemetry_out}")
+    else:
+        summary = summarize_records(records)
+    print("-- telemetry --")
+    print(summary.render())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-csj",
@@ -92,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="print paper-vs-measured instead of the runtime layout",
         )
         _add_engine_arguments(sub)
+        _add_telemetry_arguments(sub)
 
     table11 = subparsers.add_parser("table11", help="scalability (Table 11)")
     table11.add_argument("--scale", type=float, default=DEFAULT_SCALE)
@@ -114,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--method", choices=tuple(ALGORITHMS), default="ex-minmax")
     _add_engine_arguments(sweep)
+    _add_telemetry_arguments(sweep)
 
     topk = subparsers.add_parser(
         "topk", help="rank the most similar community pairs (batch engine)"
@@ -138,6 +182,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the envelope pre-screen",
     )
     _add_engine_arguments(topk)
+    _add_telemetry_arguments(topk)
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a JSON-lines telemetry log"
+    )
+    stats.add_argument("log", help="path to a --telemetry-out run log")
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also dump the stored metrics snapshot in Prometheus text format",
+    )
 
     events = subparsers.add_parser(
         "events", help="pruning-event breakdown on one couple (python engines)"
@@ -221,11 +276,15 @@ def main(argv: list[str] | None = None) -> int:
         spec = next(s for s in PAPER_COUPLES if s.c_id == args.cid)
         generator = make_generator(args.dataset, seed=args.seed)
         community_b, community_a = build_couple(spec, generator, scale=args.scale)
+        metrics = _telemetry_registry(args)
+        records: list = []
         points = epsilon_sweep(
             community_b,
             community_a,
             epsilons=sorted(args.epsilons),
             method=args.method,
+            metrics=metrics,
+            telemetry=records,
             **_engine_kwargs(args),
         )
         print(
@@ -233,6 +292,33 @@ def main(argv: list[str] | None = None) -> int:
             f"|A|={len(community_a)}, method={args.method}"
         )
         print(render_sweep(points, parameter_name="epsilon"))
+        _emit_telemetry(
+            args, records, metrics,
+            cid=spec.c_id, dataset=args.dataset, method=args.method,
+        )
+        return 0
+
+    if command == "stats":
+        from .obs import MetricsRegistry, read_jsonl, summarize_records
+
+        header, records, trailer = read_jsonl(args.log)
+        if header:
+            rendered = ", ".join(
+                f"{key}={value}"
+                for key, value in header.items()
+                if key != "kind"
+            )
+            print(f"run: {rendered}")
+        print(summarize_records(records).render())
+        if args.prometheus:
+            snapshot = (trailer or {}).get("metrics")
+            if snapshot:
+                registry = MetricsRegistry()
+                registry.merge(snapshot)
+                print()
+                print(registry.to_prometheus(), end="")
+            else:
+                print("(no metrics snapshot in log)")
         return 0
 
     if command == "events":
@@ -344,11 +430,15 @@ def main(argv: list[str] | None = None) -> int:
             if args.epsilon is not None
             else epsilon_for_dataset(args.dataset)
         )
+        metrics = _telemetry_registry(args)
+        records: list = []
         scores = top_k_pairs(
             communities,
             epsilon=epsilon,
             k=args.k,
             envelope_screen=not args.no_screen,
+            metrics=metrics,
+            telemetry=records,
             **_engine_kwargs(args),
         )
         print(
@@ -363,6 +453,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         if not scores:
             print("(no joinable pairs)")
+        _emit_telemetry(
+            args, records, metrics,
+            dataset=args.dataset, k=args.k, epsilon=epsilon,
+        )
         return 0
 
     if command == "couple":
@@ -382,17 +476,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     table = int(command.removeprefix("table"))
+    metrics = _telemetry_registry(args)
     run = run_method_table(
         table,
         scale=args.scale,
         seed=args.seed,
         engine=args.engine,
+        metrics=metrics,
         **_engine_kwargs(args),
     )
     if args.reference:
         print(render_method_table_with_reference(run))
     else:
         print(render_method_table(run))
+    _emit_telemetry(
+        args, run.telemetry, metrics,
+        table=table, dataset=run.dataset, epsilon=run.epsilon,
+    )
     return 0
 
 

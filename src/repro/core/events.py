@@ -28,10 +28,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..obs.registry import null_timer
+from ..obs.timers import StageClock
 from .types import EventCounts
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
 __all__ = ["EventType", "TraceEvent", "EventTrace"]
+
+#: Counter family every trace mirrors its events into (label: ``type``).
+EVENTS_METRIC = "csj_events_total"
 
 
 class EventType(enum.Enum):
@@ -90,12 +99,21 @@ class EventTrace:
     The counters are always maintained; full :class:`TraceEvent` records
     are kept only when ``record=True`` so that large joins pay no memory
     cost for tracing.
+
+    When a :class:`~repro.obs.registry.MetricsRegistry` is attached the
+    trace also mirrors every event into the ``csj_events_total`` counter
+    family (labelled by type) and offers nestable :meth:`stage` timers
+    whose wall times land both in the registry and in
+    :attr:`stage_seconds` for the per-join telemetry record.  With no
+    registry both paths cost a single ``is None`` test.
     """
 
     record: bool = False
     counts: EventCounts = field(default_factory=EventCounts)
     events: list[TraceEvent] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    metrics: "MetricsRegistry | None" = None
+    clock: StageClock | None = field(default=None, repr=False)
 
     def emit(
         self,
@@ -107,6 +125,8 @@ class EventTrace:
         """Count an event and, if recording, store its trace entry."""
         attr = _COUNTER_FIELD[kind]
         setattr(self.counts, attr, getattr(self.counts, attr) + 1)
+        if self.metrics is not None:
+            self.metrics.inc(EVENTS_METRIC, 1, type=attr)
         if self.record:
             self.events.append(TraceEvent(kind, b_label, a_label, detail))
 
@@ -116,6 +136,21 @@ class EventTrace:
             return
         attr = _COUNTER_FIELD[kind]
         setattr(self.counts, attr, getattr(self.counts, attr) + int(times))
+        if self.metrics is not None:
+            self.metrics.inc(EVENTS_METRIC, int(times), type=attr)
+
+    def stage(self, name: str):
+        """Nestable stage timer (no-op unless a registry is attached)."""
+        if self.metrics is None:
+            return null_timer()
+        if self.clock is None:
+            self.clock = StageClock(self.metrics)
+        return self.clock.stage(name)
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall times recorded through :meth:`stage` so far."""
+        return self.clock.stage_seconds if self.clock is not None else {}
 
     def note(self, text: str) -> None:
         """Record free-form context, e.g. a CSF invocation (Figure 3)."""

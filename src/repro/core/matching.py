@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 __all__ = [
     "linf_match",
@@ -64,13 +67,17 @@ def enumerate_candidate_pairs(
     epsilon: int,
     *,
     block_size: int = 512,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Pairs:
     """All candidate pairs within per-dimension epsilon, blockwise.
 
     Accumulates the condition one dimension at a time over
     ``(block, |A|)`` planes, so peak memory is independent of ``d``.
     Used by Ex-Baseline and by callers that need the raw candidate graph
-    (e.g. optimal weighted matching).
+    (e.g. optimal weighted matching).  With ``metrics`` attached, the
+    pairs examined and the candidates found are counted into the
+    ``candidate_pairs_examined_total`` / ``candidate_pairs_found_total``
+    counters.
     """
     if block_size < 1:
         raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
@@ -91,6 +98,9 @@ def enumerate_candidate_pairs(
                 break
         rows, cols = np.nonzero(mask)
         pairs.extend(zip((rows + start).tolist(), cols.tolist()))
+    if metrics is not None:
+        metrics.inc("candidate_pairs_examined_total", n_b * n_a)
+        metrics.inc("candidate_pairs_found_total", len(pairs))
     return pairs
 
 

@@ -191,6 +191,9 @@ class CSJResult:
     p: float = 1.0
     engine: str = "python"
     swapped: bool = False
+    #: Per-stage wall times recorded when the join ran with
+    #: observability enabled; empty (and costless) otherwise.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_matched(self) -> int:
@@ -240,6 +243,7 @@ class CSJResult:
             "engine": self.engine,
             "swapped": self.swapped,
             "similarity": self.similarity,
+            "stage_seconds": dict(self.stage_seconds),
         }
 
     @classmethod
@@ -262,6 +266,10 @@ class CSJResult:
             p=float(payload.get("p", 1.0)),  # type: ignore[arg-type]
             engine=str(payload.get("engine", "python")),
             swapped=bool(payload.get("swapped", False)),
+            stage_seconds={
+                str(stage): float(seconds)  # type: ignore[arg-type]
+                for stage, seconds in payload.get("stage_seconds", {}).items()  # type: ignore[union-attr]
+            },
         )
         stored = payload.get("similarity")
         if stored is not None and abs(float(stored) - result.similarity) > 1e-9:  # type: ignore[arg-type]

@@ -36,6 +36,8 @@ from ..algorithms.registry import ALGORITHMS
 from ..core.errors import ConfigurationError, UnknownAlgorithmError
 from ..core.types import Community, CSJResult, EventCounts
 from ..core.validation import validate_pair
+from ..obs import JoinTelemetry, MetricsRegistry
+from ..obs.timers import stage_timer
 from .cache import JoinKey, JoinResultCache, canonical_options, join_key
 from .envelope import Envelope, community_envelope, envelopes_separated
 from .fingerprint import community_fingerprint
@@ -127,25 +129,33 @@ def _worker_algorithm(method: str, epsilon: int, options: tuple):
 
 
 def _run_chunk(
-    chunk: list[tuple[int, int, int, str, int, tuple]], enforce_size_ratio: bool
-) -> list[tuple[int, dict]]:
+    chunk: list[tuple[int, int, int, str, int, tuple]],
+    enforce_size_ratio: bool,
+    collect_metrics: bool = False,
+) -> tuple[list[tuple[int, dict]], dict | None]:
     """Execute a chunk of jobs against the attached store.
 
     Each entry is ``(position, first, second, method, epsilon, options)``;
     results travel back as ``CSJResult.to_dict`` payloads keyed by the
-    caller's position so reassembly is order-independent.
+    caller's position so reassembly is order-independent.  With
+    ``collect_metrics`` the chunk runs against a fresh worker-local
+    :class:`MetricsRegistry` whose snapshot rides back alongside the
+    results; the parent merges it, so parallel runs aggregate the same
+    totals as serial ones.
     """
     assert _WORKER_STORE is not None, "worker initialised without a store"
+    registry = MetricsRegistry() if collect_metrics else None
     out: list[tuple[int, dict]] = []
     for position, first, second, method, epsilon, options in chunk:
         algorithm = _worker_algorithm(method, epsilon, options)
+        algorithm.metrics = registry
         result = algorithm.join(
             _WORKER_STORE.community(first),
             _WORKER_STORE.community(second),
             enforce_size_ratio=enforce_size_ratio,
         )
         out.append((position, result.to_dict()))
-    return out
+    return out, (registry.snapshot() if registry is not None else None)
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +181,14 @@ class BatchEngine:
     enforce_size_ratio:
         Forwarded to every join; jobs violating the CSJ size-ratio rule
         raise exactly as a direct ``join`` call would.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        given, the engine counts dispositions, times its phases, mirrors
+        cache / envelope / event counters into the registry (merging
+        worker-local registries after parallel fan-out) and emits one
+        :class:`~repro.obs.JoinTelemetry` record per resolved job into
+        :attr:`telemetry`.  ``None`` (default) keeps the whole pipeline
+        on the uninstrumented fast path.
     """
 
     def __init__(
@@ -181,6 +199,7 @@ class BatchEngine:
         screen: bool = True,
         cache: JoinResultCache | int | None = None,
         enforce_size_ratio: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -191,8 +210,15 @@ class BatchEngine:
             cache = JoinResultCache(max_entries=cache)
         self.cache = cache
         self.enforce_size_ratio = bool(enforce_size_ratio)
+        self.metrics = metrics
+        if metrics is not None and cache is not None and cache.metrics is None:
+            cache.metrics = metrics
+        #: Per-job telemetry records, appended by every ``run`` call
+        #: while a registry is attached (empty otherwise).
+        self.telemetry: list[JoinTelemetry] = []
         self.screened_count = 0
         self.computed_count = 0
+        self.cached_count = 0
         self._envelopes: dict[int, Envelope] = {}
         self._fingerprints: dict[int, str] = {}
         self._algorithms: dict[tuple, object] = {}
@@ -266,47 +292,88 @@ class BatchEngine:
         jobs = list(jobs)
         outcomes: list[PairOutcome | None] = [None] * len(jobs)
         pending: list[tuple[int, PairJob, JoinKey | None, bool]] = []
-        for position, job in enumerate(jobs):
-            first = self.communities[job.first]
-            second = self.communities[job.second]
-            # Raise dimension/size-ratio errors exactly like a direct join.
-            _, _, swapped = validate_pair(
-                first, second, enforce_size_ratio=self.enforce_size_ratio
-            )
-            if job.method.strip().lower() not in ALGORITHMS:
-                raise UnknownAlgorithmError(job.method, tuple(ALGORITHMS))
-            if self.screen and envelopes_separated(
-                self.envelope(job.first), self.envelope(job.second), job.epsilon
-            ):
-                self.screened_count += 1
-                outcomes[position] = PairOutcome(
-                    job, Disposition.SCREENED, self._screened_result(job, swapped)
+        with stage_timer(self.metrics, "batch.plan"):
+            for position, job in enumerate(jobs):
+                first = self.communities[job.first]
+                second = self.communities[job.second]
+                # Raise dimension/size-ratio errors exactly like a direct join.
+                _, _, swapped = validate_pair(
+                    first, second, enforce_size_ratio=self.enforce_size_ratio
                 )
-                continue
-            key: JoinKey | None = None
-            if self.cache is not None:
-                key, _ = self._cache_key(job)
-                cached = self.cache.get(key)
-                if cached is not None:
-                    # The stored result is oriented; only the swap flag
-                    # depends on the order this job named the pair in.
-                    cached.swapped = swapped
-                    outcomes[position] = PairOutcome(job, Disposition.CACHED, cached)
+                if job.method.strip().lower() not in ALGORITHMS:
+                    raise UnknownAlgorithmError(job.method, tuple(ALGORITHMS))
+                if self.screen and envelopes_separated(
+                    self.envelope(job.first),
+                    self.envelope(job.second),
+                    job.epsilon,
+                    metrics=self.metrics,
+                ):
+                    self.screened_count += 1
+                    outcomes[position] = PairOutcome(
+                        job, Disposition.SCREENED, self._screened_result(job, swapped)
+                    )
                     continue
-            pending.append((position, job, key, swapped))
+                key: JoinKey | None = None
+                if self.cache is not None:
+                    key, _ = self._cache_key(job)
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        # The stored result is oriented; only the swap flag
+                        # depends on the order this job named the pair in.
+                        cached.swapped = swapped
+                        self.cached_count += 1
+                        outcomes[position] = PairOutcome(
+                            job, Disposition.CACHED, cached
+                        )
+                        continue
+                pending.append((position, job, key, swapped))
 
         if pending:
-            if self.n_jobs == 1 or len(pending) == 1:
-                computed = self._run_serial(pending)
-            else:
-                computed = self._run_parallel(pending)
+            with stage_timer(self.metrics, "batch.execute"):
+                if self.n_jobs == 1 or len(pending) == 1:
+                    computed = self._run_serial(pending)
+                else:
+                    computed = self._run_parallel(pending)
             for (position, job, key, _), result in zip(pending, computed):
                 self.computed_count += 1
                 if self.cache is not None and key is not None:
                     self.cache.put(key, result)
                 outcomes[position] = PairOutcome(job, Disposition.COMPUTED, result)
         assert all(outcome is not None for outcome in outcomes)
+        if self.metrics is not None:
+            for outcome in outcomes:
+                self._observe(outcome)  # type: ignore[arg-type]
         return outcomes  # type: ignore[return-value]
+
+    def _observe(self, outcome: PairOutcome) -> None:
+        """Record one resolved job into the registry and telemetry log."""
+        metrics = self.metrics
+        assert metrics is not None
+        job, result = outcome.job, outcome.result
+        disposition = outcome.disposition.value
+        metrics.inc("engine_jobs_total", 1, disposition=disposition)
+        self.telemetry.append(
+            JoinTelemetry(
+                first=job.first,
+                second=job.second,
+                method=job.method,
+                epsilon=job.epsilon,
+                disposition=disposition,
+                similarity=result.similarity,
+                n_matched=result.n_matched,
+                size_b=result.size_b,
+                size_a=result.size_a,
+                swapped=result.swapped,
+                screened=outcome.disposition is Disposition.SCREENED,
+                cache_hit=outcome.disposition is Disposition.CACHED,
+                events=result.events.as_dict(),
+                pairs_examined=result.events.total,
+                comparisons=result.events.comparisons,
+                stage_seconds=dict(result.stage_seconds),
+                elapsed_seconds=result.elapsed_seconds,
+                engine=result.engine,
+            )
+        )
 
     def _run_serial(
         self, pending: list[tuple[int, PairJob, JoinKey | None, bool]]
@@ -314,6 +381,7 @@ class BatchEngine:
         results = []
         for _, job, _, _ in pending:
             algorithm = self._algorithm(job)
+            algorithm.metrics = self.metrics
             results.append(
                 algorithm.join(
                     self.communities[job.first],
@@ -338,13 +406,17 @@ class BatchEngine:
             for start in range(0, len(tasks), chunk_size)
         ]
         by_position: dict[int, CSJResult] = {}
+        collect = self.metrics is not None
         futures = [
-            pool.submit(_run_chunk, chunk, self.enforce_size_ratio)
+            pool.submit(_run_chunk, chunk, self.enforce_size_ratio, collect)
             for chunk in chunks
         ]
         for future in futures:
-            for position, payload in future.result():
+            entries, snapshot = future.result()
+            for position, payload in entries:
                 by_position[position] = CSJResult.from_dict(payload)
+            if snapshot is not None:
+                self.metrics.merge(snapshot)  # type: ignore[union-attr]
         return [by_position[position] for position, _, _, _ in pending]
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -376,6 +448,7 @@ class BatchEngine:
         stats: dict[str, object] = {
             "computed": self.computed_count,
             "screened": self.screened_count,
+            "cached": self.cached_count,
             "n_jobs": self.n_jobs,
         }
         if self.cache is not None:

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import copy
 from collections import OrderedDict
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..core.errors import ConfigurationError
 from ..core.types import CSJResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["JoinKey", "JoinResultCache", "canonical_options"]
 
@@ -59,9 +62,24 @@ def join_key(
 
 
 class JoinResultCache:
-    """Bounded LRU cache mapping :data:`JoinKey` to result payloads."""
+    """Bounded LRU cache mapping :data:`JoinKey` to result payloads.
 
-    def __init__(self, max_entries: int = 256) -> None:
+    ``metrics`` (assignable after construction too) mirrors the hit /
+    miss / eviction counters into a
+    :class:`~repro.obs.registry.MetricsRegistry` as
+    ``join_cache_{hits,misses,evictions}_total`` plus the
+    ``join_cache_entries`` gauge, so cache behaviour shows up in the
+    same run logs as everything else.  The cache's own integer counters
+    remain the source of truth (the telemetry-accuracy tests assert the
+    two agree).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if max_entries < 1:
             raise ConfigurationError(
                 f"cache max_entries must be >= 1, got {max_entries}"
@@ -71,6 +89,7 @@ class JoinResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.metrics = metrics
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,8 +102,12 @@ class JoinResultCache:
         payload = self._entries.get(key)
         if payload is None:
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.inc("join_cache_misses_total")
             return None
         self.hits += 1
+        if self.metrics is not None:
+            self.metrics.inc("join_cache_hits_total")
         self._entries.move_to_end(key)
         return CSJResult.from_dict(copy.deepcopy(payload))
 
@@ -95,6 +118,10 @@ class JoinResultCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if self.metrics is not None:
+                self.metrics.inc("join_cache_evictions_total")
+        if self.metrics is not None:
+            self.metrics.set_gauge("join_cache_entries", len(self._entries))
 
     def clear(self) -> None:
         """Drop all entries; counters are kept (they describe history)."""

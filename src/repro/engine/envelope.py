@@ -20,10 +20,14 @@ and Eq. (1) evaluates to 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.types import Community
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["Envelope", "community_envelope", "envelopes_separated"]
 
@@ -49,13 +53,27 @@ def community_envelope(community: Community) -> Envelope:
     )
 
 
-def envelopes_separated(first: Envelope, second: Envelope, epsilon: int) -> bool:
+def envelopes_separated(
+    first: Envelope,
+    second: Envelope,
+    epsilon: int,
+    *,
+    metrics: "MetricsRegistry | None" = None,
+) -> bool:
     """True when some dimension separates the envelopes by more than epsilon.
 
     A ``True`` verdict is a proof that the CSJ similarity of the two
     communities is zero at this epsilon; ``False`` says nothing (the
-    envelopes may overlap while no individual pair matches).
+    envelopes may overlap while no individual pair matches).  With
+    ``metrics`` attached, every test is counted into
+    ``envelope_tests_total`` and positive verdicts additionally into
+    ``envelope_separations_total``.
     """
     gap_low = second.mins - first.maxs  # second strictly above first
     gap_high = first.mins - second.maxs  # first strictly above second
-    return bool((gap_low > epsilon).any() or (gap_high > epsilon).any())
+    separated = bool((gap_low > epsilon).any() or (gap_high > epsilon).any())
+    if metrics is not None:
+        metrics.inc("envelope_tests_total")
+        if separated:
+            metrics.inc("envelope_separations_total")
+    return separated

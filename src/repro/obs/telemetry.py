@@ -1,0 +1,181 @@
+"""Per-join telemetry records and the JSON-lines run-log format.
+
+Every pair job the :class:`~repro.engine.BatchEngine` resolves can emit
+one :class:`JoinTelemetry` record: how the job was resolved (computed /
+screened / cache hit), the pairing-event counts by type, the matched
+size and similarity, and the per-stage wall times measured by the
+:class:`~repro.obs.timers.StageClock` inside the join.
+
+The run-log format is JSON lines: a ``{"kind": "run", ...}`` header,
+one ``{"kind": "join", ...}`` line per record, and a ``{"kind":
+"summary", ...}`` trailer carrying the aggregates plus the registry
+snapshot.  ``repro-csj stats`` consumes this format offline; the
+telemetry-accuracy tests check the aggregates against independent
+ground truth (the ``JoinResult`` event counts and the cache's own
+accounting).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Mapping
+
+__all__ = [
+    "JoinTelemetry",
+    "TelemetrySummary",
+    "read_jsonl",
+    "summarize_records",
+    "write_jsonl",
+]
+
+
+@dataclass
+class JoinTelemetry:
+    """One resolved pair job, as the observability layer saw it."""
+
+    first: int
+    second: int
+    method: str
+    epsilon: int
+    disposition: str  # "computed" | "screened" | "cached"
+    similarity: float
+    n_matched: int
+    size_b: int
+    size_a: int
+    swapped: bool
+    screened: bool
+    cache_hit: bool
+    events: dict[str, int] = field(default_factory=dict)
+    pairs_examined: int = 0
+    comparisons: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    engine: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        payload = asdict(self)
+        payload["kind"] = "join"
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "JoinTelemetry":
+        fields = {k: v for k, v in payload.items() if k != "kind"}
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+@dataclass
+class TelemetrySummary:
+    """Aggregates over a set of join records."""
+
+    n_joins: int = 0
+    dispositions: dict[str, int] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    matched_pairs: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        payload = asdict(self)
+        payload["kind"] = "summary"
+        return payload
+
+    def render(self) -> str:
+        """Monospace rendering for the CLI."""
+        lines = [f"joins: {self.n_joins}  (matched pairs: {self.matched_pairs})"]
+        if self.dispositions:
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.dispositions.items())
+            )
+            lines.append(f"dispositions: {rendered}")
+        if self.events:
+            lines.append("events:")
+            for name, count in sorted(self.events.items()):
+                lines.append(f"  {name:12s} {count:12d}")
+        if self.stage_seconds:
+            lines.append("stage wall time:")
+            for stage, seconds in sorted(self.stage_seconds.items()):
+                lines.append(f"  {stage:24s} {seconds:10.4f}s")
+        lines.append(f"join wall time: {self.elapsed_seconds:.4f}s")
+        return "\n".join(lines)
+
+
+def summarize_records(records: Iterable[JoinTelemetry]) -> TelemetrySummary:
+    """Fold join records into a :class:`TelemetrySummary`."""
+    summary = TelemetrySummary()
+    for record in records:
+        summary.n_joins += 1
+        summary.dispositions[record.disposition] = (
+            summary.dispositions.get(record.disposition, 0) + 1
+        )
+        for name, count in record.events.items():
+            summary.events[name] = summary.events.get(name, 0) + count
+        for stage, seconds in record.stage_seconds.items():
+            summary.stage_seconds[stage] = (
+                summary.stage_seconds.get(stage, 0.0) + seconds
+            )
+        summary.elapsed_seconds += record.elapsed_seconds
+        summary.matched_pairs += record.n_matched
+    return summary
+
+
+def write_jsonl(
+    target: str | Path | IO[str],
+    records: Iterable[JoinTelemetry],
+    *,
+    header: Mapping[str, object] | None = None,
+    snapshot: Mapping[str, object] | None = None,
+) -> TelemetrySummary:
+    """Write a full run log (header, join lines, summary trailer).
+
+    Returns the computed summary so callers can also print it.
+    """
+    records = list(records)
+    summary = summarize_records(records)
+    trailer = summary.to_dict()
+    if snapshot is not None:
+        trailer["metrics"] = dict(snapshot)
+
+    def emit(stream: IO[str]) -> None:
+        if header is not None:
+            stream.write(json.dumps({"kind": "run", **header}) + "\n")
+        for record in records:
+            stream.write(json.dumps(record.to_dict()) + "\n")
+        stream.write(json.dumps(trailer) + "\n")
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as stream:
+            emit(stream)
+    else:
+        emit(target)
+    return summary
+
+
+def read_jsonl(
+    source: str | Path | IO[str],
+) -> tuple[dict | None, list[JoinTelemetry], dict | None]:
+    """Parse a run log back into ``(header, records, summary_payload)``.
+
+    Lines of unknown kind are ignored, so the format can grow.
+    """
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source.read()
+    header: dict | None = None
+    summary: dict | None = None
+    records: list[JoinTelemetry] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        kind = payload.get("kind")
+        if kind == "run":
+            header = payload
+        elif kind == "join":
+            records.append(JoinTelemetry.from_dict(payload))
+        elif kind == "summary":
+            summary = payload
+    return header, records, summary

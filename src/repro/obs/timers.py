@@ -1,0 +1,100 @@
+"""Nestable wall-clock stage timers.
+
+:func:`stage_timer` is the one-shot form: a context manager that
+observes the stage's wall time into ``stage_seconds{stage=<name>}`` of
+a registry.  When the registry is ``None`` (observability disabled) it
+returns a shared no-op context manager, so the disabled cost is one
+``is None`` test and an attribute load.
+
+:class:`StageClock` is the stateful form used inside a single join: it
+keeps a stack of open stages so nested timers record dotted paths
+(``join`` > ``join.pairing`` > ``join.pairing.matching``), and it
+accumulates a flat ``{path: seconds}`` dict that becomes the per-join
+telemetry's ``stage_seconds``.  Because children are timed inside their
+parent's interval, the children of any stage sum to at most the
+parent's time — the invariant the telemetry-accuracy tests check.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from .registry import null_timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import MetricsRegistry
+
+__all__ = ["StageClock", "stage_timer"]
+
+#: Metric name every stage timer observes into.
+STAGE_METRIC = "stage_seconds"
+
+
+class _StageTimer:
+    """One running stage; records on exit."""
+
+    __slots__ = ("clock", "name", "path", "started", "seconds")
+
+    def __init__(self, clock: "StageClock", name: str) -> None:
+        self.clock = clock
+        self.name = name
+        self.path = ""
+        self.started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        stack = self.clock._stack
+        self.path = f"{stack[-1]}.{self.name}" if stack else self.name
+        stack.append(self.path)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.seconds = time.perf_counter() - self.started
+        self.clock._stack.pop()
+        self.clock._record(self.path, self.seconds)
+
+
+class StageClock:
+    """Per-join stage accounting bound to an optional registry.
+
+    ``StageClock(None)`` is inert: :meth:`stage` returns the shared
+    no-op timer and nothing is recorded.
+    """
+
+    __slots__ = ("metrics", "stage_seconds", "_stack")
+
+    def __init__(self, metrics: "MetricsRegistry | None") -> None:
+        self.metrics = metrics
+        self.stage_seconds: dict[str, float] = {}
+        self._stack: list[str] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics is not None
+
+    def stage(self, name: str):
+        """Context manager timing one (possibly nested) stage."""
+        if self.metrics is None:
+            return null_timer()
+        return _StageTimer(self, name)
+
+    def _record(self, path: str, seconds: float) -> None:
+        self.stage_seconds[path] = self.stage_seconds.get(path, 0.0) + seconds
+        self.metrics.observe(STAGE_METRIC, seconds, stage=path)  # type: ignore[union-attr]
+
+
+def stage_timer(metrics: "MetricsRegistry | None", name: str):
+    """Time one top-level stage into ``metrics`` (no-op when ``None``).
+
+    For nested per-join accounting use a :class:`StageClock`; this
+    helper is for coarse phase timing at batch granularity, e.g.::
+
+        with stage_timer(metrics, "batch.execute"):
+            results = run(...)
+    """
+    if metrics is None:
+        return null_timer()
+    clock = StageClock(metrics)
+    return clock.stage(name)

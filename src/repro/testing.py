@@ -10,7 +10,12 @@ their own CSJ implementations against this one):
 * :func:`assert_valid_matching` — structural validation of any result;
 * :func:`random_counter_couple` — structured random inputs whose
   candidate graphs have real matching ambiguity (not just isolated
-  vertices), useful for fuzzing.
+  vertices), useful for fuzzing;
+* :func:`random_counter_matrix` — one counter matrix with near-copy
+  structure (the single-community building block);
+* :func:`banded_community_fleet` — a fleet of communities in
+  well-separated value bands, the canonical batch-engine workload (real
+  intra-band similarity, provably-zero inter-band similarity).
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ __all__ = [
     "assert_valid_matching",
     "validate_result",
     "random_counter_couple",
+    "random_counter_matrix",
+    "banded_community_fleet",
 ]
 
 
@@ -138,3 +145,53 @@ def random_counter_couple(
     vectors_b = matrix(n_b)
     vectors_a = matrix(n_a, seed_rows=vectors_b)
     return vectors_b, vectors_a
+
+
+def random_counter_matrix(
+    rng: np.random.Generator, n: int, d: int, high: int
+) -> np.ndarray:
+    """Counters with duplicates: one matrix with near-copy structure.
+
+    Every third row is a near-copy (within one like per dimension) of an
+    earlier row, so the matrix has genuine epsilon-1 self-similarity.
+    """
+    base = rng.integers(0, high, size=(n, d))
+    for row in range(1, n, 3):
+        source = rng.integers(0, row)
+        noise = rng.integers(-1, 2, size=d)
+        base[row] = np.maximum(base[source] + noise, 0)
+    return base.astype(np.int64)
+
+
+def banded_community_fleet(
+    n_bands: int = 3,
+    per_band: int = 4,
+    *,
+    users: int = 24,
+    dims: int = 5,
+    seed: int = 3,
+    band_gap: int = 500,
+    high: int = 20,
+    name_format: str = "band{band}-m{member}",
+) -> list[Community]:
+    """Communities in well-separated value bands.
+
+    Within a band every community perturbs the same archetype matrix, so
+    intra-band pairs have real similarity and real join work; bands sit
+    ``band_gap`` counts apart in every dimension, so inter-band pairs
+    are provably dissimilar at small epsilon — exactly the envelope
+    pre-screen's provably-zero case.  This is the canonical workload for
+    the batch-engine tests and benchmarks; ``name_format`` receives
+    ``band`` and ``member`` keywords.
+    """
+    rng = np.random.default_rng(seed)
+    fleet: list[Community] = []
+    for band in range(n_bands):
+        base = rng.integers(0, high, size=(users, dims)) + band_gap * band
+        for member in range(per_band):
+            noise = rng.integers(-1, 2, size=(users, dims))
+            vectors = np.maximum(base + noise, 0)
+            fleet.append(
+                Community(name_format.format(band=band, member=member), vectors)
+            )
+    return fleet

@@ -13,13 +13,16 @@ import pytest
 from repro.core.types import Community
 from repro.testing import (
     assert_valid_matching,
+    banded_community_fleet,
     brute_force_candidate_pairs,
     maximum_matching_size,
     random_counter_couple,
+    random_counter_matrix,
 )
 
 __all__ = [
     "assert_valid_matching",
+    "banded_community_fleet",
     "brute_force_candidate_pairs",
     "maximum_matching_size",
     "random_couple",
@@ -32,18 +35,6 @@ def random_couple(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Structured random couple (wrapper around repro.testing)."""
     return random_counter_couple(seed, n_b=n_b, n_a=n_a, n_dims=d, high=high)
-
-
-def random_counter_matrix(
-    rng: np.random.Generator, n: int, d: int, high: int
-) -> np.ndarray:
-    """Counters with duplicates: one matrix with near-copy structure."""
-    base = rng.integers(0, high, size=(n, d))
-    for row in range(1, n, 3):
-        source = rng.integers(0, row)
-        noise = rng.integers(-1, 2, size=d)
-        base[row] = np.maximum(base[source] + noise, 0)
-    return base.astype(np.int64)
 
 
 @pytest.fixture

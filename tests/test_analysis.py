@@ -95,6 +95,28 @@ class TestRunMethodTable:
         assert len(run.rows) == 2
         assert run.methods == ("ap-minmax",)
 
+    def test_telemetry_records_per_row(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        run = run_method_table(
+            3,
+            scale=TINY_SCALE,
+            couples=PAPER_COUPLES[:3],
+            methods=("ap-minmax", "ex-minmax"),
+            metrics=metrics,
+        )
+        assert len(run.telemetry) == 6  # 3 couples x 2 methods
+        for row in run.rows:
+            assert [record.method for record in row.telemetry] == [
+                "ap-minmax",
+                "ex-minmax",
+            ]
+            for record in row.telemetry:
+                assert record.disposition == "computed"
+                assert record.size_b <= record.size_a
+        assert metrics.counter("csj_joins_total", method="ex-minmax", engine="numpy") == 3
+
     def test_render_runtime_layout(self, table4):
         rendered = render_method_table(table4)
         assert "Table 4" in rendered

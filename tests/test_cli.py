@@ -180,3 +180,119 @@ class TestMain:
             == 0
         )
         assert "ap-minmax" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    """The --telemetry/--telemetry-out surface and the stats command."""
+
+    TOPK = ["topk", "--scale", "0.001", "--couples", "4", "--k", "3"]
+
+    def _rebuild_topk_communities(self):
+        """The exact community fleet the CLI topk invocation builds."""
+        import dataclasses
+
+        from repro.analysis.runner import make_generator
+        from repro.datasets.couples import PAPER_COUPLES, build_couple
+
+        generator = make_generator("vk", seed=7)
+        communities = []
+        for spec in PAPER_COUPLES[:4]:
+            couple = build_couple(spec, generator, scale=0.001)
+            for side, community in zip("BA", couple):
+                communities.append(
+                    dataclasses.replace(
+                        community, name=f"c{spec.c_id}{side}:{community.name}"
+                    )
+                )
+        return communities
+
+    def test_topk_log_event_totals_match_join_results(self, tmp_path, capsys):
+        from repro.apps import top_k_pairs
+        from repro.obs import read_jsonl, summarize_records
+        from repro.obs.registry import MetricsRegistry
+
+        path = tmp_path / "topk.jsonl"
+        assert main(self.TOPK + ["--telemetry-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"telemetry log written to {path}" in out
+        assert "-- telemetry --" in out
+
+        header, records, trailer = read_jsonl(path)
+        assert header["command"] == "topk"
+        assert trailer is not None and "metrics" in trailer
+        logged = summarize_records(records)
+        assert logged.n_joins == len(records) > 0
+
+        # Differential check: an identical in-process run's JoinResult
+        # event counts must match the log's per-event-type totals.
+        direct_records: list = []
+        top_k_pairs(
+            self._rebuild_topk_communities(),
+            epsilon=1,
+            k=3,
+            metrics=MetricsRegistry(),
+            telemetry=direct_records,
+        )
+        direct = summarize_records(direct_records)
+        assert logged.events == direct.events
+        assert logged.dispositions == direct.dispositions
+        assert logged.matched_pairs == direct.matched_pairs
+        # Every record's events are exactly its JoinResult's counts, so
+        # the totals in the summary trailer agree too.
+        assert trailer["events"] == logged.events
+
+    def test_topk_telemetry_flag_prints_summary(self, capsys):
+        assert main(self.TOPK + ["--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "-- telemetry --" in out
+        assert "dispositions:" in out
+
+    def test_sweep_telemetry_out(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--cid",
+                    "1",
+                    "--scale",
+                    "0.001",
+                    "--epsilons",
+                    "0",
+                    "1",
+                    "--telemetry-out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        header, records, _ = read_jsonl(path)
+        assert header["command"] == "sweep" and header["cid"] == 1
+        assert len(records) == 2
+        assert [r.epsilon for r in records] == [0, 1]
+
+    def test_table_telemetry_flag(self, capsys):
+        assert main(["table3", "--scale", "0.001", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "-- telemetry --" in out
+        assert "joins:" in out
+
+    def test_stats_command(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(self.TOPK + ["--telemetry-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run: command=topk" in out
+        assert "joins:" in out and "dispositions:" in out
+
+    def test_stats_prometheus_dump(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(self.TOPK + ["--telemetry-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_jobs_total counter" in out
+        assert "csj_events_total" in out

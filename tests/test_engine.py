@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.apps import top_k_pairs, top_k_pairs_reference
 from repro.core.errors import (
@@ -27,27 +30,9 @@ from repro.engine import (
     matrix_fingerprint,
 )
 from repro.engine.shared import AttachedVectorStore, SharedVectorStore
-
-
-def banded_fleet(
-    n_bands: int = 3, per_band: int = 4, *, users: int = 24, dims: int = 5, seed: int = 3
-) -> list[Community]:
-    """Communities in well-separated value bands.
-
-    Within a band every community perturbs the same archetypes, so
-    intra-band pairs have real similarity; bands sit hundreds of counts
-    apart, so inter-band pairs are provably dissimilar at small epsilon
-    (the envelope pre-screen's home turf).
-    """
-    rng = np.random.default_rng(seed)
-    fleet: list[Community] = []
-    for band in range(n_bands):
-        base = rng.integers(0, 20, size=(users, dims)) + 500 * band
-        for member in range(per_band):
-            noise = rng.integers(-1, 2, size=(users, dims))
-            vectors = np.maximum(base + noise, 0)
-            fleet.append(Community(f"band{band}-m{member}", vectors))
-    return fleet
+from repro.obs import MetricsRegistry, summarize_records
+from repro.testing import banded_community_fleet as banded_fleet
+from repro.testing import brute_force_candidate_pairs
 
 
 def all_pair_jobs(
@@ -318,6 +303,134 @@ class TestEngineErrors:
         with BatchEngine([tiny, giant], enforce_size_ratio=False) as engine:
             outcome = engine.run([PairJob.build(0, 1, "ex-minmax", 1)])[0]
         assert outcome.result.size_b == 5
+
+
+def ranking_key(scores) -> bytes:
+    """Canonical byte serialisation of a top-k ranking."""
+    return json.dumps(
+        [
+            {
+                "name_b": score.name_b,
+                "name_a": score.name_a,
+                "similarity": repr(score.similarity),
+                "matching": score.result.pair_tuples(),
+            }
+            for score in scores
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+def nonzero(events: dict[str, int]) -> dict[str, int]:
+    return {name: count for name, count in events.items() if count}
+
+
+class TestTelemetryDifferential:
+    """n_jobs=1, n_jobs=2 and the reference loop agree — results AND
+    telemetry aggregates."""
+
+    def test_rankings_byte_identical_across_all_paths(self):
+        fleet = banded_fleet(2, 3)
+        serial_metrics, parallel_metrics = MetricsRegistry(), MetricsRegistry()
+        serial_records: list = []
+        parallel_records: list = []
+        reference = top_k_pairs_reference(fleet, epsilon=2, k=4)
+        serial = top_k_pairs(
+            fleet,
+            epsilon=2,
+            k=4,
+            metrics=serial_metrics,
+            telemetry=serial_records,
+        )
+        parallel = top_k_pairs(
+            fleet,
+            epsilon=2,
+            k=4,
+            n_jobs=2,
+            metrics=parallel_metrics,
+            telemetry=parallel_records,
+        )
+        expected = ranking_key(reference)
+        assert ranking_key(serial) == expected
+        assert ranking_key(parallel) == expected
+        # Per returned pair, the engine's event counts equal the
+        # reference loop's (the joins are deterministic end to end).
+        for engine_score, reference_score in zip(serial, reference):
+            assert (
+                engine_score.result.events.as_dict()
+                == reference_score.result.events.as_dict()
+            )
+
+    def test_per_event_type_counts_equal_serial_vs_parallel(self):
+        fleet = banded_fleet(2, 3)
+        jobs = all_pair_jobs(fleet)
+        serial_metrics, parallel_metrics = MetricsRegistry(), MetricsRegistry()
+        with BatchEngine(fleet, n_jobs=1, metrics=serial_metrics) as engine:
+            serial = engine.run(jobs)
+            serial_records = list(engine.telemetry)
+        with BatchEngine(fleet, n_jobs=2, metrics=parallel_metrics) as engine:
+            parallel = engine.run(jobs)
+            parallel_records = list(engine.telemetry)
+        assert comparable(serial) == comparable(parallel)
+        # Registry event counters aggregate identically across fan-out.
+        assert serial_metrics.counters_by_label(
+            "csj_events_total", "type"
+        ) == parallel_metrics.counters_by_label("csj_events_total", "type")
+        # And so do the per-record telemetry aggregates.
+        serial_summary = summarize_records(serial_records)
+        parallel_summary = summarize_records(parallel_records)
+        assert serial_summary.n_joins == parallel_summary.n_joins == len(jobs)
+        assert nonzero(serial_summary.events) == nonzero(parallel_summary.events)
+        assert serial_summary.dispositions == parallel_summary.dispositions
+        assert serial_summary.matched_pairs == parallel_summary.matched_pairs
+
+    def test_telemetry_event_totals_match_join_results(self):
+        fleet = banded_fleet(2, 2)
+        jobs = all_pair_jobs(fleet)
+        metrics = MetricsRegistry()
+        with BatchEngine(fleet, metrics=metrics) as engine:
+            outcomes = engine.run(jobs)
+            records = list(engine.telemetry)
+        assert len(records) == len(jobs)
+        expected: dict[str, int] = {}
+        for outcome in outcomes:
+            for name, count in outcome.result.events.as_dict().items():
+                expected[name] = expected.get(name, 0) + count
+        assert nonzero(summarize_records(records).events) == nonzero(expected)
+        # Record-level fields mirror the outcome they were built from.
+        for record, outcome in zip(records, outcomes):
+            assert record.disposition == outcome.disposition.value
+            assert record.similarity == outcome.result.similarity
+            assert record.n_matched == outcome.result.n_matched
+            assert record.events == outcome.result.events.as_dict()
+
+
+class TestEnvelopeScreenFuzz:
+    """Property: a SCREENED verdict is a *proof* of an empty candidate
+    graph — confirmed against the brute-force oracle."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        offset=st.integers(min_value=0, max_value=12),
+        epsilon=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_screened_implies_empty_candidate_graph(self, seed, offset, epsilon):
+        rng = np.random.default_rng(seed)
+        vectors_b = rng.integers(0, 8, size=(6, 3)).astype(np.int64)
+        vectors_a = (rng.integers(0, 8, size=(7, 3)) + offset).astype(np.int64)
+        fleet = [Community("B", vectors_b), Community("A", vectors_a)]
+        with BatchEngine(fleet, screen=True) as engine:
+            outcome = engine.run([PairJob.build(0, 1, "ex-minmax", epsilon)])[0]
+        if outcome.disposition is Disposition.SCREENED:
+            assert (
+                brute_force_candidate_pairs(vectors_b, vectors_a, epsilon) == set()
+            )
+            assert outcome.result.similarity == 0.0
+            assert outcome.result.pairs == []
+        elif not brute_force_candidate_pairs(vectors_b, vectors_a, epsilon):
+            # Unscreened but genuinely empty: the join must agree.
+            assert outcome.result.n_matched == 0
 
 
 class TestTopKOnEngine:

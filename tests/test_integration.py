@@ -115,12 +115,20 @@ class TestEfficiencyShape:
         assert minmax.events.comparisons < baseline.events.comparisons / 10
 
     def test_scalability_times_grow_with_size(self):
-        cells = run_scalability(
-            scale=1 / 320, categories=("Sport",), steps=(1, 4), seed=7
-        )
-        small, large = cells
+        # Wall-clock on a loaded single-CPU runner is noisy: a transient
+        # spike on the small cell can exceed the ~3x size margin.
+        # Best-of-two per cell keeps the size->time shape robust.
+        runs = [
+            run_scalability(
+                scale=1 / 320, categories=("Sport",), steps=(1, 4), seed=7
+            )
+            for _ in range(2)
+        ]
+        small, large = runs[0]
         assert large.average_size > small.average_size
-        assert large.elapsed_seconds > small.elapsed_seconds
+        assert min(cells[1].elapsed_seconds for cells in runs) > min(
+            cells[0].elapsed_seconds for cells in runs
+        )
 
 
 class TestSameCategoryTables:
