@@ -149,7 +149,7 @@ def bench_engine_batch(report_writer):
     assert ranking_bytes(parallel) == expected
     assert ranking_bytes(cached) == expected
     assert ranking_bytes(with_telemetry) == expected
-    assert registry.counter("engine_jobs_total", disposition="computed") > 0
+    assert registry.counter("repro_engine_jobs_total", disposition="computed") > 0
     assert cache.hits > 0
 
     n_communities = len(fleet)

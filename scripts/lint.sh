@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local equivalent of the CI lint gate.
+#
+#   scripts/lint.sh            # lint src/repro (+ ruff/mypy when installed)
+#   scripts/lint.sh src tests  # explicit targets for repro.lint
+#
+# repro.lint is pure stdlib and always runs.  ruff and mypy are
+# optional extras (`pip install -e ".[lint]"`); when absent they are
+# skipped with a note instead of failing, so the script works in
+# minimal environments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+targets=("$@")
+if [ ${#targets[@]} -eq 0 ]; then
+  targets=(src/repro)
+fi
+
+status=0
+
+echo "== repro.lint =="
+PYTHONPATH=src python -m repro.lint "${targets[@]}" || status=1
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+  ruff check src tests || status=1
+else
+  echo "ruff not installed; skipping (pip install -e '.[lint]')"
+fi
+
+echo "== mypy =="
+if command -v mypy >/dev/null 2>&1; then
+  mypy src/repro/lint src/repro/obs || status=1
+else
+  echo "mypy not installed; skipping (pip install -e '.[lint]')"
+fi
+
+exit $status

@@ -119,8 +119,8 @@ class CSJAlgorithm(abc.ABC):
             elapsed = time.perf_counter() - started
         self.last_trace = trace
         if metrics is not None:
-            metrics.inc("csj_joins_total", 1, method=self.name, engine=self.engine)
-            metrics.observe("csj_join_seconds", elapsed, method=self.name)
+            metrics.inc("repro_algo_joins_total", 1, method=self.name, engine=self.engine)
+            metrics.observe("repro_algo_join_seconds", elapsed, method=self.name)
         result = CSJResult(
             method=self.name,
             exact=self.exact,

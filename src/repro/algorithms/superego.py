@@ -468,5 +468,5 @@ class ExSuperEGO(_SuperEGOBase):
             for future in futures:
                 chunk_pairs, chunk_trace = future.result()
                 pairs.extend(chunk_pairs)
-                trace.counts = trace.counts + chunk_trace.counts
+                trace.absorb(chunk_trace.counts)
         return pairs

@@ -243,12 +243,39 @@ def build_parser() -> argparse.ArgumentParser:
     couple.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     couple.add_argument("--seed", type=int, default=7)
     couple.add_argument("--engine", choices=("python", "numpy"), default="numpy")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repro.lint invariant checker"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None, metavar="IDS")
+    lint.add_argument("--ignore", default=None, metavar="IDS")
+    lint.add_argument("--show-suppressed", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command: str = args.command
+
+    if command == "lint":
+        from .lint import cli as lint_cli
+
+        if args.list_rules:
+            print(lint_cli.list_rules())
+            return 0
+        return lint_cli.run_lint(
+            list(args.paths) if args.paths else lint_cli.default_paths(),
+            report_format=args.format,
+            select=args.select,
+            ignore=args.ignore,
+            show_suppressed=args.show_suppressed,
+        )
 
     if command == "table1":
         print(render_table1(run_table1(n_users=args.users, seed=args.seed)))

@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["EventType", "TraceEvent", "EventTrace"]
 
 #: Counter family every trace mirrors its events into (label: ``type``).
-EVENTS_METRIC = "csj_events_total"
+EVENTS_METRIC = "repro_core_events_total"
 
 
 class EventType(enum.Enum):
@@ -101,7 +101,7 @@ class EventTrace:
     cost for tracing.
 
     When a :class:`~repro.obs.registry.MetricsRegistry` is attached the
-    trace also mirrors every event into the ``csj_events_total`` counter
+    trace also mirrors every event into the ``repro_core_events_total`` counter
     family (labelled by type) and offers nestable :meth:`stage` timers
     whose wall times land both in the registry and in
     :attr:`stage_seconds` for the per-join telemetry record.  With no
@@ -138,6 +138,20 @@ class EventTrace:
         setattr(self.counts, attr, getattr(self.counts, attr) + int(times))
         if self.metrics is not None:
             self.metrics.inc(EVENTS_METRIC, int(times), type=attr)
+
+    def absorb(self, other: EventCounts) -> None:
+        """Fold another trace's counters in **through the sink**.
+
+        Sub-traces (e.g. the per-slice traces of the thread-parallel
+        SuperEGO candidate collection) accumulate without a registry;
+        merging them via plain counter addition would update
+        :attr:`counts` but skip the metrics mirror, so serial and
+        parallel runs would report different ``repro_core_events_total``
+        series.  Routing the merge through :meth:`emit_bulk` keeps both
+        sides in lockstep.
+        """
+        for kind, attr in _COUNTER_FIELD.items():
+            self.emit_bulk(kind, getattr(other, attr))
 
     def stage(self, name: str):
         """Nestable stage timer (no-op unless a registry is attached)."""

@@ -76,7 +76,7 @@ def enumerate_candidate_pairs(
     Used by Ex-Baseline and by callers that need the raw candidate graph
     (e.g. optimal weighted matching).  With ``metrics`` attached, the
     pairs examined and the candidates found are counted into the
-    ``candidate_pairs_examined_total`` / ``candidate_pairs_found_total``
+    ``repro_core_candidate_pairs_examined_total`` / ``repro_core_candidate_pairs_found_total``
     counters.
     """
     if block_size < 1:
@@ -99,8 +99,8 @@ def enumerate_candidate_pairs(
         rows, cols = np.nonzero(mask)
         pairs.extend(zip((rows + start).tolist(), cols.tolist()))
     if metrics is not None:
-        metrics.inc("candidate_pairs_examined_total", n_b * n_a)
-        metrics.inc("candidate_pairs_found_total", len(pairs))
+        metrics.inc("repro_core_candidate_pairs_examined_total", n_b * n_a)
+        metrics.inc("repro_core_candidate_pairs_found_total", len(pairs))
     return pairs
 
 

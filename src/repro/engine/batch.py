@@ -351,7 +351,7 @@ class BatchEngine:
         assert metrics is not None
         job, result = outcome.job, outcome.result
         disposition = outcome.disposition.value
-        metrics.inc("engine_jobs_total", 1, disposition=disposition)
+        metrics.inc("repro_engine_jobs_total", 1, disposition=disposition)
         self.telemetry.append(
             JoinTelemetry(
                 first=job.first,
@@ -464,5 +464,7 @@ class BatchEngine:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
-        except Exception:
+        # Interpreter-teardown safety net: pool/shm may be half-dead and
+        # raising from __del__ only prints noise.
+        except Exception:  # repro-lint: disable=RL005
             pass

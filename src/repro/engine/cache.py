@@ -67,8 +67,8 @@ class JoinResultCache:
     ``metrics`` (assignable after construction too) mirrors the hit /
     miss / eviction counters into a
     :class:`~repro.obs.registry.MetricsRegistry` as
-    ``join_cache_{hits,misses,evictions}_total`` plus the
-    ``join_cache_entries`` gauge, so cache behaviour shows up in the
+    ``repro_engine_cache_{hits,misses,evictions}_total`` plus the
+    ``repro_engine_cache_entries`` gauge, so cache behaviour shows up in the
     same run logs as everything else.  The cache's own integer counters
     remain the source of truth (the telemetry-accuracy tests assert the
     two agree).
@@ -103,11 +103,11 @@ class JoinResultCache:
         if payload is None:
             self.misses += 1
             if self.metrics is not None:
-                self.metrics.inc("join_cache_misses_total")
+                self.metrics.inc("repro_engine_cache_misses_total")
             return None
         self.hits += 1
         if self.metrics is not None:
-            self.metrics.inc("join_cache_hits_total")
+            self.metrics.inc("repro_engine_cache_hits_total")
         self._entries.move_to_end(key)
         return CSJResult.from_dict(copy.deepcopy(payload))
 
@@ -119,9 +119,9 @@ class JoinResultCache:
             self._entries.popitem(last=False)
             self.evictions += 1
             if self.metrics is not None:
-                self.metrics.inc("join_cache_evictions_total")
+                self.metrics.inc("repro_engine_cache_evictions_total")
         if self.metrics is not None:
-            self.metrics.set_gauge("join_cache_entries", len(self._entries))
+            self.metrics.set_gauge("repro_engine_cache_entries", len(self._entries))
 
     def clear(self) -> None:
         """Drop all entries; counters are kept (they describe history)."""

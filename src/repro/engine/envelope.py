@@ -66,14 +66,14 @@ def envelopes_separated(
     communities is zero at this epsilon; ``False`` says nothing (the
     envelopes may overlap while no individual pair matches).  With
     ``metrics`` attached, every test is counted into
-    ``envelope_tests_total`` and positive verdicts additionally into
-    ``envelope_separations_total``.
+    ``repro_engine_envelope_tests_total`` and positive verdicts additionally into
+    ``repro_engine_envelope_separations_total``.
     """
     gap_low = second.mins - first.maxs  # second strictly above first
     gap_high = first.mins - second.maxs  # first strictly above second
     separated = bool((gap_low > epsilon).any() or (gap_high > epsilon).any())
     if metrics is not None:
-        metrics.inc("envelope_tests_total")
+        metrics.inc("repro_engine_envelope_tests_total")
         if separated:
-            metrics.inc("envelope_separations_total")
+            metrics.inc("repro_engine_envelope_separations_total")
     return separated

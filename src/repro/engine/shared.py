@@ -99,7 +99,9 @@ class SharedVectorStore:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
-        except Exception:
+        # Interpreter-teardown safety net: the shm block may already be
+        # unlinked and raising from __del__ only prints noise.
+        except Exception:  # repro-lint: disable=RL005
             pass
 
 

@@ -1,0 +1,9 @@
+"""Entry point: ``python -m repro.lint [paths ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,125 @@
+"""``python -m repro.lint`` / ``repro-lint`` / ``repro-csj lint``.
+
+Exit status: ``0`` when the tree is clean, ``1`` when violations were
+found (or a file failed to parse), ``2`` on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .engine import lint_paths
+from .report import json_report, text_report
+from .rules import all_rules
+
+__all__ = ["build_parser", "default_paths", "main", "run_lint"]
+
+DEFAULT_PATH = "src/repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro codebase: seeded-RNG "
+            "discipline, process-pool worker safety, event/metric hygiene, "
+            "error handling and API/doc parity."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to lint (default: {DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its title and rationale, then exit",
+    )
+    return parser
+
+
+def _split(ids: str | None) -> list[str] | None:
+    if ids is None:
+        return None
+    return [part.strip() for part in ids.split(",") if part.strip()]
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    report_format: str = "text",
+    select: str | None = None,
+    ignore: str | None = None,
+    show_suppressed: bool = False,
+) -> int:
+    """Lint ``paths`` and print the report; returns the exit status."""
+    report = lint_paths(
+        paths, select=_split(select), ignore=_split(ignore)
+    )
+    if report_format == "json":
+        print(json_report(report))
+    else:
+        print(text_report(report, show_suppressed=show_suppressed))
+    return 0 if report.ok else 1
+
+
+def default_paths() -> list[str]:
+    if Path(DEFAULT_PATH).is_dir():
+        return [DEFAULT_PATH]
+    return ["."]
+
+
+def list_rules() -> str:
+    """The ``--list-rules`` text: id, title and rationale per rule."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    paths = list(args.paths) if args.paths else default_paths()
+    return run_lint(
+        paths,
+        report_format=args.format,
+        select=args.select,
+        ignore=args.ignore,
+        show_suppressed=args.show_suppressed,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""Driver: file discovery, parsing, suppressions, rule execution.
+
+The engine walks the target paths, parses every ``.py`` file once into a
+:class:`ModuleContext`, runs each rule's per-module ``check`` pass, then
+gives every rule one project-wide ``finalize`` pass (for cross-file
+invariants such as label-set consistency and API/doc drift).  Findings
+are filtered against the per-file suppression tables before they reach
+a reporter.
+
+Suppression syntax (comments, parsed with :mod:`tokenize` so string
+literals can never trigger them):
+
+* ``# repro-lint: disable=RL001,RL005`` — trailing on a line suppresses
+  those rules for findings reported on that exact line; ``disable=all``
+  suppresses every rule on the line.
+* ``# repro-lint: disable-file=RL004`` — anywhere in the file, on a
+  line of its own or trailing, suppresses the rules file-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .rules import Rule, all_rules
+from .violations import Violation
+
+__all__ = [
+    "LintReport",
+    "ModuleContext",
+    "ProjectContext",
+    "discover_files",
+    "lint_paths",
+]
+
+#: Pseudo-rule id used for files the parser rejects.
+PARSE_RULE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_suppressions(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract ``(line -> rule ids, file-wide rule ids)`` from comments."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    for token in comments:
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = {
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        }
+        if match.group("scope") == "disable-file":
+            file_wide |= rules
+        else:
+            per_line.setdefault(token.start[0], set()).update(rules)
+    return (
+        {line: frozenset(rules) for line, rules in per_line.items()},
+        frozenset(file_wide),
+    )
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus everything rules commonly need."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_suppressions: frozenset[str] = frozenset()
+    _constants: dict[str, str] | None = field(default=None, repr=False)
+
+    @property
+    def posix_path(self) -> str:
+        """Forward-slash path for suffix matching regardless of platform."""
+        return self.path.as_posix()
+
+    def string_constants(self) -> dict[str, str]:
+        """Module-level ``NAME = "literal"`` assignments, lazily indexed."""
+        if self._constants is None:
+            constants: dict[str, str] = {}
+            for node in self.tree.body:
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    constants[node.targets[0].id] = node.value.value
+            self._constants = constants
+        return self._constants
+
+    def violation(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Violation:
+        """Anchor a finding to an AST node of this module."""
+        return Violation(
+            rule_id=rule_id,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def suppressed(self, violation: Violation) -> bool:
+        rules = self.line_suppressions.get(violation.line, frozenset())
+        for table in (rules, self.file_suppressions):
+            if violation.rule_id in table or "ALL" in table:
+                return True
+        return False
+
+
+@dataclass
+class ProjectContext:
+    """Everything the engine parsed, handed to ``Rule.finalize``."""
+
+    modules: list[ModuleContext]
+
+
+@dataclass
+class LintReport:
+    """The engine's result: surviving findings plus bookkeeping."""
+
+    violations: list[Violation]
+    suppressed: list[Violation]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def _display(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _load_module(path: Path) -> ModuleContext | Violation:
+    display = _display(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return Violation(PARSE_RULE, display, 1, 1, f"unreadable file: {error}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return Violation(
+            PARSE_RULE,
+            display,
+            error.lineno or 1,
+            (error.offset or 0) + 1,
+            f"syntax error: {error.msg}",
+        )
+    per_line, file_wide = _parse_suppressions(source)
+    return ModuleContext(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        line_suppressions=per_line,
+        file_suppressions=file_wide,
+    )
+
+
+def _select_rules(
+    rules: Iterable[Rule] | None,
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> list[Rule]:
+    chosen = list(rules) if rules is not None else all_rules()
+    if select:
+        wanted = {rule_id.strip().upper() for rule_id in select}
+        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+    if ignore:
+        dropped = {rule_id.strip().upper() for rule_id in ignore}
+        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+    return chosen
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Iterable[Rule] | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Run the (selected) rules over every ``.py`` file under ``paths``."""
+    active = _select_rules(rules, select, ignore)
+    modules: list[ModuleContext] = []
+    findings: list[Violation] = []
+    for path in discover_files(paths):
+        loaded = _load_module(path)
+        if isinstance(loaded, Violation):
+            findings.append(loaded)
+            continue
+        modules.append(loaded)
+
+    for module in modules:
+        for rule in active:
+            for violation in rule.check(module):
+                if module.suppressed(violation):
+                    findings.append(_mark_suppressed(violation))
+                else:
+                    findings.append(violation)
+    project = ProjectContext(modules=modules)
+    by_path = {module.display_path: module for module in modules}
+    for rule in active:
+        for violation in rule.finalize(project):
+            module = by_path.get(violation.path)
+            if module is not None and module.suppressed(violation):
+                findings.append(_mark_suppressed(violation))
+            else:
+                findings.append(violation)
+
+    kept = sorted(
+        (v for v in findings if not _is_suppressed(v)),
+        key=Violation.sort_key,
+    )
+    suppressed = sorted(
+        (_unmark(v) for v in findings if _is_suppressed(v)),
+        key=Violation.sort_key,
+    )
+    return LintReport(
+        violations=kept,
+        suppressed=suppressed,
+        files_checked=len(modules),
+        rules_run=tuple(rule.rule_id for rule in active),
+    )
+
+
+# Suppressed findings travel through the same list, tagged on the rule id
+# so sorting and counting stay uniform until the report is assembled.
+_SUPPRESSED_TAG = "suppressed:"
+
+
+def _mark_suppressed(violation: Violation) -> Violation:
+    return Violation(
+        rule_id=_SUPPRESSED_TAG + violation.rule_id,
+        path=violation.path,
+        line=violation.line,
+        col=violation.col,
+        message=violation.message,
+    )
+
+
+def _is_suppressed(violation: Violation) -> bool:
+    return violation.rule_id.startswith(_SUPPRESSED_TAG)
+
+
+def _unmark(violation: Violation) -> Violation:
+    return Violation(
+        rule_id=violation.rule_id[len(_SUPPRESSED_TAG):],
+        path=violation.path,
+        line=violation.line,
+        col=violation.col,
+        message=violation.message,
+    )
+
+
+def iter_rule_ids() -> Iterator[str]:
+    """Rule ids the default registry would run, in order."""
+    for rule in all_rules():
+        yield rule.rule_id

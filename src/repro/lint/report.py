@@ -1,0 +1,43 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintReport`.
+
+Two formats: ``text`` (one ``path:line:col: RLxxx message`` line per
+finding plus a summary line, the human/CI default) and ``json`` (a
+machine-readable object for tooling).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+__all__ = ["json_report", "text_report"]
+
+
+def text_report(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """Human-readable findings plus a one-line summary."""
+    lines = [violation.format() for violation in report.violations]
+    if show_suppressed and report.suppressed:
+        lines.append("-- suppressed --")
+        lines.extend(
+            violation.format() for violation in report.suppressed
+        )
+    noun = "violation" if len(report.violations) == 1 else "violations"
+    lines.append(
+        f"checked {report.files_checked} files: "
+        f"{len(report.violations)} {noun}"
+        f" ({len(report.suppressed)} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def json_report(report: LintReport) -> str:
+    """JSON object: summary counts plus both finding lists."""
+    payload = {
+        "files_checked": report.files_checked,
+        "rules_run": list(report.rules_run),
+        "ok": report.ok,
+        "violations": [v.as_dict() for v in report.violations],
+        "suppressed": [v.as_dict() for v in report.suppressed],
+    }
+    return json.dumps(payload, indent=2)

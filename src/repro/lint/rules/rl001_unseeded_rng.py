@@ -1,0 +1,191 @@
+"""RL001 — unseeded or global-state RNG.
+
+The paper's tables are regenerable only because every synthetic
+community is derived from an explicit, seeded
+``numpy.random.Generator``.  Two call shapes break that contract:
+
+* the legacy global-state API (``np.random.seed``, ``np.random.randint``,
+  ``np.random.shuffle``, ... and stdlib ``random.*``), whose hidden
+  state makes results depend on call order across the whole process —
+  fatal under the batch engine's worker fan-out;
+* ``default_rng()`` with no seed argument, which draws fresh OS entropy
+  on every call.
+
+The fix is always the same: accept a ``numpy.random.Generator`` (or a
+seed that is fed to ``default_rng``) as an explicit parameter, the way
+the ``datasets`` generators thread ``[seed, digest]`` spawn keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext
+from . import Rule, register
+
+#: ``numpy.random`` attributes that are part of the explicit-Generator
+#: API and therefore fine to reference.
+SEEDABLE_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` functions that mutate or read the hidden module
+#: state (``random.Random(seed)`` instances are fine).
+STDLIB_GLOBAL_FNS = frozenset(
+    {
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+class _Imports:
+    """Alias tables for numpy / numpy.random / stdlib random."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.numpy: set[str] = set()
+        self.np_random: set[str] = set()
+        self.stdlib_random: set[str] = set()
+        #: local name -> original ``numpy.random`` symbol
+        self.from_np_random: dict[str, str] = {}
+        #: local name -> original stdlib ``random`` symbol
+        self.from_stdlib: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy":
+                        self.numpy.add(local)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.np_random.add(alias.asname)
+                        else:
+                            self.numpy.add("numpy")
+                    elif alias.name == "random":
+                        self.stdlib_random.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.from_np_random[alias.asname or alias.name] = (
+                            alias.name
+                        )
+                elif node.module == "random":
+                    for alias in node.names:
+                        self.from_stdlib[alias.asname or alias.name] = alias.name
+
+    def is_np_random(self, node: ast.expr) -> bool:
+        """Does ``node`` evaluate to the ``numpy.random`` module?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.np_random
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.numpy
+        )
+
+
+def _argless(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
+
+@register
+class UnseededRngRule(Rule):
+    rule_id = "RL001"
+    title = "unseeded-rng"
+    rationale = (
+        "joins and dataset builds must be reproducible: use an explicit "
+        "seeded numpy.random.Generator, never the global-state RNG APIs "
+        "or an argless default_rng()"
+    )
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        imports = _Imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if imports.is_np_random(func.value):
+                    if func.attr == "default_rng":
+                        if _argless(node):
+                            yield module.violation(
+                                self.rule_id,
+                                node,
+                                "default_rng() without a seed draws fresh OS "
+                                "entropy; thread an explicit seed or Generator",
+                            )
+                    elif func.attr not in SEEDABLE_API:
+                        yield module.violation(
+                            self.rule_id,
+                            node,
+                            f"global-state RNG call np.random.{func.attr}(); "
+                            "use an explicit numpy.random.Generator instead",
+                        )
+                elif (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in imports.stdlib_random
+                    and func.attr in STDLIB_GLOBAL_FNS
+                ):
+                    yield module.violation(
+                        self.rule_id,
+                        node,
+                        f"stdlib random.{func.attr}() uses hidden global "
+                        "state; use a seeded numpy Generator",
+                    )
+            elif isinstance(func, ast.Name):
+                origin = imports.from_np_random.get(func.id)
+                if origin == "default_rng" and _argless(node):
+                    yield module.violation(
+                        self.rule_id,
+                        node,
+                        "default_rng() without a seed draws fresh OS entropy; "
+                        "thread an explicit seed or Generator",
+                    )
+                elif origin is not None and origin not in SEEDABLE_API:
+                    yield module.violation(
+                        self.rule_id,
+                        node,
+                        f"global-state RNG call {origin}() imported from "
+                        "numpy.random; use an explicit Generator",
+                    )
+                stdlib_origin = imports.from_stdlib.get(func.id)
+                if stdlib_origin in STDLIB_GLOBAL_FNS:
+                    yield module.violation(
+                        self.rule_id,
+                        node,
+                        f"stdlib random.{stdlib_origin}() uses hidden global "
+                        "state; use a seeded numpy Generator",
+                    )

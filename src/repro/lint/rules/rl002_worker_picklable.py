@@ -1,0 +1,230 @@
+"""RL002 — unpicklable callables handed to a process pool.
+
+Work shipped to a ``ProcessPoolExecutor`` (or ``multiprocessing.Pool``)
+is pickled by reference: the callable must be importable at module
+level in the worker.  Lambdas, nested functions (closures — which in
+this codebase tend to capture ``SharedMemory`` handles or registry
+objects that must never cross the process boundary) and bound methods
+of stateful engine objects all fail, some of them only at runtime on
+spawn-based platforms.
+
+The rule tracks which local names hold process pools — direct
+constructor calls, and calls to same-module helpers whose return
+annotation names ``ProcessPoolExecutor`` — and then validates the
+callable argument of every ``submit``/``map``-style dispatch plus the
+``initializer=`` of the constructor itself.  Thread pools are exempt:
+they share an address space and pickle nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext
+from . import Rule, register
+
+#: Dispatch methods whose first positional argument is pickled.
+DISPATCH_METHODS = frozenset(
+    {
+        "submit",
+        "map",
+        "starmap",
+        "apply",
+        "apply_async",
+        "map_async",
+        "starmap_async",
+        "imap",
+        "imap_unordered",
+    }
+)
+
+_POOL_TYPE_MARKERS = ("ProcessPoolExecutor",)
+
+
+def _callee_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_pool_constructor(call: ast.Call) -> bool:
+    name = _callee_name(call.func)
+    if name in _POOL_TYPE_MARKERS:
+        return True
+    # multiprocessing.Pool / get_context(...).Pool(...)
+    return name == "Pool"
+
+
+def _annotation_names_pool(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return any(marker in annotation.value for marker in _POOL_TYPE_MARKERS)
+    try:
+        rendered = ast.unparse(annotation)
+    except ValueError:  # pragma: no cover - malformed annotation node
+        return False
+    return any(marker in rendered for marker in _POOL_TYPE_MARKERS)
+
+
+def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _ModuleShape:
+    """Module-level vs nested callables, and which names hold pools.
+
+    Plain ``name = <pool>`` bindings are local names, so they are
+    resolved per enclosing function scope (a thread pool named ``pool``
+    in one function must not taint a process pool named ``pool`` in
+    another).  ``self.<attr>`` bindings are instance state and tracked
+    module-wide, matching how the engine stores its executor.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_level: set[str] = set()
+        self.nested: set[str] = set()
+        self.pool_factories: set[str] = set()
+        self.pool_attrs: set[str] = set()
+
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_level.add(node.name)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is node:
+                        continue
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self.nested.add(child.name)
+                if _annotation_names_pool(node.returns):
+                    self.pool_factories.add(node.name)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_pool_value(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        self.pool_attrs.add(target.attr)
+
+    def _is_pool_value(self, value: ast.expr) -> bool:
+        return isinstance(value, ast.Call) and (
+            _is_pool_constructor(value)
+            or _callee_name(value.func) in self.pool_factories
+        )
+
+    def scope_pool_names(self, body: list[ast.stmt]) -> set[str]:
+        """Local names bound to a process pool within one scope."""
+        names: set[str] = set()
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign) and self._is_pool_value(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if self._is_pool_value(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        names.add(item.optional_vars.id)
+        return names
+
+    def is_pool_receiver(
+        self, node: ast.expr, local_pool_names: set[str]
+    ) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in local_pool_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.pool_attrs
+        if isinstance(node, ast.Call):
+            return self._is_pool_value(node)
+        return False
+
+
+@register
+class WorkerPicklableRule(Rule):
+    rule_id = "RL002"
+    title = "worker-unpicklable"
+    rationale = (
+        "callables dispatched to a process pool must be module-level "
+        "functions; lambdas, closures and bound methods either fail to "
+        "pickle or drag SharedMemory/registry state across the fork"
+    )
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        shape = _ModuleShape(module.tree)
+        scopes: list[list[ast.stmt]] = [module.tree.body]
+        scopes.extend(
+            node.body
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for body in scopes:
+            local_pools = shape.scope_pool_names(body)
+            for node in _walk_scope(body):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute) and (
+                    node.func.attr in DISPATCH_METHODS
+                    and shape.is_pool_receiver(node.func.value, local_pools)
+                    and node.args
+                ):
+                    yield from self._validate(module, shape, node.args[0])
+                if _is_pool_constructor(node):
+                    for keyword in node.keywords:
+                        if keyword.arg == "initializer":
+                            yield from self._validate(
+                                module, shape, keyword.value
+                            )
+
+    def _validate(
+        self, module: "ModuleContext", shape: _ModuleShape, callable_arg: ast.expr
+    ) -> Iterator[Violation]:
+        if isinstance(callable_arg, ast.Lambda):
+            yield module.violation(
+                self.rule_id,
+                callable_arg,
+                "lambda passed to a process pool cannot be pickled; hoist it "
+                "to a module-level function",
+            )
+        elif isinstance(callable_arg, ast.Name):
+            if callable_arg.id in shape.nested:
+                yield module.violation(
+                    self.rule_id,
+                    callable_arg,
+                    f"nested function {callable_arg.id!r} passed to a process "
+                    "pool closes over local state and cannot be pickled; "
+                    "hoist it to module level",
+                )
+        elif isinstance(callable_arg, ast.Attribute):
+            root = callable_arg.value
+            if isinstance(root, ast.Name) and root.id == "self":
+                yield module.violation(
+                    self.rule_id,
+                    callable_arg,
+                    f"bound method self.{callable_arg.attr} passed to a "
+                    "process pool pickles the whole instance (pools, shared "
+                    "memory and all); use a module-level function",
+                )
+        elif isinstance(callable_arg, ast.Call):
+            # functools.partial(f, ...): validate the wrapped callable.
+            if _callee_name(callable_arg.func) == "partial" and callable_arg.args:
+                yield from self._validate(module, shape, callable_arg.args[0])

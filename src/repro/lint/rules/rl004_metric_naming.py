@@ -1,0 +1,174 @@
+"""RL004 — metric naming and label-set hygiene.
+
+Every metric registered through :class:`~repro.obs.registry.MetricsRegistry`
+must be named ``repro_<subsystem>_<name>``: the shared ``repro_``
+namespace keeps dashboards greppable, the subsystem segment must come
+from the known package list, and counters (``.inc``) must end in
+``_total`` per the Prometheus convention the registry's exposition
+format feeds.
+
+The rule also checks **label-set consistency** project-wide: every call
+site of one metric family must pass the same label keys, otherwise
+aggregations silently split (``counters_by_label`` would miss the
+odd-one-out series).  That is a cross-file property, so it is verified
+in ``finalize``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext, ProjectContext
+
+#: Allowed ``<subsystem>`` segments — the package map of the codebase.
+ALLOWED_SUBSYSTEMS = frozenset(
+    {
+        "core",
+        "engine",
+        "obs",
+        "algo",
+        "datasets",
+        "analysis",
+        "apps",
+        "extensions",
+        "cli",
+        "lint",
+        "testing",
+    }
+)
+
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9]*(?:_[a-z0-9]+)+$")
+
+#: Registry update methods and whether they register a counter.
+_UPDATE_METHODS = {"inc": True, "observe": False, "set_gauge": False}
+
+
+def _subsystem(name: str) -> str:
+    return name.split("_", 2)[1]
+
+
+@register
+class MetricNamingRule(Rule):
+    rule_id = "RL004"
+    title = "metric-naming"
+    rationale = (
+        "metrics must be named repro_<subsystem>_<name> (counters ending "
+        "in _total) with one consistent label set per family"
+    )
+
+    def __init__(self) -> None:
+        # name -> label-key-set -> [(path, line, col)]
+        self.label_sites: dict[
+            str, dict[frozenset[str], list[tuple[str, int, int]]]
+        ] = {}
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        constants = module.string_constants()
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.endswith("_METRIC")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                yield from self._check_name(
+                    module, node, node.value.value, is_counter=False
+                )
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _UPDATE_METHODS
+                and node.args
+            ):
+                continue
+            name = self._resolve(node.args[0], constants)
+            if name is None:
+                continue
+            is_counter = _UPDATE_METHODS[node.func.attr]
+            yield from self._check_name(module, node, name, is_counter)
+            labels = frozenset(
+                keyword.arg for keyword in node.keywords if keyword.arg
+            )
+            self.label_sites.setdefault(name, {}).setdefault(
+                labels, []
+            ).append(
+                (module.display_path, node.lineno, node.col_offset + 1)
+            )
+
+    def finalize(self, project: "ProjectContext") -> Iterator[Violation]:
+        for name, by_labels in sorted(self.label_sites.items()):
+            if len(by_labels) < 2:
+                continue
+            tally = Counter(
+                {labels: len(sites) for labels, sites in by_labels.items()}
+            )
+            majority, _ = max(
+                tally.items(), key=lambda item: (item[1], sorted(item[0]))
+            )
+            expected = ", ".join(sorted(majority)) or "(none)"
+            for labels, sites in sorted(
+                by_labels.items(), key=lambda item: sorted(item[0])
+            ):
+                if labels == majority:
+                    continue
+                got = ", ".join(sorted(labels)) or "(none)"
+                for path, line, col in sites:
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"metric {name!r} used with labels [{got}] here "
+                            f"but [{expected}] elsewhere; one metric family "
+                            "must keep one label set"
+                        ),
+                    )
+
+    def _check_name(
+        self,
+        module: "ModuleContext",
+        node: ast.AST,
+        name: str,
+        is_counter: bool,
+    ) -> Iterator[Violation]:
+        if not _NAME_RE.match(name):
+            yield module.violation(
+                self.rule_id,
+                node,
+                f"metric name {name!r} does not match "
+                "repro_<subsystem>_<name> (lower snake case)",
+            )
+            return
+        if _subsystem(name) not in ALLOWED_SUBSYSTEMS:
+            known = ", ".join(sorted(ALLOWED_SUBSYSTEMS))
+            yield module.violation(
+                self.rule_id,
+                node,
+                f"metric {name!r} names unknown subsystem "
+                f"{_subsystem(name)!r} (known: {known})",
+            )
+        elif is_counter and not name.endswith("_total"):
+            yield module.violation(
+                self.rule_id,
+                node,
+                f"counter {name!r} must end in _total",
+            )
+
+    @staticmethod
+    def _resolve(node: ast.expr, constants: dict[str, str]) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return constants.get(node.id)
+        return None

@@ -1,0 +1,92 @@
+"""RL005 — bare ``except`` and silently-swallowed broad exceptions.
+
+Library code must not eat errors: a bare ``except:`` also catches
+``KeyboardInterrupt``/``SystemExit``, and a broad ``except Exception``
+whose body is only ``pass`` hides real failures (a worker crash, a
+corrupt cache entry) behind silently-wrong results.  Handlers should
+catch the narrowest type that models the expected failure and either
+handle it meaningfully, re-raise, or translate into the
+``repro.core.errors`` hierarchy.
+
+Where swallowing is genuinely correct — ``__del__`` safety nets during
+interpreter teardown — add a justified suppression::
+
+    except Exception:  # repro-lint: disable=RL005 — teardown safety net
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext
+from . import Rule, register
+
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _caught_names(node: ast.expr | None) -> set[str]:
+    if node is None:
+        return set()
+    names: set[str] = set()
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.add(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.add(element.attr)
+    return names
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler neither acts on nor re-raises the error."""
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring / ellipsis
+        if isinstance(statement, ast.Return) and (
+            statement.value is None
+            or isinstance(statement.value, ast.Constant)
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class ErrorHandlingRule(Rule):
+    rule_id = "RL005"
+    title = "bare-except"
+    rationale = (
+        "never use bare except:, and never silently swallow "
+        "Exception/BaseException — catch the narrowest type and handle, "
+        "re-raise, or translate via repro.core.errors"
+    )
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.violation(
+                    self.rule_id,
+                    node,
+                    "bare except: also traps KeyboardInterrupt/SystemExit; "
+                    "catch an explicit exception type",
+                )
+            elif _caught_names(node.type) & BROAD_TYPES and _is_silent(
+                node.body
+            ):
+                yield module.violation(
+                    self.rule_id,
+                    node,
+                    "broad exception silently swallowed; catch the narrowest "
+                    "type and handle, re-raise, or translate via "
+                    "repro.core.errors",
+                )

@@ -1,0 +1,106 @@
+"""RL006 — public API drift between ``repro/__init__.py`` and the docs.
+
+``docs/api.md`` promises "import surface by subpackage"; anything
+exported from the package root's ``__all__`` that the document never
+mentions is an undocumented public symbol — usually a sign that an
+export was added in a hurry.  The rule parses the root ``__all__`` and
+requires every non-dunder entry to appear (as a whole word) somewhere
+in ``docs/api.md``, which is located by walking up from the package
+toward the repository root.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext, ProjectContext
+
+DOC_RELATIVE = Path("docs") / "api.md"
+
+
+def _find_doc(start: Path) -> Path | None:
+    for parent in start.resolve().parents:
+        candidate = parent / DOC_RELATIVE
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@register
+class ApiDocsDriftRule(Rule):
+    rule_id = "RL006"
+    title = "public-api-drift"
+    rationale = (
+        "every symbol exported from repro/__init__.py's __all__ must be "
+        "documented in docs/api.md"
+    )
+
+    def __init__(self) -> None:
+        # (module path, display path) -> [(symbol, line, col)]
+        self.exports: list[
+            tuple[Path, str, list[tuple[str, int, int]]]
+        ] = []
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        if not (
+            module.path.name == "__init__.py"
+            and module.path.parent.name == "repro"
+        ):
+            return iter(())
+        for node in module.tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                continue
+            symbols = [
+                (element.value, element.lineno, element.col_offset + 1)
+                for element in node.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+            self.exports.append((module.path, module.display_path, symbols))
+        return iter(())
+
+    def finalize(self, project: "ProjectContext") -> Iterator[Violation]:
+        for path, display, symbols in self.exports:
+            doc = _find_doc(path)
+            if doc is None:
+                line = symbols[0][1] if symbols else 1
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=display,
+                    line=line,
+                    col=1,
+                    message=(
+                        "docs/api.md not found above the package; the public "
+                        "API must be documented"
+                    ),
+                )
+                continue
+            text = doc.read_text(encoding="utf-8")
+            for symbol, line, col in symbols:
+                if symbol.startswith("__") and symbol.endswith("__"):
+                    continue
+                if re.search(rf"\b{re.escape(symbol)}\b", text):
+                    continue
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=display,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"public symbol {symbol!r} is exported from __all__ "
+                        f"but never mentioned in {DOC_RELATIVE.as_posix()}"
+                    ),
+                )

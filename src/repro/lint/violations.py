@@ -1,0 +1,40 @@
+"""The one currency of the linter: :class:`Violation` records.
+
+Every rule yields violations; the engine filters them through the
+suppression tables and the reporters render what survives.  A violation
+is a plain frozen value so rules can be tested in isolation and the
+JSON reporter can serialise without ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule id anchored to a ``file:line:col`` location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """The text-reporter line: ``path:line:col: RLxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

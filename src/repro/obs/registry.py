@@ -106,7 +106,7 @@ class _NullTimer(AbstractContextManager):
 
     __slots__ = ()
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         return None
 
 
@@ -122,7 +122,7 @@ class MetricsRegistry:
     """Registry of named counters, gauges and histograms.
 
     All update methods accept keyword labels, so one logical metric can
-    fan out over e.g. event types: ``inc("events_total", 3,
+    fan out over e.g. event types: ``inc("repro_core_events_total", 3,
     type="MATCH")``.
     """
 

@@ -1,7 +1,7 @@
 """Nestable wall-clock stage timers.
 
 :func:`stage_timer` is the one-shot form: a context manager that
-observes the stage's wall time into ``stage_seconds{stage=<name>}`` of
+observes the stage's wall time into ``repro_obs_stage_seconds{stage=<name>}`` of
 a registry.  When the registry is ``None`` (observability disabled) it
 returns a shared no-op context manager, so the disabled cost is one
 ``is None`` test and an attribute load.
@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING
 
-from .registry import null_timer
+from .registry import _NullTimer, null_timer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .registry import MetricsRegistry
@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["StageClock", "stage_timer"]
 
 #: Metric name every stage timer observes into.
-STAGE_METRIC = "stage_seconds"
+STAGE_METRIC = "repro_obs_stage_seconds"
 
 
 class _StageTimer:
@@ -50,7 +50,7 @@ class _StageTimer:
         self.started = time.perf_counter()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.seconds = time.perf_counter() - self.started
         self.clock._stack.pop()
         self.clock._record(self.path, self.seconds)
@@ -74,7 +74,7 @@ class StageClock:
     def enabled(self) -> bool:
         return self.metrics is not None
 
-    def stage(self, name: str):
+    def stage(self, name: str) -> "_StageTimer | _NullTimer":
         """Context manager timing one (possibly nested) stage."""
         if self.metrics is None:
             return null_timer()
@@ -85,7 +85,9 @@ class StageClock:
         self.metrics.observe(STAGE_METRIC, seconds, stage=path)  # type: ignore[union-attr]
 
 
-def stage_timer(metrics: "MetricsRegistry | None", name: str):
+def stage_timer(
+    metrics: "MetricsRegistry | None", name: str
+) -> "_StageTimer | _NullTimer":
     """Time one top-level stage into ``metrics`` (no-op when ``None``).
 
     For nested per-join accounting use a :class:`StageClock`; this

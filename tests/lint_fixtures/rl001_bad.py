@@ -1,0 +1,24 @@
+"""RL001 fixture: every global-state / unseeded RNG shape."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng, randint
+
+
+def legacy_module_calls(n):
+    np.random.seed(7)                    # global-state seeding
+    values = np.random.randint(0, 10, n)  # legacy global draw
+    np.random.shuffle(values)            # legacy in-place shuffle
+    return values
+
+
+def argless_generator():
+    rng = np.random.default_rng()        # fresh OS entropy every call
+    other = default_rng()                # same, imported form
+    return rng, other
+
+
+def stdlib_global(n):
+    random.seed(3)
+    return [random.randint(0, 9) for _ in range(n)] + [randint(0, 9)]

@@ -1,0 +1,17 @@
+"""RL001 fixture: seeded-Generator discipline, nothing to flag."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded(seed):
+    rng = np.random.default_rng([seed, 1_000_003])
+    return rng.integers(0, 10, 5)
+
+
+def threaded(rng: np.random.Generator):
+    return rng.permutation(8)
+
+
+def spawned(seed):
+    return default_rng(seed).normal(size=3)

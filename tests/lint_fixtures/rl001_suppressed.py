@@ -1,0 +1,8 @@
+"""RL001 fixture: a justified suppression silences the finding."""
+
+import numpy as np
+
+
+def demo_entropy():
+    # This helper intentionally draws nondeterministic demo data.
+    return np.random.default_rng()  # repro-lint: disable=RL001

@@ -1,0 +1,20 @@
+"""RL002 fixture: unpicklable callables shipped to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+class Engine:
+    def _work(self, item):
+        return item
+
+    def run(self, items):
+        def local_worker(item):          # closure over `items`
+            return (item, len(items))
+
+        pool = ProcessPoolExecutor(2, initializer=lambda: None)
+        futures = [pool.submit(local_worker, item) for item in items]
+        futures.append(pool.submit(lambda item: item * 2, items[0]))
+        futures.append(pool.submit(self._work, items[0]))
+        futures.append(pool.submit(partial(local_worker), items[0]))
+        return [future.result() for future in futures]

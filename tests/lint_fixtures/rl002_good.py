@@ -1,0 +1,22 @@
+"""RL002 fixture: module-level workers, and thread pools stay exempt."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def _init_worker():
+    pass
+
+
+def _work(item):
+    return item * 2
+
+
+def run_process(items):
+    pool = ProcessPoolExecutor(2, initializer=_init_worker)
+    return [pool.submit(_work, item).result() for item in items]
+
+
+def run_threads(items):
+    # Threads share the address space: closures are fine here.
+    with ThreadPoolExecutor(2) as pool:
+        return list(pool.map(lambda item: item + 1, items))

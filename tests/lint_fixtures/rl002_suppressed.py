@@ -1,0 +1,16 @@
+"""RL002 fixture: suppressed dispatch of a bound method."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Stateless:
+    def work(self, item):
+        return item
+
+    def run(self, items):
+        pool = ProcessPoolExecutor(2)
+        # Instance is a frozen value object; pickling it is intended.
+        return [
+            pool.submit(self.work, item)  # repro-lint: disable=RL002
+            for item in items
+        ]

@@ -1,0 +1,20 @@
+"""RL003 fixture: every way of bypassing the event sink."""
+
+EVENTS_METRIC = "repro_core_events_total"
+
+
+def merge_counts(trace, other):
+    trace.counts = trace.counts + other.counts  # skips the metrics mirror
+
+
+def bump_match(trace):
+    trace.counts.match += 1                     # direct field mutation
+
+
+def bump_dynamic(trace, attr):
+    setattr(trace.counts, attr, 1)              # dynamic field mutation
+
+
+def mirror_by_hand(metrics):
+    metrics.inc(EVENTS_METRIC, 1, type="match")  # sink's own metric family
+    metrics.inc("repro_core_events_total", 2, type="no_match")

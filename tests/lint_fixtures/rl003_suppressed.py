@@ -1,0 +1,6 @@
+"""RL003 fixture: suppressed direct counter mutation."""
+
+
+def restore_snapshot(trace, snapshot):
+    # Restoring a serialized trace byte-for-byte, metrics intentionally off.
+    trace.counts = snapshot  # repro-lint: disable=RL003

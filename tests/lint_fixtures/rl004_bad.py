@@ -1,0 +1,16 @@
+"""RL004 fixture: bad names, bad subsystem, counter suffix, label drift."""
+
+LATENCY_METRIC = "joinLatencySeconds"
+
+
+def instrument(metrics, elapsed):
+    metrics.inc("jobs_total", 1)                        # missing namespace
+    metrics.inc("repro_warp_jobs_total", 1)             # unknown subsystem
+    metrics.inc("repro_engine_jobs", 1)                 # counter without _total
+    metrics.observe(LATENCY_METRIC, elapsed)            # camelCase constant
+
+
+def label_drift(metrics):
+    metrics.inc("repro_engine_drift_total", 1, disposition="computed")
+    metrics.inc("repro_engine_drift_total", 1, disposition="cached")
+    metrics.inc("repro_engine_drift_total", 1, kind="screened")  # odd one out

@@ -1,0 +1,10 @@
+"""RL004 fixture: convention-abiding names with one label set each."""
+
+STAGE_METRIC = "repro_obs_stage_seconds"
+
+
+def instrument(metrics, elapsed):
+    metrics.inc("repro_engine_jobs_total", 1, disposition="computed")
+    metrics.inc("repro_engine_jobs_total", 1, disposition="cached")
+    metrics.observe(STAGE_METRIC, elapsed, stage="join")
+    metrics.set_gauge("repro_engine_cache_entries", 12)

@@ -1,0 +1,8 @@
+"""RL004 fixture: a legacy dashboard name kept alive, file-suppressed."""
+
+# repro-lint: disable-file=RL004
+
+
+def instrument(metrics):
+    # Grandfathered: external dashboards still scrape this name.
+    metrics.inc("legacy_jobs_total", 1)

@@ -1,0 +1,22 @@
+"""RL005 fixture: bare except and silently swallowed broad handlers."""
+
+
+def swallow_everything(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def swallow_broad(worker):
+    try:
+        worker.run()
+    except Exception:
+        pass
+
+
+def swallow_base(worker):
+    try:
+        worker.run()
+    except (ValueError, BaseException):
+        return None

@@ -1,0 +1,25 @@
+"""RL005 fixture: typed handlers that act, re-raise, or translate."""
+
+from repro.core.errors import ConfigurationError
+
+
+def narrow(path):
+    try:
+        return open(path).read()
+    except FileNotFoundError:
+        return None
+
+
+def translate(payload):
+    try:
+        return int(payload["epsilon"])
+    except (KeyError, ValueError) as error:
+        raise ConfigurationError(f"bad epsilon in {payload!r}") from error
+
+
+def broad_but_acting(worker, log):
+    try:
+        worker.run()
+    except Exception as error:
+        log.warning("worker failed: %s", error)
+        raise

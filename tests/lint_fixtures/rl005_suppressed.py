@@ -1,0 +1,13 @@
+"""RL005 fixture: the __del__ safety-net idiom, suppressed with a why."""
+
+
+class Holder:
+    def close(self):
+        pass
+
+    def __del__(self):
+        try:
+            self.close()
+        # Teardown safety net: raising from __del__ only prints noise.
+        except Exception:  # repro-lint: disable=RL005
+            pass

@@ -1,0 +1,11 @@
+"""RL006 fixture package: one exported symbol missing from docs/api.md."""
+
+__all__ = ["documented_thing", "undocumented_thing"]
+
+
+def documented_thing():
+    return 1
+
+
+def undocumented_thing():
+    return 2

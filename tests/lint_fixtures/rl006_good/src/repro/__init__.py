@@ -1,0 +1,11 @@
+"""RL006 fixture package: every exported symbol appears in docs/api.md."""
+
+__all__ = ["documented_thing", "other_documented_thing"]
+
+
+def documented_thing():
+    return 1
+
+
+def other_documented_thing():
+    return 2

@@ -115,7 +115,7 @@ class TestRunMethodTable:
             for record in row.telemetry:
                 assert record.disposition == "computed"
                 assert record.size_b <= record.size_a
-        assert metrics.counter("csj_joins_total", method="ex-minmax", engine="numpy") == 3
+        assert metrics.counter("repro_algo_joins_total", method="ex-minmax", engine="numpy") == 3
 
     def test_render_runtime_layout(self, table4):
         rendered = render_method_table(table4)

@@ -294,5 +294,5 @@ class TestTelemetryCLI:
         capsys.readouterr()
         assert main(["stats", str(path), "--prometheus"]) == 0
         out = capsys.readouterr().out
-        assert "# TYPE engine_jobs_total counter" in out
-        assert "csj_events_total" in out
+        assert "# TYPE repro_engine_jobs_total counter" in out
+        assert "repro_core_events_total" in out

@@ -374,8 +374,8 @@ class TestTelemetryDifferential:
         assert comparable(serial) == comparable(parallel)
         # Registry event counters aggregate identically across fan-out.
         assert serial_metrics.counters_by_label(
-            "csj_events_total", "type"
-        ) == parallel_metrics.counters_by_label("csj_events_total", "type")
+            "repro_core_events_total", "type"
+        ) == parallel_metrics.counters_by_label("repro_core_events_total", "type")
         # And so do the per-record telemetry aggregates.
         serial_summary = summarize_records(serial_records)
         parallel_summary = summarize_records(parallel_records)

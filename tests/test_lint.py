@@ -1,0 +1,267 @@
+"""Tests for the ``repro.lint`` invariant checker.
+
+Three layers:
+
+* fixture tests — every rule has a ``bad`` fixture that must flag, a
+  ``good`` fixture that must stay silent, and a ``suppressed`` fixture
+  whose findings must land in ``report.suppressed`` instead of
+  ``report.violations``;
+* engine/CLI tests — suppression parsing, rule selection, report
+  formats, exit codes;
+* a meta-test asserting the live ``src/repro`` tree is lint-clean, so
+  any future violation fails the suite even without the CI lint job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintReport, Violation, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import PARSE_RULE, discover_files
+from repro.lint.report import json_report, text_report
+from repro.lint.rules import all_rules, rule_ids
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ALL_RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+#: rule id -> (bad target, good target, suppressed target).  RL006 is a
+#: cross-file rule, so its fixtures are miniature project trees.
+FIXTURE_TARGETS = {
+    "RL001": ("rl001_bad.py", "rl001_good.py", "rl001_suppressed.py"),
+    "RL002": ("rl002_bad.py", "rl002_good.py", "rl002_suppressed.py"),
+    "RL003": ("rl003_bad.py", "rl003_good.py", "rl003_suppressed.py"),
+    "RL004": ("rl004_bad.py", "rl004_good.py", "rl004_suppressed.py"),
+    "RL005": ("rl005_bad.py", "rl005_good.py", "rl005_suppressed.py"),
+    "RL006": ("rl006_bad", "rl006_good", None),
+}
+
+
+def run_rule(rule_id: str, target: str) -> LintReport:
+    return lint_paths([FIXTURES / target], select=[rule_id])
+
+
+# ---------------------------------------------------------------------------
+# fixture tests
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_bad_fixture_is_flagged(rule_id):
+    bad, _, _ = FIXTURE_TARGETS[rule_id]
+    report = run_rule(rule_id, bad)
+    assert not report.ok
+    assert report.violations, f"{rule_id} found nothing in {bad}"
+    assert {v.rule_id for v in report.violations} == {rule_id}
+    for violation in report.violations:
+        assert violation.line >= 1
+        assert violation.col >= 1
+        assert violation.message
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_good_fixture_is_clean(rule_id):
+    _, good, _ = FIXTURE_TARGETS[rule_id]
+    report = run_rule(rule_id, good)
+    assert report.ok, [v.format() for v in report.violations]
+    assert not report.suppressed
+
+
+@pytest.mark.parametrize(
+    "rule_id",
+    [rid for rid in ALL_RULE_IDS if FIXTURE_TARGETS[rid][2] is not None],
+)
+def test_suppressed_fixture_moves_findings_aside(rule_id):
+    _, _, suppressed = FIXTURE_TARGETS[rule_id]
+    report = run_rule(rule_id, suppressed)
+    assert report.ok, [v.format() for v in report.violations]
+    assert report.suppressed, f"{rule_id} suppression fixture flagged nothing"
+    assert {v.rule_id for v in report.suppressed} == {rule_id}
+
+
+def test_bad_fixture_violation_counts():
+    """Pin the per-fixture finding counts so rules don't silently dull."""
+    expected = {
+        "RL001": 8,  # seed/randint/shuffle, 2x default_rng, 3x stdlib random
+        "RL002": 5,  # lambda init, nested submit, lambda submit, self.*, partial
+        "RL003": 5,  # counts assign, field bump, setattr, 2x metric mirror
+        "RL004": 6,  # camelCase constant (def + use), no namespace, bad
+        #              subsystem, missing _total, label drift
+        "RL005": 3,  # bare except, silent Exception, silent BaseException tuple
+        "RL006": 1,  # undocumented_thing missing from docs/api.md
+    }
+    for rule_id, count in expected.items():
+        bad, _, _ = FIXTURE_TARGETS[rule_id]
+        report = run_rule(rule_id, bad)
+        assert len(report.violations) == count, (
+            rule_id,
+            [v.format() for v in report.violations],
+        )
+
+
+def test_rl004_label_drift_points_at_minority_site():
+    report = run_rule("RL004", "rl004_bad.py")
+    drift = [v for v in report.violations if "label" in v.message.lower()]
+    assert len(drift) == 1
+    assert "kind" in drift[0].message
+
+
+def test_rl003_good_fixture_absorb_is_sanctioned():
+    """``absorb`` is the sink-preserving merge; it must never be flagged."""
+    report = run_rule("RL003", "rl003_good.py")
+    assert report.ok
+
+
+def test_rules_only_fire_for_their_own_id():
+    """Running every rule over one bad fixture flags only that rule."""
+    for rule_id in ALL_RULE_IDS:
+        bad, _, _ = FIXTURE_TARGETS[rule_id]
+        report = lint_paths([FIXTURES / bad])
+        assert {v.rule_id for v in report.violations} == {rule_id}, (
+            rule_id,
+            [v.format() for v in report.violations],
+        )
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_registry_exposes_all_six_rules():
+    assert tuple(rule_ids()) == ALL_RULE_IDS
+    rules = all_rules()
+    assert [rule.rule_id for rule in rules] == list(ALL_RULE_IDS)
+    for rule in rules:
+        assert rule.title
+        assert rule.rationale
+
+
+def test_select_and_ignore_filter_rules():
+    bad = FIXTURES / "rl001_bad.py"
+    assert lint_paths([bad], select=["RL005"]).ok
+    assert lint_paths([bad], ignore=["RL001"]).ok
+    assert not lint_paths([bad], select=["rl001"]).ok  # case-insensitive
+
+
+def test_disable_all_suppresses_every_rule(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "import numpy as np\n"
+        "x = np.random.randint(10)  # repro-lint: disable=all\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([src], select=["RL001"])
+    assert report.ok
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_comment_inside_string_is_inert(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        'TEXT = "# repro-lint: disable-file=RL001"\n'
+        "import numpy as np\n"
+        "x = np.random.randint(10)\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([src], select=["RL001"])
+    assert not report.ok
+
+
+def test_syntax_error_reports_parse_rule(tmp_path):
+    src = tmp_path / "broken.py"
+    src.write_text("def f(:\n", encoding="utf-8")
+    report = lint_paths([src])
+    assert not report.ok
+    assert report.violations[0].rule_id == PARSE_RULE
+
+
+def test_discover_files_skips_pycache(tmp_path):
+    (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text(
+        "x = 1\n", encoding="utf-8"
+    )
+    found = discover_files([tmp_path])
+    assert [p.name for p in found] == ["mod.py"]
+    assert all("__pycache__" not in p.parts for p in found)
+
+
+def test_violation_format_is_clickable():
+    violation = Violation("RL001", "src/repro/x.py", 12, 5, "boom")
+    assert violation.format() == "src/repro/x.py:12:5: RL001 boom"
+
+
+# ---------------------------------------------------------------------------
+# reporters and CLI
+# ---------------------------------------------------------------------------
+
+
+def test_text_report_summarises(tmp_path):
+    report = lint_paths([FIXTURES / "rl005_bad.py"], select=["RL005"])
+    text = text_report(report)
+    assert "RL005" in text
+    assert "rl005_bad.py" in text
+    assert "checked 1 files: 3 violations (0 suppressed)" in text
+
+
+def test_json_report_round_trips():
+    report = lint_paths([FIXTURES / "rl001_bad.py"], select=["RL001"])
+    payload = json.loads(json_report(report))
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["violations"]
+    first = payload["violations"][0]
+    assert first["rule_id"] == "RL001"
+    assert set(first) >= {"rule_id", "path", "line", "col", "message"}
+
+
+def test_cli_exit_codes_and_output(capsys):
+    bad = str(FIXTURES / "rl001_bad.py")
+    good = str(FIXTURES / "rl001_good.py")
+    assert lint_main([good, "--select", "RL001"]) == 0
+    capsys.readouterr()
+    assert lint_main([bad, "--select", "RL001"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+    assert "rl001_bad.py" in out
+
+
+def test_cli_json_format(capsys):
+    bad = str(FIXTURES / "rl004_bad.py")
+    assert lint_main([bad, "--select", "RL004", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert all(v["rule_id"] == "RL004" for v in payload["violations"])
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in out
+
+
+def test_cli_show_suppressed(capsys):
+    target = str(FIXTURES / "rl003_suppressed.py")
+    assert lint_main([target, "--select", "RL003", "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    assert "RL003" in out
+    assert "suppressed" in out
+
+
+# ---------------------------------------------------------------------------
+# the tree polices itself
+# ---------------------------------------------------------------------------
+
+
+def test_live_tree_is_lint_clean():
+    report = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert report.ok, "\n".join(v.format() for v in report.violations)
+    assert report.files_checked > 50
+    assert report.rules_run == ALL_RULE_IDS

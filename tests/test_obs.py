@@ -171,22 +171,22 @@ class TestRegistry:
 
     def test_prometheus_rendering(self):
         registry = MetricsRegistry()
-        registry.inc("events_total", 3, type="match")
+        registry.inc("repro_core_events_total", 3, type="match")
         registry.set_gauge("cache_entries", 2)
-        registry.observe("stage_seconds", 0.02, stage="join")
+        registry.observe("repro_obs_stage_seconds", 0.02, stage="join")
         text = registry.to_prometheus()
-        assert "# TYPE events_total counter" in text
-        assert 'events_total{type="match"} 3' in text
+        assert "# TYPE repro_core_events_total counter" in text
+        assert 'repro_core_events_total{type="match"} 3' in text
         assert "# TYPE cache_entries gauge" in text
         assert "cache_entries 2" in text
-        assert "# TYPE stage_seconds histogram" in text
-        assert 'stage_seconds_bucket{stage="join",le="+Inf"} 1' in text
-        assert 'stage_seconds_count{stage="join"} 1' in text
+        assert "# TYPE repro_obs_stage_seconds histogram" in text
+        assert 'repro_obs_stage_seconds_bucket{stage="join",le="+Inf"} 1' in text
+        assert 'repro_obs_stage_seconds_count{stage="join"} 1' in text
         # Cumulative buckets are monotone and end at the count.
         bucket_values = [
             int(line.rsplit(" ", 1)[1])
             for line in text.splitlines()
-            if line.startswith("stage_seconds_bucket")
+            if line.startswith("repro_obs_stage_seconds_bucket")
         ]
         assert bucket_values == sorted(bucket_values)
         assert bucket_values[-1] == 1
@@ -238,7 +238,7 @@ class TestStageTimers:
         registry = MetricsRegistry()
         with stage_timer(registry, "batch.execute"):
             pass
-        histogram = registry.histogram("stage_seconds", stage="batch.execute")
+        histogram = registry.histogram("repro_obs_stage_seconds", stage="batch.execute")
         assert histogram is not None and histogram.count == 1
 
 
@@ -246,7 +246,7 @@ class TestTelemetryIO:
     def test_jsonl_roundtrip_with_header_and_snapshot(self, tmp_path):
         records = sample_records()
         registry = MetricsRegistry()
-        registry.inc("engine_jobs_total", 2, disposition="computed")
+        registry.inc("repro_engine_jobs_total", 2, disposition="computed")
         path = tmp_path / "run.jsonl"
         summary = write_jsonl(
             path,
@@ -293,10 +293,10 @@ class TestTelemetryAccuracy:
             engine.run(jobs)
             engine.run(jobs)  # partial hits: most entries were evicted
         assert cache.evictions > 0, "workload must cross the LRU boundary"
-        assert registry.counter("join_cache_hits_total") == cache.hits
-        assert registry.counter("join_cache_misses_total") == cache.misses
-        assert registry.counter("join_cache_evictions_total") == cache.evictions
-        assert registry.gauge("join_cache_entries") == len(cache)
+        assert registry.counter("repro_engine_cache_hits_total") == cache.hits
+        assert registry.counter("repro_engine_cache_misses_total") == cache.misses
+        assert registry.counter("repro_engine_cache_evictions_total") == cache.evictions
+        assert registry.gauge("repro_engine_cache_entries") == len(cache)
 
     def test_event_counters_match_computed_results_serial(self):
         registry = MetricsRegistry()
@@ -342,14 +342,14 @@ class TestTelemetryAccuracy:
             engine.run(jobs)
         stats = engine.stats()
         by_disposition = registry.counters_by_label(
-            "engine_jobs_total", "disposition"
+            "repro_engine_jobs_total", "disposition"
         )
         assert by_disposition.get("computed", 0) == stats["computed"]
         assert by_disposition.get("screened", 0) == stats["screened"]
         assert by_disposition.get("cached", 0) == stats["cached"]
-        assert registry.counter("envelope_tests_total") > 0
+        assert registry.counter("repro_engine_envelope_tests_total") > 0
         assert (
-            registry.counter("envelope_separations_total") == stats["screened"]
+            registry.counter("repro_engine_envelope_separations_total") == stats["screened"]
         )
 
     def test_parallel_merge_equals_serial_counters(self):
@@ -365,9 +365,9 @@ class TestTelemetryAccuracy:
             EVENTS_METRIC, "type"
         ) == parallel_registry.counters_by_label(EVENTS_METRIC, "type")
         assert serial_registry.counter(
-            "csj_joins_total", method="ex-minmax", engine="numpy"
+            "repro_algo_joins_total", method="ex-minmax", engine="numpy"
         ) == parallel_registry.counter(
-            "csj_joins_total", method="ex-minmax", engine="numpy"
+            "repro_algo_joins_total", method="ex-minmax", engine="numpy"
         )
 
     def test_disabled_engine_emits_nothing(self):

@@ -184,3 +184,31 @@ class TestConfiguration:
             python = cls(1, engine="python", t=4).join(b, a)
             numpy_ = cls(1, engine="numpy", t=4).join(b, a)
             assert set(python.pair_tuples()) == set(numpy_.pair_tuples())
+
+
+class TestParallelMetricsParity:
+    """The thread-parallel candidate collection merges per-slice traces
+    through ``EventTrace.absorb``, so the mirrored
+    ``repro_core_events_total`` family must agree exactly with the
+    trace's own counters (regression test for a merge that updated the
+    counters but bypassed the metrics sink).  The counters themselves
+    may differ from a serial run: pruning depends on scan order within
+    each slice."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_events_metric_mirrors_counts(self, n_jobs):
+        from repro.obs.registry import MetricsRegistry
+
+        vectors_b, vectors_a = random_couple(11, n_b=40, n_a=48)
+        b, a = Community("B", vectors_b), Community("A", vectors_a)
+
+        algorithm = ExSuperEGO(1, t=4, n_jobs=n_jobs)
+        algorithm.metrics = MetricsRegistry()
+        result = algorithm.join(b, a)
+
+        assert result.events.total > 0
+        mirrored = algorithm.metrics.counters_by_label(
+            "repro_core_events_total", "type"
+        )
+        for field in ("min_prune", "max_prune", "no_overlap", "no_match", "match"):
+            assert mirrored.get(field, 0) == getattr(result.events, field), field
