@@ -34,7 +34,13 @@ import pytest
 
 from repro.apps import top_k_pairs, top_k_pairs_reference
 from repro.core.types import Community
-from repro.engine import JoinResultCache
+from repro.engine import (
+    BatchEngine,
+    FaultPolicy,
+    FaultSpec,
+    JoinResultCache,
+    PairJob,
+)
 from repro.obs import MetricsRegistry
 from repro.testing import banded_community_fleet
 
@@ -235,3 +241,78 @@ def bench_engine_sweep_cache(report_writer):
         f"epsilon sweep x{len(epsilons)}: cold {t_cold:.3f}s, "
         f"warm {t_warm:.3f}s ({cache.stats()})",
     )
+
+
+def _strip_timings(result) -> dict:
+    payload = result.to_dict()
+    payload.pop("elapsed_seconds", None)
+    payload.pop("stage_seconds", None)
+    return payload
+
+
+@pytest.mark.bench
+def bench_engine_faults(report_writer):
+    """Supervision overhead on a clean run, plus the retry path.
+
+    Times the same intra-band batch three ways — unsupervised, under a
+    :class:`FaultPolicy` with no fault, and under the same policy with
+    one injected transient crash (one retry) — and asserts the result
+    payloads stay identical throughout.  The section merges into
+    ``BENCH_engine.json`` (written earlier by ``bench_engine_batch``)
+    when not in smoke mode.
+    """
+    fleet = build_fleet()
+    policy = FaultPolicy(retries=2, backoff_base=0.001, backoff_cap=0.01, jitter=0.0)
+    jobs = [
+        PairJob.build(band * PER_BAND, band * PER_BAND + 1, "ex-minmax", EPSILON)
+        for band in range(BANDS)
+    ]
+
+    def run_batch(fault_policy, injector):
+        with BatchEngine(
+            fleet,
+            n_jobs=N_JOBS,
+            screen=False,
+            fault_policy=fault_policy,
+            fault_injector=injector,
+        ) as engine:
+            outcomes = engine.run(jobs)
+            return [o.result for o in outcomes], engine.stats()
+
+    (plain, _), t_plain = timed(
+        "batch unsupervised", lambda: run_batch(None, None)
+    )
+    (clean, _), t_supervised = timed(
+        "batch supervised", lambda: run_batch(policy, None)
+    )
+    (retried, stats), t_retry = timed(
+        "batch retry-path",
+        lambda: run_batch(policy, FaultSpec(mode="raise", at=0, fail_attempts=1)),
+    )
+    expected = [_strip_timings(result) for result in plain]
+    assert [_strip_timings(result) for result in clean] == expected
+    assert [_strip_timings(result) for result in retried] == expected
+    assert stats["faults"]["retries"] == 1
+    assert stats["faults"]["quarantined"] == 0
+
+    section = {
+        "jobs": len(jobs),
+        "n_jobs": N_JOBS,
+        "policy": {"retries": policy.retries, "timeout": policy.timeout},
+        "seconds": {
+            "unsupervised": round(t_plain, 4),
+            "supervised_clean": round(t_supervised, 4),
+            "supervised_one_retry": round(t_retry, 4),
+        },
+        "supervision_overhead_pct": round(
+            100.0 * (t_supervised / t_plain - 1.0), 2
+        ),
+        "retry_overhead_pct": round(100.0 * (t_retry / t_supervised - 1.0), 2),
+        "results_identical": True,
+    }
+    report_writer("engine_faults", json.dumps(section, indent=2))
+    if not SMOKE and _JSON_PATH.exists():
+        merged = json.loads(_JSON_PATH.read_text())
+        merged["faults"] = section
+        _JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"[faults section merged into {_JSON_PATH}]")

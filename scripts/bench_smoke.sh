@@ -2,10 +2,11 @@
 # Tiny-scale smoke run of the engine benchmarks.
 #
 # Exercises the full bench code path (reference vs engine-serial vs
-# engine-parallel vs cache-warm, byte-identical ranking assertions) in a
-# few seconds.  Smoke mode skips the speedup assertion and does NOT
-# overwrite BENCH_engine.json — run the bench without these knobs to
-# record real numbers.
+# engine-parallel vs cache-warm, byte-identical ranking assertions, plus
+# the supervised/retry-path faults bench) in a few seconds.  Smoke mode
+# skips the speedup assertion and does NOT overwrite BENCH_engine.json —
+# run the bench without these knobs to record real numbers (including
+# the "faults" supervision-overhead section).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -54,7 +54,9 @@ from .datasets import (
 )
 from .engine import (
     BatchEngine,
+    CheckpointLog,
     Disposition,
+    FaultPolicy,
     JoinResultCache,
     PairJob,
     PairOutcome,
@@ -96,7 +98,9 @@ __all__ = [
     "VK_EPSILON",
     "SYNTHETIC_EPSILON",
     "BatchEngine",
+    "CheckpointLog",
     "Disposition",
+    "FaultPolicy",
     "JoinResultCache",
     "PairJob",
     "PairOutcome",

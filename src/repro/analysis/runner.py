@@ -25,11 +25,12 @@ Community sizes are the paper's, shrunk by ``scale`` (default 1/64).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..algorithms import APPROXIMATE_METHODS, EXACT_METHODS, get_algorithm
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
-from ..engine import BatchEngine, JoinResultCache, PairJob
+from ..engine import BatchEngine, CheckpointLog, FaultPolicy, JoinResultCache, PairJob
 from ..obs import JoinTelemetry, MetricsRegistry
 from ..datasets.categories import CATEGORIES
 from ..datasets.couples import (
@@ -171,6 +172,8 @@ def run_couple(
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
     metrics: MetricsRegistry | None = None,
+    fault_policy: FaultPolicy | None = None,
+    checkpoint: CheckpointLog | str | Path | None = None,
 ) -> CoupleRun:
     """Build one couple and run every requested method on it.
 
@@ -178,7 +181,9 @@ def run_couple(
     shared ``cache`` carries results across repeated calls and
     ``n_jobs`` > 1 runs the methods in parallel worker processes.
     With ``metrics`` the engine's per-join telemetry lands on the
-    returned run's ``telemetry`` list.
+    returned run's ``telemetry`` list.  ``fault_policy`` enables
+    supervised execution (timeouts / retries / quarantine);
+    ``checkpoint`` makes completed joins durable for resumption.
     """
     community_b, community_a = build_couple(spec, generator, scale=scale)
     run = CoupleRun(spec=spec, size_b=len(community_b), size_a=len(community_a))
@@ -186,7 +191,12 @@ def run_couple(
         0, 1, methods, epsilon=epsilon, engine=engine, method_options=method_options
     )
     with BatchEngine(
-        [community_b, community_a], n_jobs=n_jobs, cache=cache, metrics=metrics
+        [community_b, community_a],
+        n_jobs=n_jobs,
+        cache=cache,
+        metrics=metrics,
+        fault_policy=fault_policy,
+        checkpoint=checkpoint,
     ) as batch_engine:
         for job, outcome in zip(jobs, batch_engine.run(jobs)):
             run.results[job.method] = outcome.result
@@ -206,6 +216,8 @@ def run_method_table(
     n_jobs: int = 1,
     cache: JoinResultCache | int | None = None,
     metrics: MetricsRegistry | None = None,
+    fault_policy: FaultPolicy | None = None,
+    checkpoint: CheckpointLog | str | Path | None = None,
 ) -> TableRun:
     """Regenerate one of Tables 3–10 at the given scale.
 
@@ -217,6 +229,9 @@ def run_method_table(
     (or overlapping tables) skip identical joins entirely.  With
     ``metrics`` the per-join telemetry records land on the returned
     run's ``telemetry`` list (and on each row's, per couple).
+    ``fault_policy`` supervises the joins and ``checkpoint`` makes the
+    finished ones durable, so a killed table run resumes with only the
+    unfinished couple x method cells recomputed.
     """
     dataset = dataset_for_table(table)
     chosen_methods = methods if methods is not None else methods_for_table(table)
@@ -250,7 +265,12 @@ def run_method_table(
             )
         )
     with BatchEngine(
-        communities, n_jobs=n_jobs, cache=cache, metrics=metrics
+        communities,
+        n_jobs=n_jobs,
+        cache=cache,
+        metrics=metrics,
+        fault_policy=fault_policy,
+        checkpoint=checkpoint,
     ) as batch_engine:
         outcomes = batch_engine.run(jobs)
         run.telemetry = list(batch_engine.telemetry)

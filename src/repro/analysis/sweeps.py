@@ -13,13 +13,14 @@ generalisation of Table 11 beyond Ex-MinMax.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
 from ..datasets.couples import CoupleSpec, build_couple
 from ..datasets.synthetic import SyntheticGenerator
 from ..datasets.vk import VKGenerator
-from ..engine import BatchEngine, JoinResultCache, PairJob
+from ..engine import BatchEngine, CheckpointLog, FaultPolicy, JoinResultCache, PairJob
 from ..obs import JoinTelemetry, MetricsRegistry
 
 __all__ = ["SweepPoint", "epsilon_sweep", "scale_sweep", "render_sweep"]
@@ -54,6 +55,8 @@ def epsilon_sweep(
     cache: JoinResultCache | int | None = None,
     metrics: MetricsRegistry | None = None,
     telemetry: list[JoinTelemetry] | None = None,
+    fault_policy: FaultPolicy | None = None,
+    checkpoint: CheckpointLog | str | Path | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Similarity as a function of epsilon on a fixed couple.
@@ -67,7 +70,9 @@ def epsilon_sweep(
     shared ``cache`` makes repeated sweeps over the same couple free and
     ``n_jobs`` > 1 evaluates the epsilon grid in parallel.  With
     ``metrics`` attached, the engine's per-join records are appended to
-    ``telemetry`` (when given).
+    ``telemetry`` (when given).  ``fault_policy`` supervises the joins
+    (timeouts / retries / quarantine) and ``checkpoint`` makes finished
+    joins durable, so a killed sweep resumes without recomputation.
     """
     if not epsilons:
         raise ConfigurationError("epsilon_sweep needs at least one epsilon")
@@ -77,7 +82,12 @@ def epsilon_sweep(
         PairJob.build(0, 1, method, epsilon, options) for epsilon in epsilons
     ]
     with BatchEngine(
-        [community_b, community_a], n_jobs=n_jobs, cache=cache, metrics=metrics
+        [community_b, community_a],
+        n_jobs=n_jobs,
+        cache=cache,
+        metrics=metrics,
+        fault_policy=fault_policy,
+        checkpoint=checkpoint,
     ) as engine:
         outcomes = engine.run(jobs)
         if telemetry is not None:
@@ -99,6 +109,8 @@ def scale_sweep(
     cache: JoinResultCache | int | None = None,
     metrics: MetricsRegistry | None = None,
     telemetry: list[JoinTelemetry] | None = None,
+    fault_policy: FaultPolicy | None = None,
+    checkpoint: CheckpointLog | str | Path | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Runtime as a function of couple size for one couple spec.
@@ -107,7 +119,8 @@ def scale_sweep(
     method — a per-method generalisation of Table 11.  The joins of all
     scales execute as one :class:`~repro.engine.BatchEngine` batch.
     With ``metrics`` attached, the engine's per-join records are
-    appended to ``telemetry`` (when given).
+    appended to ``telemetry`` (when given).  ``fault_policy`` and
+    ``checkpoint`` behave as in :func:`epsilon_sweep`.
     """
     if not scales:
         raise ConfigurationError("scale_sweep needs at least one scale")
@@ -120,7 +133,12 @@ def scale_sweep(
         for index in range(len(scales))
     ]
     with BatchEngine(
-        communities, n_jobs=n_jobs, cache=cache, metrics=metrics
+        communities,
+        n_jobs=n_jobs,
+        cache=cache,
+        metrics=metrics,
+        fault_policy=fault_policy,
+        checkpoint=checkpoint,
     ) as engine:
         outcomes = engine.run(jobs)
         if telemetry is not None:

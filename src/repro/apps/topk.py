@@ -20,11 +20,19 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..algorithms import get_algorithm
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
-from ..engine import BatchEngine, JoinResultCache, PairJob, canonical_options
+from ..engine import (
+    BatchEngine,
+    CheckpointLog,
+    FaultPolicy,
+    JoinResultCache,
+    PairJob,
+    canonical_options,
+)
 from ..obs import JoinTelemetry, MetricsRegistry
 
 __all__ = ["PairScore", "top_k_pairs", "top_k_pairs_reference"]
@@ -78,6 +86,8 @@ def top_k_pairs(
     envelope_screen: bool = True,
     metrics: MetricsRegistry | None = None,
     telemetry: list[JoinTelemetry] | None = None,
+    fault_policy: FaultPolicy | None = None,
+    checkpoint: CheckpointLog | str | Path | None = None,
     **options: object,
 ) -> list[PairScore]:
     """The k most similar pairs among ``communities``.
@@ -96,7 +106,10 @@ def top_k_pairs(
     pairs whose min/max envelopes prove a zero similarity.  All three
     leave the returned ranking identical to the serial computation.
     With ``metrics`` attached, per-join records for both phases are
-    appended to ``telemetry`` (when given).
+    appended to ``telemetry`` (when given).  ``fault_policy`` supervises
+    both phases (timeouts / retries / quarantine) and ``checkpoint``
+    makes completed joins durable so a killed ranking resumes without
+    recomputing finished pairs.
     """
     _validate(communities, k, screen_margin)
     job_options = canonical_options(options)
@@ -111,6 +124,8 @@ def top_k_pairs(
         screen=envelope_screen,
         cache=cache,
         metrics=metrics,
+        fault_policy=fault_policy,
+        checkpoint=checkpoint,
     ) as engine:
         screen_jobs = [
             PairJob(i, j, screen_method, epsilon, job_options) for i, j in joinable

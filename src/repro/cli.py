@@ -54,13 +54,46 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="ENTRIES",
         help="join-result cache capacity (0 disables caching)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-join deadline; enables supervised (fault-tolerant) execution",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed join before quarantine (enables supervision)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON-lines checkpoint log: completed joins are loaded from it "
+            "and new ones appended, so a killed run resumes for free"
+        ),
+    )
 
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
-    return {
+    kwargs: dict = {
         "n_jobs": args.n_jobs,
         "cache": args.cache if args.cache > 0 else None,
     }
+    if args.timeout is not None or args.retries is not None:
+        from .engine import FaultPolicy
+
+        kwargs["fault_policy"] = FaultPolicy(
+            timeout=args.timeout,
+            retries=args.retries if args.retries is not None else 2,
+        )
+    if args.resume_from is not None:
+        kwargs["checkpoint"] = args.resume_from
+    return kwargs
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:

@@ -5,11 +5,23 @@ table harness, parameter sweeps): a :class:`BatchEngine` fans
 community-pair jobs out over worker processes backed by a shared-memory
 vector store, skips pairs whose min/max envelopes prove a zero
 similarity, and memoises results in a content-addressed LRU cache.
+A :class:`JobSupervisor` (enabled via ``fault_policy``) adds per-job
+timeouts, retries with backoff, poison-job quarantine and degraded-mode
+fallback, while :class:`CheckpointLog` makes sweep completion durable
+across crashes.
 """
 
 from .batch import BatchEngine, Disposition, PairJob, PairOutcome
-from .cache import JoinResultCache, canonical_options, join_key
+from .cache import JoinResultCache, canonical_options, decoded_options, join_key
+from .checkpoint import CheckpointLog
 from .envelope import Envelope, community_envelope, envelopes_separated
+from .faults import (
+    FaultPolicy,
+    FaultSpec,
+    InjectedFault,
+    JobSupervisor,
+    QuarantineRecord,
+)
 from .fingerprint import community_fingerprint, matrix_fingerprint, pair_fingerprint
 from .shared import AttachedVectorStore, CommunitySpec, SharedVectorStore, StoreLayout
 
@@ -20,7 +32,14 @@ __all__ = [
     "PairOutcome",
     "JoinResultCache",
     "canonical_options",
+    "decoded_options",
     "join_key",
+    "CheckpointLog",
+    "FaultPolicy",
+    "FaultSpec",
+    "InjectedFault",
+    "JobSupervisor",
+    "QuarantineRecord",
     "Envelope",
     "community_envelope",
     "envelopes_separated",

@@ -26,9 +26,10 @@ each worker.
 from __future__ import annotations
 
 import enum
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..algorithms import get_algorithm
@@ -38,8 +39,16 @@ from ..core.types import Community, CSJResult, EventCounts
 from ..core.validation import validate_pair
 from ..obs import JoinTelemetry, MetricsRegistry
 from ..obs.timers import stage_timer
-from .cache import JoinKey, JoinResultCache, canonical_options, join_key
+from .cache import JoinKey, JoinResultCache, canonical_options, decoded_options, join_key
+from .checkpoint import CheckpointLog
 from .envelope import Envelope, community_envelope, envelopes_separated
+from .faults import (
+    FaultPolicy,
+    FaultSpec,
+    JobSupervisor,
+    SupervisedTask,
+    maybe_inject,
+)
 from .fingerprint import community_fingerprint
 from .shared import AttachedVectorStore, SharedVectorStore, StoreLayout
 
@@ -48,6 +57,9 @@ __all__ = ["Disposition", "PairJob", "PairOutcome", "BatchEngine"]
 #: Label recorded in ``CSJResult.engine`` for screened-out pairs.
 SCREEN_ENGINE = "envelope-screen"
 
+#: Label recorded in ``CSJResult.engine`` for quarantined (failed) jobs.
+QUARANTINE_ENGINE = "quarantined"
+
 
 class Disposition(enum.Enum):
     """How the engine resolved one job."""
@@ -55,6 +67,7 @@ class Disposition(enum.Enum):
     COMPUTED = "computed"  # the join actually ran
     SCREENED = "screened"  # envelopes proved similarity 0
     CACHED = "cached"  # served from the join-result cache
+    FAILED = "failed"  # quarantined after exhausting its attempts
 
 
 @dataclass(frozen=True)
@@ -95,11 +108,16 @@ class PairJob:
 
 @dataclass
 class PairOutcome:
-    """The engine's answer to one :class:`PairJob`."""
+    """The engine's answer to one :class:`PairJob`.
+
+    ``error`` is ``None`` except for :attr:`Disposition.FAILED`
+    outcomes, where it carries the quarantined job's last error.
+    """
 
     job: PairJob
     disposition: Disposition
     result: CSJResult
+    error: str | None = None
 
     @property
     def similarity(self) -> float:
@@ -123,7 +141,7 @@ def _worker_algorithm(method: str, epsilon: int, options: tuple):
     key = (method, epsilon, options)
     algorithm = _WORKER_ALGORITHMS.get(key)
     if algorithm is None:
-        algorithm = get_algorithm(method, epsilon, **dict(options))
+        algorithm = get_algorithm(method, epsilon, **decoded_options(options))
         _WORKER_ALGORITHMS[key] = algorithm
     return algorithm
 
@@ -158,6 +176,38 @@ def _run_chunk(
     return out, (registry.snapshot() if registry is not None else None)
 
 
+def _run_supervised_job(
+    position: int,
+    first: int,
+    second: int,
+    method: str,
+    epsilon: int,
+    options: tuple,
+    enforce_size_ratio: bool,
+    collect_metrics: bool,
+    attempt: int,
+    fault: FaultSpec | None,
+) -> tuple[dict, dict | None]:
+    """Execute one supervised job against the attached store.
+
+    Supervised execution ships jobs one per task (no chunking) so a
+    crash, hang or timeout is attributable to exactly one job.  The
+    worker-local metrics snapshot travels back *only* with a successful
+    result, so retried attempts never double-count events.
+    """
+    assert _WORKER_STORE is not None, "worker initialised without a store"
+    maybe_inject(fault, position, attempt, in_process=False)
+    registry = MetricsRegistry() if collect_metrics else None
+    algorithm = _worker_algorithm(method, epsilon, options)
+    algorithm.metrics = registry
+    result = algorithm.join(
+        _WORKER_STORE.community(first),
+        _WORKER_STORE.community(second),
+        enforce_size_ratio=enforce_size_ratio,
+    )
+    return result.to_dict(), (registry.snapshot() if registry is not None else None)
+
+
 # ----------------------------------------------------------------------
 # engine
 # ----------------------------------------------------------------------
@@ -189,6 +239,23 @@ class BatchEngine:
         :class:`~repro.obs.JoinTelemetry` record per resolved job into
         :attr:`telemetry`.  ``None`` (default) keeps the whole pipeline
         on the uninstrumented fast path.
+    fault_policy:
+        Optional :class:`~repro.engine.faults.FaultPolicy`.  When given,
+        execution runs under a :class:`~repro.engine.faults.JobSupervisor`:
+        per-job timeouts, bounded retry with seeded backoff jitter,
+        poison-job quarantine (``Disposition.FAILED`` outcomes instead
+        of a crashed batch) and degradation to in-process serial
+        execution when the worker pool keeps dying.  ``None`` (default)
+        keeps the unsupervised fast paths byte-for-byte unchanged.
+    checkpoint:
+        Optional :class:`~repro.engine.checkpoint.CheckpointLog` (or a
+        path to one).  Completed joins are durably appended; on
+        construction the log is loaded into the join cache (created if
+        necessary) so a resumed run recomputes no finished pair.
+    fault_injector:
+        Optional :class:`~repro.engine.faults.FaultSpec` — the
+        deterministic test hook that kills / hangs / raises on the k-th
+        executed job.  Production code never sets this.
     """
 
     def __init__(
@@ -200,6 +267,9 @@ class BatchEngine:
         cache: JoinResultCache | int | None = None,
         enforce_size_ratio: bool = True,
         metrics: MetricsRegistry | None = None,
+        fault_policy: FaultPolicy | None = None,
+        checkpoint: CheckpointLog | str | Path | None = None,
+        fault_injector: FaultSpec | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -211,19 +281,39 @@ class BatchEngine:
         self.cache = cache
         self.enforce_size_ratio = bool(enforce_size_ratio)
         self.metrics = metrics
-        if metrics is not None and cache is not None and cache.metrics is None:
-            cache.metrics = metrics
+        self.fault_policy = fault_policy
+        self.fault_injector = fault_injector
         #: Per-job telemetry records, appended by every ``run`` call
         #: while a registry is attached (empty otherwise).
         self.telemetry: list[JoinTelemetry] = []
         self.screened_count = 0
         self.computed_count = 0
         self.cached_count = 0
+        self.failed_count = 0
+        #: Joins restored from the checkpoint log at construction.
+        self.resumed_count = 0
+        #: Quarantine records of every ``run`` call, in arrival order.
+        self.quarantined: list = []
         self._envelopes: dict[int, Envelope] = {}
         self._fingerprints: dict[int, str] = {}
         self._algorithms: dict[tuple, object] = {}
         self._store: SharedVectorStore | None = None
         self._pool: ProcessPoolExecutor | None = None
+        self._supervisor: JobSupervisor | None = None
+        if checkpoint is not None and not isinstance(checkpoint, CheckpointLog):
+            checkpoint = CheckpointLog(checkpoint)
+        self._checkpoint = checkpoint
+        if checkpoint is not None:
+            entries = checkpoint.load()
+            if self.cache is None:
+                self.cache = JoinResultCache(
+                    max_entries=max(256, 2 * len(entries) + 1)
+                )
+            for key, payload in entries.items():
+                self.cache.put(key, CSJResult.from_dict(payload))
+            self.resumed_count = len(entries)
+        if metrics is not None and self.cache is not None and self.cache.metrics is None:
+            self.cache.metrics = metrics
 
     # -- bookkeeping ---------------------------------------------------
     def envelope(self, index: int) -> Envelope:
@@ -244,7 +334,9 @@ class BatchEngine:
         key = (job.method, job.epsilon, job.options)
         algorithm = self._algorithms.get(key)
         if algorithm is None:
-            algorithm = get_algorithm(job.method, job.epsilon, **dict(job.options))
+            algorithm = get_algorithm(
+                job.method, job.epsilon, **decoded_options(job.options)
+            )
             self._algorithms[key] = algorithm
         return algorithm
 
@@ -267,8 +359,10 @@ class BatchEngine:
         )
         return key, swapped
 
-    def _screened_result(self, job: PairJob, swapped: bool) -> CSJResult:
-        """A similarity-0 result for a pair the envelopes ruled out."""
+    def _synthetic_result(
+        self, job: PairJob, swapped: bool, engine_label: str
+    ) -> CSJResult:
+        """An empty-matching result for a pair that never ran a join."""
         oriented = (job.second, job.first) if swapped else (job.first, job.second)
         community_b = self.communities[oriented[0]]
         community_a = self.communities[oriented[1]]
@@ -282,9 +376,13 @@ class BatchEngine:
             pairs=[],
             events=EventCounts(),
             elapsed_seconds=0.0,
-            engine=SCREEN_ENGINE,
+            engine=engine_label,
             swapped=swapped,
         )
+
+    def _screened_result(self, job: PairJob, swapped: bool) -> CSJResult:
+        """A similarity-0 result for a pair the envelopes ruled out."""
+        return self._synthetic_result(job, swapped, SCREEN_ENGINE)
 
     # -- execution -----------------------------------------------------
     def run(self, jobs: Iterable[PairJob]) -> list[PairOutcome]:
@@ -330,14 +428,29 @@ class BatchEngine:
 
         if pending:
             with stage_timer(self.metrics, "batch.execute"):
-                if self.n_jobs == 1 or len(pending) == 1:
-                    computed = self._run_serial(pending)
+                if self.fault_policy is not None:
+                    computed = self._run_supervised(pending)
+                elif self.n_jobs == 1 or len(pending) == 1:
+                    computed = [(r, None) for r in self._run_serial(pending)]
                 else:
-                    computed = self._run_parallel(pending)
-            for (position, job, key, _), result in zip(pending, computed):
+                    computed = [(r, None) for r in self._run_parallel(pending)]
+            for (position, job, key, swapped), (result, error) in zip(
+                pending, computed
+            ):
+                if error is not None:
+                    self.failed_count += 1
+                    outcomes[position] = PairOutcome(
+                        job,
+                        Disposition.FAILED,
+                        self._synthetic_result(job, swapped, QUARANTINE_ENGINE),
+                        error=error,
+                    )
+                    continue
                 self.computed_count += 1
                 if self.cache is not None and key is not None:
                     self.cache.put(key, result)
+                if self._checkpoint is not None and key is not None:
+                    self._checkpoint.append(key, result)
                 outcomes[position] = PairOutcome(job, Disposition.COMPUTED, result)
         assert all(outcome is not None for outcome in outcomes)
         if self.metrics is not None:
@@ -419,6 +532,108 @@ class BatchEngine:
                 self.metrics.merge(snapshot)  # type: ignore[union-attr]
         return [by_position[position] for position, _, _, _ in pending]
 
+    def _run_supervised(
+        self, pending: list[tuple[int, PairJob, JoinKey | None, bool]]
+    ) -> list[tuple[CSJResult | None, str | None]]:
+        """Execute ``pending`` under the job supervisor.
+
+        Returns one ``(result, error)`` per pending entry: quarantined
+        jobs come back as ``(None, message)``.  The supervisor instance
+        is engine-scoped, so retry/timeout/quarantine counters and the
+        degraded flag accumulate across ``run`` calls.
+
+        Event-counter parity with a clean run is guaranteed on both
+        paths: pool workers only ship their metrics snapshot alongside a
+        *successful* result, and in-process attempts run against a
+        scratch registry merged only on success — a failed attempt's
+        partial MATCH/NO_MATCH events are discarded with it.
+        """
+        if self._supervisor is None:
+            self._supervisor = JobSupervisor(self.fault_policy, metrics=self.metrics)
+        supervisor = self._supervisor
+        injector = self.fault_injector
+        collect = self.metrics is not None
+        tasks = [
+            SupervisedTask(position=index, payload=job)
+            for index, (_, job, _, _) in enumerate(pending)
+        ]
+
+        def run_inline(task: SupervisedTask, attempt: int) -> CSJResult:
+            job = task.payload
+            maybe_inject(injector, task.position, attempt, in_process=True)
+            algorithm = self._algorithm(job)
+            scratch = MetricsRegistry() if collect else None
+            algorithm.metrics = scratch
+            result = algorithm.join(
+                self.communities[job.first],
+                self.communities[job.second],
+                enforce_size_ratio=self.enforce_size_ratio,
+            )
+            if scratch is not None:
+                self.metrics.merge(scratch)  # type: ignore[union-attr]
+            return result
+
+        def submit(task: SupervisedTask, attempt: int) -> Future:
+            job = task.payload
+            pool = self._ensure_pool()
+            return pool.submit(
+                _run_supervised_job,
+                task.position,
+                job.first,
+                job.second,
+                job.method,
+                job.epsilon,
+                job.options,
+                self.enforce_size_ratio,
+                collect,
+                attempt,
+                injector,
+            )
+
+        report = supervisor.run(
+            tasks,
+            workers=min(self.n_jobs, len(tasks)),
+            submit=None if self.n_jobs == 1 else submit,
+            run_inline=run_inline,
+            reset_pool=self._kill_pool,
+        )
+        self.quarantined.extend(report.quarantined)
+        errors = {record.position: record.error for record in report.quarantined}
+        out: list[tuple[CSJResult | None, str | None]] = []
+        for index in range(len(pending)):
+            if index in errors:
+                out.append((None, errors[index]))
+                continue
+            value = report.results[index]
+            if isinstance(value, CSJResult):
+                out.append((value, None))
+                continue
+            payload, snapshot = value
+            if snapshot is not None and self.metrics is not None:
+                self.metrics.merge(snapshot)
+            out.append((CSJResult.from_dict(payload), None))
+        return out
+
+    def _kill_pool(self) -> None:
+        """Tear down the worker pool, terminating live workers.
+
+        Used by the supervisor after a crash or hang: a hung worker
+        never returns, so ``shutdown(wait=True)`` would deadlock — the
+        processes are terminated first.  The shared store stays alive
+        for the replacement pool.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass  # already dead or mid-teardown; nothing to reclaim
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             if self._store is None:
@@ -442,6 +657,8 @@ class BatchEngine:
         if self._store is not None:
             self._store.close()
             self._store = None
+        if self._checkpoint is not None:
+            self._checkpoint.close()
 
     def stats(self) -> dict[str, object]:
         """Dispositions plus cache counters, for reports and logs."""
@@ -449,10 +666,21 @@ class BatchEngine:
             "computed": self.computed_count,
             "screened": self.screened_count,
             "cached": self.cached_count,
+            "failed": self.failed_count,
             "n_jobs": self.n_jobs,
         }
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
+        if self._checkpoint is not None:
+            stats["resumed"] = self.resumed_count
+        if self._supervisor is not None:
+            stats["faults"] = {
+                "retries": self._supervisor.retries_total,
+                "timeouts": self._supervisor.timeouts_total,
+                "quarantined": self._supervisor.quarantined_total,
+                "pool_resets": self._supervisor.pool_resets,
+                "degraded": self._supervisor.degraded,
+            }
         return stats
 
     def __enter__(self) -> "BatchEngine":

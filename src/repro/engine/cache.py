@@ -27,7 +27,7 @@ from ..core.types import CSJResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.registry import MetricsRegistry
 
-__all__ = ["JoinKey", "JoinResultCache", "canonical_options"]
+__all__ = ["JoinKey", "JoinResultCache", "canonical_options", "decoded_options"]
 
 #: ``(fingerprint_b, fingerprint_a, epsilon, method, options)``.
 JoinKey = tuple[str, str, int, str, tuple]
@@ -36,16 +36,34 @@ JoinKey = tuple[str, str, int, str, tuple]
 def canonical_options(options: Mapping[str, object]) -> tuple:
     """Normalise a method-options mapping into a hashable cache-key part.
 
-    Primitive values are kept as-is; anything else falls back to its
-    ``repr`` so arbitrary configurations stay hashable and deterministic.
+    Each value is tagged with its type name — ``("bool", True)``,
+    ``("int", 1)`` — because ``bool`` is an ``int`` subclass and equal-
+    hashing numerics (``True == 1 == 1.0``) would otherwise alias to the
+    same cache key, letting a join configured with ``{"flag": 1}`` be
+    served the cached result of ``{"flag": True}``.  Non-primitive
+    values fall back to their ``repr`` (tag ``"repr"``) so arbitrary
+    configurations stay hashable and deterministic.
     """
     canonical = []
     for key in sorted(options):
         value = options[key]
-        if not isinstance(value, (bool, int, float, str, bytes, type(None))):
-            value = repr(value)
-        canonical.append((key, value))
+        if isinstance(value, (bool, int, float, str, bytes, type(None))):
+            tagged = (type(value).__name__, value)
+        else:
+            tagged = ("repr", repr(value))
+        canonical.append((key, tagged))
     return tuple(canonical)
+
+
+def decoded_options(options: tuple) -> dict[str, object]:
+    """Invert :func:`canonical_options` back into a keyword mapping.
+
+    The type tags exist only to keep cache keys collision-free; the
+    values themselves are stored unchanged, so decoding just strips the
+    tags.  (``"repr"``-tagged values stay as their repr string — they
+    were never recoverable, exactly as before tagging.)
+    """
+    return {key: tagged[1] for key, tagged in options}
 
 
 def join_key(
@@ -124,8 +142,15 @@ class JoinResultCache:
             self.metrics.set_gauge("repro_engine_cache_entries", len(self._entries))
 
     def clear(self) -> None:
-        """Drop all entries; counters are kept (they describe history)."""
+        """Drop all entries; counters are kept (they describe history).
+
+        The occupancy gauge is *not* history — it reports the current
+        entry count, so it must go to zero with the entries (it used to
+        stay stale until the next ``put``).
+        """
         self._entries.clear()
+        if self.metrics is not None:
+            self.metrics.set_gauge("repro_engine_cache_entries", 0)
 
     @property
     def hit_rate(self) -> float:

@@ -1,0 +1,484 @@
+"""Fault tolerance for batch joins: timeouts, retries, quarantine.
+
+Without supervision, one crashed or hung worker kills an entire
+``BatchEngine.run`` fan-out: a dead process breaks the whole
+``ProcessPoolExecutor`` and a hung one stalls it forever.  The
+:class:`JobSupervisor` makes robustness a first-class join property:
+
+* **per-job timeouts** — every in-flight job carries its own deadline;
+  a job that exceeds it is charged a timeout and the (unreclaimable)
+  pool is recycled, while jobs that were merely co-scheduled are
+  re-queued without charge;
+* **bounded retry** — failed attempts are retried up to
+  ``FaultPolicy.retries`` times with exponential backoff plus seeded,
+  deterministic jitter;
+* **poison-job quarantine** — a job that exhausts its attempts is set
+  aside as a :class:`QuarantineRecord` instead of failing the batch;
+* **crash attribution** — a worker crash fails *every* in-flight future
+  with ``BrokenProcessPool``, so the supervisor cannot tell culprit
+  from bystander.  Jobs that crashed in company are re-queued uncharged
+  but marked *suspect* and re-run in isolation; a solo crash is
+  definitive and is charged;
+* **graceful degradation** — after ``FaultPolicy.pool_resets`` pool
+  losses the supervisor stops rebuilding pools and runs the remaining
+  jobs in-process, serially (deadlines cannot be enforced in-process,
+  but the batch still completes).
+
+The supervisor is executor-agnostic: the engine hands it ``submit`` /
+``run_inline`` / ``reset_pool`` callbacks and opaque task payloads, so
+it can be unit-tested without a process pool.
+
+:class:`FaultSpec` is the deterministic fault-injection hook used by the
+tests and benchmarks: it fires on the k-th *executed* job of a batch
+(kill / hang / raise) for a configured number of attempts, so transient
+faults (retry succeeds) and poison jobs (quarantine) are both a one-line
+setup.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..obs import MetricsRegistry
+
+__all__ = [
+    "FaultPolicy",
+    "FaultSpec",
+    "InjectedFault",
+    "JobSupervisor",
+    "QuarantineRecord",
+    "SupervisedTask",
+    "SupervisorRunReport",
+    "maybe_inject",
+]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Knobs of the supervised execution path.
+
+    Parameters
+    ----------
+    timeout:
+        Per-job wall-clock deadline in seconds (``None`` disables
+        deadlines).  Only enforceable for pool execution; in-process
+        jobs cannot be preempted.
+    retries:
+        Failed attempts re-run up to this many times (so a job gets
+        ``retries + 1`` attempts before quarantine).
+    backoff_base / backoff_cap:
+        Exponential backoff between attempts: attempt ``n`` waits
+        ``min(backoff_base * 2**(n-1), backoff_cap)`` seconds plus
+        jitter.
+    jitter:
+        Uniform jitter added to each backoff, as a fraction of the
+        computed delay, drawn from a Generator seeded with ``seed`` —
+        deterministic, never global-state RNG.
+    seed:
+        Seed of the jitter Generator.
+    pool_resets:
+        Pool losses (crash or hang) tolerated before the supervisor
+        degrades to in-process serial execution.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    pool_resets: int = 8
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.pool_resets < 0:
+            raise ConfigurationError(
+                f"pool_resets must be >= 0, got {self.pool_resets}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Attempts before a job is quarantined."""
+        return self.retries + 1
+
+    def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> float:
+        """Delay before retry number ``attempt`` (1-based), with jitter."""
+        base = min(self.backoff_base * (2.0 ** max(0, attempt - 1)), self.backoff_cap)
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+#: Injection modes: raise an exception, hang the worker, kill its process.
+FAULT_MODES = ("raise", "hang", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :func:`maybe_inject` in ``"raise"`` mode (and for
+    ``"hang"``/``"kill"`` when execution is in-process and cannot be
+    preempted or sacrificed)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic fault injection: fire on the k-th executed job.
+
+    ``at`` indexes the jobs a ``run`` call actually executes (screened
+    and cached jobs are resolved before execution and never see faults),
+    0-based.  The fault fires while the job's attempt number is at most
+    ``fail_attempts`` — so the default ``1`` models a transient fault
+    that a single retry survives, and a large value models a poison job.
+
+    The spec is a frozen dataclass of primitives so it pickles cleanly
+    into pool workers.
+    """
+
+    mode: str
+    at: int
+    fail_attempts: int = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ConfigurationError(
+                f"unknown fault mode {self.mode!r}; available: {FAULT_MODES}"
+            )
+
+
+def maybe_inject(
+    spec: FaultSpec | None, position: int, attempt: int, *, in_process: bool
+) -> None:
+    """Trigger the configured fault if ``spec`` targets this execution.
+
+    In-process execution cannot be preempted (``hang``) or sacrificed
+    (``kill``), so both degrade to :class:`InjectedFault` raises there —
+    the supervisor still sees a failed attempt.
+    """
+    if spec is None or position != spec.at or attempt > spec.fail_attempts:
+        return
+    if spec.mode == "raise" or in_process:
+        raise InjectedFault(
+            f"injected {spec.mode} fault on job {position} (attempt {attempt})"
+        )
+    if spec.mode == "hang":
+        time.sleep(spec.hang_seconds)
+        raise InjectedFault(
+            f"injected hang on job {position} outlived {spec.hang_seconds}s"
+        )
+    os._exit(13)  # "kill": die without cleanup, like a real crash
+
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of supervised work: the batch position plus an opaque
+    payload the engine's callbacks know how to execute."""
+
+    position: int
+    payload: object
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A poison job set aside after exhausting its attempts."""
+
+    position: int
+    attempts: int
+    error: str
+
+
+@dataclass
+class SupervisorRunReport:
+    """Outcome of one supervised batch."""
+
+    results: dict[int, object]
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+
+
+@dataclass
+class _TaskState:
+    task: SupervisedTask
+    charges: int = 0  # definitively-attributed failures so far
+    not_before: float = 0.0  # monotonic time before which not to launch
+    suspect: bool = False  # crashed in company; must re-run in isolation
+    deadline: float = math.inf  # per-launch deadline while in flight
+
+    @property
+    def attempt(self) -> int:
+        return self.charges + 1
+
+
+class JobSupervisor:
+    """Drives a batch of tasks to completion under a :class:`FaultPolicy`.
+
+    One supervisor instance persists per engine: its counters
+    (``retries_total`` / ``timeouts_total`` / ``quarantined_total`` /
+    ``pool_resets``) accumulate across ``run`` calls and a degraded
+    supervisor stays degraded.  Metric mirrors land in ``metrics`` as
+    ``repro_engine_{retries,timeouts,quarantined,pool_resets}_total``
+    plus the ``repro_engine_degraded`` gauge.
+    """
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy
+        self.metrics = metrics
+        self.retries_total = 0
+        self.timeouts_total = 0
+        self.quarantined_total = 0
+        self.pool_resets = 0
+        self.degraded = False
+        self._rng = np.random.default_rng(policy.seed)
+        if metrics is not None:
+            metrics.set_gauge("repro_engine_degraded", 0.0)
+
+    # -- public API ----------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[SupervisedTask],
+        *,
+        workers: int,
+        submit: Callable[[SupervisedTask, int], Future] | None,
+        run_inline: Callable[[SupervisedTask, int], object],
+        reset_pool: Callable[[], None],
+    ) -> SupervisorRunReport:
+        """Execute every task; return results keyed by position.
+
+        ``submit(task, attempt)`` dispatches one task to the pool;
+        ``None`` (or ``workers <= 1`` or a degraded supervisor) selects
+        the in-process path.  ``run_inline(task, attempt)`` executes one
+        task in-process and must raise on failure.  ``reset_pool`` kills
+        and forgets the broken/hung pool; the next ``submit`` is
+        expected to rebuild it.
+        """
+        report = SupervisorRunReport(results={})
+        queue: deque[_TaskState] = deque(_TaskState(task) for task in tasks)
+        if submit is None or workers <= 1 or self.degraded:
+            self._drain_inline(queue, run_inline, report)
+            return report
+        inflight: dict[Future, _TaskState] = {}
+        while queue or inflight:
+            if self.degraded:
+                # Pool kept dying: no inflight work remains (cleared on
+                # the reset that tripped degradation), finish serially.
+                self._drain_inline(queue, run_inline, report)
+                break
+            if not self._launch(queue, inflight, workers, submit):
+                self._reset_pool(reset_pool)
+                continue
+            if not inflight:
+                self._sleep_until_ready(queue)
+                continue
+            earliest = min(state.deadline for state in inflight.values())
+            timeout = (
+                None
+                if math.isinf(earliest)
+                else max(0.0, earliest - time.monotonic())
+            )
+            done, _ = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                self._handle_stall(inflight, queue, report)
+                self._reset_pool(reset_pool)
+                continue
+            if self._harvest(done, inflight, queue, report):
+                continue
+            # Pool broke: salvage nothing further — every remaining
+            # future belongs to the dead executor and is already failed
+            # or doomed; re-queue those jobs uncharged as suspects.
+            for state in inflight.values():
+                self._requeue_uncharged(state, queue, suspect=True)
+            inflight.clear()
+            self._reset_pool(reset_pool)
+        return report
+
+    # -- scheduling ----------------------------------------------------
+    def _launch(
+        self,
+        queue: deque[_TaskState],
+        inflight: dict[Future, _TaskState],
+        workers: int,
+        submit: Callable[[SupervisedTask, int], Future],
+    ) -> bool:
+        """Submit ready tasks.  Returns False when the pool broke on
+        submission (caller must reset)."""
+        now = time.monotonic()
+        if any(state.suspect for state in queue):
+            # Isolation mode: suspects run one at a time with nothing
+            # alongside, so the next crash is definitively attributed.
+            if inflight:
+                return True
+            for index, state in enumerate(queue):
+                if state.suspect and state.not_before <= now:
+                    del queue[index]
+                    return self._submit_one(state, inflight, submit, queue)
+            return True
+        launched_ok = True
+        index = 0
+        scanned = len(queue)
+        while index < scanned and len(inflight) < workers and launched_ok:
+            state = queue[0]
+            queue.popleft()
+            if state.not_before > now:
+                queue.append(state)
+                index += 1
+                continue
+            launched_ok = self._submit_one(state, inflight, submit, queue)
+            index += 1
+        return launched_ok
+
+    def _submit_one(
+        self,
+        state: _TaskState,
+        inflight: dict[Future, _TaskState],
+        submit: Callable[[SupervisedTask, int], Future],
+        queue: deque[_TaskState],
+    ) -> bool:
+        try:
+            future = submit(state.task, state.attempt)
+        except BrokenExecutor:
+            # The pool died under a previous task's crash before this
+            # submission; nobody new gets charged for that.
+            self._requeue_uncharged(state, queue, suspect=state.suspect)
+            return False
+        state.deadline = (
+            time.monotonic() + self.policy.timeout
+            if self.policy.timeout is not None
+            else math.inf
+        )
+        inflight[future] = state
+        return True
+
+    def _sleep_until_ready(self, queue: deque[_TaskState]) -> None:
+        if not queue:
+            return
+        delay = min(state.not_before for state in queue) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- completion handling -------------------------------------------
+    def _harvest(
+        self,
+        done: set[Future],
+        inflight: dict[Future, _TaskState],
+        queue: deque[_TaskState],
+        report: SupervisorRunReport,
+    ) -> bool:
+        """Collect finished futures.  Returns False when the pool broke."""
+        pool_alive = True
+        for future in done:
+            state = inflight.pop(future)
+            try:
+                report.results[state.task.position] = future.result()
+            except BrokenExecutor as error:
+                pool_alive = False
+                if len(done) == 1 and not inflight:
+                    # Solo execution: the crash is definitively this job.
+                    self._charge(state, error, queue, report)
+                else:
+                    # Crashed in company — culprit unknown.  Re-queue
+                    # uncharged but suspect, to re-run in isolation.
+                    self._requeue_uncharged(state, queue, suspect=True)
+            except Exception as error:  # worker raised: definitive failure
+                self._charge(state, error, queue, report)
+        return pool_alive
+
+    def _handle_stall(
+        self,
+        inflight: dict[Future, _TaskState],
+        queue: deque[_TaskState],
+        report: SupervisorRunReport,
+    ) -> None:
+        """No future finished before the earliest deadline: at least one
+        job hung.  Deadlines are per-future, so attribution is exact —
+        overdue jobs are charged a timeout, the rest re-queued free."""
+        now = time.monotonic()
+        for future, state in inflight.items():
+            if future.cancel():
+                # Never started: the queue slot is free to re-run, and
+                # the job cannot be the hang — no charge.
+                self._requeue_uncharged(state, queue, suspect=False)
+            elif state.deadline <= now:
+                self.timeouts_total += 1
+                if self.metrics is not None:
+                    self.metrics.inc("repro_engine_timeouts_total")
+                self._charge(state, TimeoutError("job deadline exceeded"), queue, report)
+            else:
+                self._requeue_uncharged(state, queue, suspect=False)
+        inflight.clear()
+
+    def _charge(
+        self,
+        state: _TaskState,
+        error: BaseException,
+        queue: deque[_TaskState],
+        report: SupervisorRunReport,
+    ) -> None:
+        state.charges += 1
+        state.suspect = False
+        if state.charges >= self.policy.max_attempts:
+            record = QuarantineRecord(
+                position=state.task.position,
+                attempts=state.charges,
+                error=f"{type(error).__name__}: {error}",
+            )
+            report.quarantined.append(record)
+            self.quarantined_total += 1
+            if self.metrics is not None:
+                self.metrics.inc("repro_engine_quarantined_total")
+            return
+        self.retries_total += 1
+        if self.metrics is not None:
+            self.metrics.inc("repro_engine_retries_total")
+        state.not_before = time.monotonic() + self.policy.backoff_seconds(
+            state.charges, self._rng
+        )
+        queue.append(state)
+
+    def _requeue_uncharged(
+        self, state: _TaskState, queue: deque[_TaskState], *, suspect: bool
+    ) -> None:
+        state.suspect = suspect or state.suspect
+        state.not_before = 0.0
+        queue.appendleft(state)
+
+    def _reset_pool(self, reset_pool: Callable[[], None]) -> None:
+        reset_pool()
+        self.pool_resets += 1
+        if self.metrics is not None:
+            self.metrics.inc("repro_engine_pool_resets_total")
+        if self.pool_resets > self.policy.pool_resets and not self.degraded:
+            self.degraded = True
+            if self.metrics is not None:
+                self.metrics.set_gauge("repro_engine_degraded", 1.0)
+
+    # -- in-process fallback -------------------------------------------
+    def _drain_inline(
+        self,
+        queue: deque[_TaskState],
+        run_inline: Callable[[SupervisedTask, int], object],
+        report: SupervisorRunReport,
+    ) -> None:
+        while queue:
+            state = queue.popleft()
+            delay = state.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                report.results[state.task.position] = run_inline(
+                    state.task, state.attempt
+                )
+            except Exception as error:
+                self._charge(state, error, queue, report)

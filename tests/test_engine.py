@@ -23,6 +23,7 @@ from repro.engine import (
     JoinResultCache,
     PairJob,
     canonical_options,
+    decoded_options,
     community_envelope,
     community_fingerprint,
     envelopes_separated,
@@ -213,6 +214,19 @@ class TestJoinResultCache:
         assert cache.misses == 4
         assert len(cache) == 4
 
+    def test_clear_resets_entries_gauge(self):
+        # Regression: clear() dropped the entries but left the occupancy
+        # gauge at its pre-clear value until the next put().
+        metrics = MetricsRegistry()
+        cache = JoinResultCache(metrics=metrics)
+        fleet = banded_fleet(1, 2)
+        with BatchEngine(fleet, cache=cache, screen=False) as engine:
+            engine.run([PairJob.build(0, 1, "ex-minmax", 1)])
+        assert metrics.snapshot()["gauges"]["repro_engine_cache_entries"] == 1.0
+        cache.clear()
+        assert len(cache) == 0
+        assert metrics.snapshot()["gauges"]["repro_engine_cache_entries"] == 0.0
+
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ConfigurationError):
             JoinResultCache(max_entries=0)
@@ -254,7 +268,22 @@ class TestFingerprints:
         key_a = join_key("fb", "fa", 1, "ex-minmax", {"engine": "numpy", "matcher": "csf"})
         key_b = join_key("fb", "fa", 1, "ex-minmax", {"matcher": "csf", "engine": "numpy"})
         assert key_a == key_b
-        assert canonical_options({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+        assert canonical_options({"b": 2, "a": 1}) == (
+            ("a", ("int", 1)),
+            ("b", ("int", 2)),
+        )
+
+    def test_canonical_options_distinguish_equal_hashing_values(self):
+        # bool is an int subclass and True == 1 == 1.0, so untagged
+        # tuples aliased these configurations to one cache key — a join
+        # run with {"flag": 1} could be served {"flag": True}'s result.
+        variants = [True, 1, 1.0, "1"]
+        keys = {canonical_options({"flag": value}) for value in variants}
+        assert len(keys) == len(variants)
+
+    def test_decoded_options_roundtrip(self):
+        options = {"engine": "numpy", "t": 0.5, "n_parts": 4, "flag": True}
+        assert decoded_options(canonical_options(options)) == options
 
 
 class TestSharedStore:
