@@ -1,0 +1,225 @@
+"""Serving-layer load benchmark: throughput, latency tails, shedding.
+
+Two phases against a :class:`~repro.serve.ServerThread`:
+
+* **closed loop** — ``CLIENTS`` threads, each with its own TCP
+  connection, issue ``REQUESTS`` joins back-to-back over seeded random
+  community pairs; the run records requests/second and the p50/p95/p99
+  latency percentiles.
+* **burst / shed** — a server with a tight admission bound
+  (``max_pending=2``) and a single-worker executor parked on an event
+  gate receives a burst wider than the bound; every request beyond the
+  bound must be shed with an explicit ``overloaded`` + ``retry_after_ms``
+  response (``repro_serve_shed_total`` increments, the loop stays
+  alive), and after the gate opens the backlog drains and the service
+  answers again.
+
+Results merge into ``BENCH_engine.json`` (written by
+``bench_engine_batch``) as the ``"serve"`` section when not in smoke
+mode.  ``scripts/bench_smoke.sh`` runs the tiny-scale variant.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from random import Random
+
+import pytest
+
+from repro.serve import (
+    AdmissionPolicy,
+    CommunityStore,
+    OverloadedError,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    decode_response,
+    encode_request,
+)
+from repro.testing import banded_community_fleet
+
+#: Workload knobs (overridable for the smoke-scale run).
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", 4))
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", 100))
+BANDS = int(os.environ.get("REPRO_BENCH_SERVE_BANDS", 4))
+PER_BAND = int(os.environ.get("REPRO_BENCH_SERVE_PER_BAND", 3))
+USERS = int(os.environ.get("REPRO_BENCH_SERVE_USERS", 120))
+DIMS = int(os.environ.get("REPRO_BENCH_SERVE_DIMS", 6))
+EPSILON = int(os.environ.get("REPRO_BENCH_SERVE_EPSILON", 30))
+BURST = int(os.environ.get("REPRO_BENCH_SERVE_BURST", 12))
+#: Smoke mode skips the BENCH_engine.json merge (numbers are toy-scale).
+SMOKE = os.environ.get(
+    "REPRO_BENCH_SERVE_SMOKE", os.environ.get("REPRO_BENCH_ENGINE_SMOKE", "0")
+) == "1"
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _store() -> CommunityStore:
+    store = CommunityStore()
+    for community in banded_community_fleet(
+        BANDS, PER_BAND, users=USERS, dims=DIMS, seed=7, name_format="b{band}m{member}"
+    ):
+        store.register_community(community)
+    return store
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return math.nan
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@pytest.mark.bench
+@pytest.mark.serve
+def bench_serve_closed_loop(report_writer):
+    """Closed-loop join throughput and latency percentiles."""
+    store = _store()
+    names = store.names()
+    pairs = [
+        (first, second)
+        for i, first in enumerate(names)
+        for second in names[i + 1 :]
+    ]
+
+    def run_client(client_id: int, address, latencies: list[float]) -> None:
+        rng = Random(1000 + client_id)
+        with ServeClient(*address) as client:
+            for _ in range(REQUESTS):
+                first, second = rng.choice(pairs)
+                started = time.perf_counter()
+                client.join(first, second, epsilon=EPSILON)
+                latencies.append(time.perf_counter() - started)
+
+    with ServerThread(store=store) as st:
+        per_client: list[list[float]] = [[] for _ in range(CLIENTS)]
+        threads = [
+            threading.Thread(
+                target=run_client, args=(i, st.address, per_client[i])
+            )
+            for i in range(CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        with ServeClient(*st.address) as client:
+            stats = client.stats()
+
+    latencies = sorted(lat for lats in per_client for lat in lats)
+    total = len(latencies)
+    assert total == CLIENTS * REQUESTS
+    assert stats["requests_by_status"].get("ok", 0) >= total
+    throughput = total / elapsed
+    section = {
+        "workload": {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS,
+            "communities": len(names),
+            "users_per_community": USERS,
+            "dims": DIMS,
+            "epsilon": EPSILON,
+        },
+        "requests_total": total,
+        "elapsed_seconds": round(elapsed, 4),
+        "requests_per_second": round(throughput, 2),
+        "latency_ms": {
+            "p50": round(1000 * _percentile(latencies, 0.50), 3),
+            "p95": round(1000 * _percentile(latencies, 0.95), 3),
+            "p99": round(1000 * _percentile(latencies, 0.99), 3),
+            "max": round(1000 * latencies[-1], 3),
+        },
+        "dispositions": stats["requests_by_status"],
+        "cache": stats.get("cache", {}),
+        "smoke": SMOKE,
+    }
+    print(
+        f"  closed loop: {total} joins in {elapsed:.3f}s "
+        f"({throughput:.0f} req/s, p50 {section['latency_ms']['p50']}ms, "
+        f"p99 {section['latency_ms']['p99']}ms)"
+    )
+    report_writer("serve_load", json.dumps(section, indent=2))
+    if not SMOKE and _JSON_PATH.exists():
+        merged = json.loads(_JSON_PATH.read_text())
+        merged.setdefault("serve", {})["closed_loop"] = section
+        _JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"[serve section merged into {_JSON_PATH}]")
+
+
+@pytest.mark.bench
+@pytest.mark.serve
+def bench_serve_burst_shedding(report_writer):
+    """A burst over the queue bound sheds explicitly, then recovers."""
+    gate = threading.Event()
+    executor = ThreadPoolExecutor(max_workers=1)
+    executor.submit(gate.wait)  # park the only worker
+    config = ServeConfig(
+        admission=AdmissionPolicy(max_pending=2, queue_retry_after_ms=25.0)
+    )
+    try:
+        with ServerThread(config, store=_store(), executor=executor) as st:
+            server = st.server
+            names = server.store.names()
+            args = {"first": names[0], "second": names[1], "epsilon": EPSILON}
+
+            # Fill the pending bound with parked joins (admitted, queued
+            # behind the blocked worker), without reading responses yet.
+            parked = []
+            for rid in range(2):
+                sock = socket.create_connection(st.address, timeout=30)
+                sock.sendall(encode_request("join", args, request_id=rid))
+                parked.append(sock)
+            deadline = time.monotonic() + 10
+            while server.admission.pending < 2:
+                assert time.monotonic() < deadline, "backlog never built"
+                time.sleep(0.005)
+
+            shed = 0
+            with ServeClient(*st.address) as client:
+                for _ in range(BURST):
+                    try:
+                        client.join(names[0], names[1], epsilon=EPSILON)
+                    except OverloadedError as exc:
+                        assert exc.retry_after_ms == 25.0
+                        shed += 1
+                # every burst request beyond the bound was shed
+                assert shed == BURST
+                stats = client.stats()  # monitoring plane still answers
+                assert stats["shed_by_reason"]["queue_full"] == BURST
+                assert stats["admission"]["pending"] == 2
+
+                gate.set()  # drain
+                for sock in parked:
+                    response = decode_response(sock.makefile("rb").readline())
+                    assert response["ok"], response
+                    sock.close()
+                recovered = client.join(names[0], names[1], epsilon=EPSILON)
+                assert recovered["disposition"] in ("computed", "cached")
+
+            section = {
+                "burst": BURST,
+                "max_pending": 2,
+                "shed": shed,
+                "shed_by_reason": stats["shed_by_reason"],
+                "recovered": True,
+            }
+            print(f"  burst: {shed}/{BURST} shed at max_pending=2, recovered")
+            report_writer("serve_shedding", json.dumps(section, indent=2))
+            if not SMOKE and _JSON_PATH.exists():
+                merged = json.loads(_JSON_PATH.read_text())
+                merged.setdefault("serve", {})["burst_shedding"] = section
+                _JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    finally:
+        gate.set()
+        executor.shutdown(wait=False)

@@ -2,11 +2,12 @@
 # Tiny-scale smoke run of the engine benchmarks.
 #
 # Exercises the full bench code path (reference vs engine-serial vs
-# engine-parallel vs cache-warm, byte-identical ranking assertions, plus
-# the supervised/retry-path faults bench) in a few seconds.  Smoke mode
-# skips the speedup assertion and does NOT overwrite BENCH_engine.json —
-# run the bench without these knobs to record real numbers (including
-# the "faults" supervision-overhead section).
+# engine-parallel vs cache-warm, byte-identical ranking assertions, the
+# supervised/retry-path faults bench, plus the serving-layer load and
+# burst-shedding benches) in a few seconds.  Smoke mode skips the
+# speedup assertion and does NOT overwrite BENCH_engine.json — run the
+# benches without these knobs to record real numbers (including the
+# "faults" and "serve" sections).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,4 +18,13 @@ export REPRO_BENCH_ENGINE_USERS=40
 export REPRO_BENCH_ENGINE_DIMS=5
 export REPRO_BENCH_ENGINE_N_JOBS=2
 
-PYTHONPATH=src python -m pytest benchmarks/bench_engine_batch.py -m bench -q -s "$@"
+export REPRO_BENCH_SERVE_SMOKE=1
+export REPRO_BENCH_SERVE_CLIENTS=2
+export REPRO_BENCH_SERVE_REQUESTS=10
+export REPRO_BENCH_SERVE_BANDS=2
+export REPRO_BENCH_SERVE_PER_BAND=2
+export REPRO_BENCH_SERVE_USERS=30
+
+PYTHONPATH=src python -m pytest \
+  benchmarks/bench_engine_batch.py benchmarks/bench_serve_load.py \
+  -m bench -q -s "$@"

@@ -63,6 +63,14 @@ from .engine import (
     community_fingerprint,
 )
 from .obs import JoinTelemetry, MetricsRegistry, StageClock, stage_timer
+from .serve import (
+    AdmissionPolicy,
+    CommunityStore,
+    CSJServer,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
 
 from ._version import __version__  # noqa: E402
 
@@ -109,6 +117,12 @@ __all__ = [
     "MetricsRegistry",
     "StageClock",
     "stage_timer",
+    "CSJServer",
+    "ServeConfig",
+    "ServerThread",
+    "ServeClient",
+    "CommunityStore",
+    "AdmissionPolicy",
 ]
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ._version import __version__
 from .algorithms import ALGORITHMS
 from .analysis.runner import (
     METHOD_TABLES,
@@ -145,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce the tables of 'Community Similarity based on User "
             "Profile Joins' (EDBT 2024)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -277,6 +281,56 @@ def build_parser() -> argparse.ArgumentParser:
     couple.add_argument("--seed", type=int, default=7)
     couple.add_argument("--engine", choices=("python", "numpy"), default="numpy")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the asyncio CSJ similarity service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7411, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admitted-but-unfinished request bound (excess is shed)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="sustained requests/second (token bucket); unlimited when omitted",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=16, help="token-bucket burst capacity"
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="implicit deadline for requests that carry none",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=4, help="executor threads for join work"
+    )
+    serve.add_argument(
+        "--cache",
+        type=int,
+        default=1024,
+        metavar="ENTRIES",
+        help="shared join-result cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--preload",
+        type=int,
+        default=0,
+        metavar="COUPLES",
+        choices=range(0, 21),
+        help="register this many paper couples (2 communities each) at startup",
+    )
+    serve.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
+    serve.add_argument("--scale", type=float, default=DEFAULT_SCALE / 4)
+    serve.add_argument("--seed", type=int, default=7)
+
     lint = subparsers.add_parser(
         "lint", help="run the repro.lint invariant checker"
     )
@@ -309,6 +363,61 @@ def main(argv: list[str] | None = None) -> int:
             ignore=args.ignore,
             show_suppressed=args.show_suppressed,
         )
+
+    if command == "serve":
+        import asyncio
+
+        from .serve import AdmissionPolicy, CommunityStore, CSJServer, ServeConfig
+
+        store = CommunityStore()
+        if args.preload:
+            import dataclasses
+
+            from .datasets.couples import build_couple
+
+            generator = make_generator(args.dataset, seed=args.seed)
+            for spec in PAPER_COUPLES[: args.preload]:
+                couple = build_couple(spec, generator, scale=args.scale)
+                for side, community in zip("BA", couple):
+                    # Same disambiguation as `topk`: paper couple names
+                    # repeat across cIDs, the store needs unique names.
+                    store.register_community(
+                        dataclasses.replace(
+                            community, name=f"c{spec.c_id}{side}:{community.name}"
+                        )
+                    )
+        server = CSJServer(
+            ServeConfig(
+                host=args.host,
+                port=args.port,
+                admission=AdmissionPolicy(
+                    max_pending=args.max_pending,
+                    rate=args.rate,
+                    burst=args.burst,
+                    default_deadline_ms=args.default_deadline_ms,
+                ),
+                executor_threads=args.threads,
+                cache_entries=args.cache,
+            ),
+            store=store,
+        )
+
+        async def _serve() -> None:
+            host, port = await server.start()
+            print(
+                f"repro-csj serve {__version__} listening on {host}:{port} "
+                f"({len(store)} communities registered)"
+            )
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("shutting down")
+        return 0
 
     if command == "table1":
         print(render_table1(run_table1(n_users=args.users, seed=args.seed)))

@@ -13,11 +13,19 @@ payloads are cheap to copy, immutable from the caller's perspective, and
 each hit is rehydrated into a fresh ``CSJResult`` so callers can never
 corrupt a cached entry.  Entries are bounded by an LRU policy and the
 cache keeps hit/miss/eviction counters for observability.
+
+The cache is **thread-safe**: the similarity service shares one cache
+between executor threads serving concurrent requests, so every entry
+and counter access runs under an internal lock (``OrderedDict`` LRU
+reordering is a structural mutation even on the read path).  Counter
+and gauge mirroring into the attached metrics registry happens under
+the same lock, serialising updates to those metric keys.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Mapping
 
@@ -90,6 +98,10 @@ class JoinResultCache:
     same run logs as everything else.  The cache's own integer counters
     remain the source of truth (the telemetry-accuracy tests assert the
     two agree).
+
+    All operations are safe to call from multiple threads; one instance
+    may be shared between engines and between the serving layer's
+    executor threads.
     """
 
     def __init__(
@@ -104,42 +116,51 @@ class JoinResultCache:
             )
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[JoinKey, dict] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.metrics = metrics
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: JoinKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: JoinKey) -> CSJResult | None:
         """Look up a join result, counting the hit or miss."""
-        payload = self._entries.get(key)
-        if payload is None:
-            self.misses += 1
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                if self.metrics is not None:
+                    self.metrics.inc("repro_engine_cache_misses_total")
+                return None
+            self.hits += 1
             if self.metrics is not None:
-                self.metrics.inc("repro_engine_cache_misses_total")
-            return None
-        self.hits += 1
-        if self.metrics is not None:
-            self.metrics.inc("repro_engine_cache_hits_total")
-        self._entries.move_to_end(key)
-        return CSJResult.from_dict(copy.deepcopy(payload))
+                self.metrics.inc("repro_engine_cache_hits_total")
+            self._entries.move_to_end(key)
+            payload = copy.deepcopy(payload)
+        return CSJResult.from_dict(payload)
 
     def put(self, key: JoinKey, result: CSJResult) -> None:
         """Insert (or refresh) a result, evicting the LRU entry if full."""
-        self._entries[key] = result.to_dict()
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        payload = result.to_dict()
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self.metrics is not None:
+                    self.metrics.inc("repro_engine_cache_evictions_total")
             if self.metrics is not None:
-                self.metrics.inc("repro_engine_cache_evictions_total")
-        if self.metrics is not None:
-            self.metrics.set_gauge("repro_engine_cache_entries", len(self._entries))
+                self.metrics.set_gauge(
+                    "repro_engine_cache_entries", len(self._entries)
+                )
 
     def clear(self) -> None:
         """Drop all entries; counters are kept (they describe history).
@@ -148,25 +169,29 @@ class JoinResultCache:
         entry count, so it must go to zero with the entries (it used to
         stay stale until the next ``put``).
         """
-        self._entries.clear()
-        if self.metrics is not None:
-            self.metrics.set_gauge("repro_engine_cache_entries", 0)
+        with self._lock:
+            self._entries.clear()
+            if self.metrics is not None:
+                self.metrics.set_gauge("repro_engine_cache_entries", 0)
 
     @property
     def hit_rate(self) -> float:
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def stats(self) -> dict[str, float | int]:
         """Counters snapshot for logs and benchmark reports."""
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,75 @@
+"""repro.serve — asyncio CSJ similarity service.
+
+A pure-stdlib JSON-over-TCP service exposing the CSJ join machinery:
+
+* :mod:`~repro.serve.protocol` — newline-delimited JSON wire format;
+* :mod:`~repro.serve.store` — versioned community registry;
+* :mod:`~repro.serve.admission` — bounded queue, token-bucket rate
+  limiting, per-request deadlines, explicit load shedding;
+* :mod:`~repro.serve.server` — the asyncio server (heavy joins run on
+  a thread executor through the batch engine);
+* :mod:`~repro.serve.client` — blocking and asyncio clients.
+
+See ``docs/serving.md`` for the protocol and an example session.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionTicket,
+    Deadline,
+    Rejection,
+)
+from .client import (
+    AsyncServeClient,
+    DeadlineExceededError,
+    OverloadedError,
+    ServeClient,
+    ServeError,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from .server import CSJServer, ServeConfig, ServerThread
+from .store import CommunityStore, StoreSnapshot, UnknownCommunityError
+
+__all__ = [
+    # server
+    "CSJServer",
+    "ServeConfig",
+    "ServerThread",
+    # store
+    "CommunityStore",
+    "StoreSnapshot",
+    "UnknownCommunityError",
+    # admission
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionTicket",
+    "Deadline",
+    "Rejection",
+    # protocol
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "ok_response",
+    # clients
+    "ServeClient",
+    "AsyncServeClient",
+    "ServeError",
+    "OverloadedError",
+    "DeadlineExceededError",
+]

@@ -1,0 +1,242 @@
+"""Admission control: bounded concurrency, rate limiting, deadlines.
+
+The serving layer never queues without bound.  Every request passes
+:meth:`AdmissionController.try_admit` before any work happens, and the
+controller answers one of two ways:
+
+* an :class:`AdmissionTicket` — the request is in flight; the caller
+  must :meth:`~AdmissionTicket.release` it exactly once when done; or
+* a :class:`Rejection` — the request is **shed** with an explicit
+  ``overloaded`` response carrying ``retry_after_ms``, so a client can
+  back off instead of piling on.
+
+Two independent gates shed load:
+
+1. **Pending bound** — at most ``max_pending`` admitted-but-unfinished
+   requests.  This caps the executor backlog (and therefore memory):
+   request ``max_pending + 1`` is rejected immediately, never parked.
+2. **Token bucket** — a sustained-rate limiter with burst capacity.
+   Tokens refill continuously at ``rate`` per second up to ``burst``;
+   a request needs one token.  ``rate=None`` disables the gate.
+
+Deadlines ride on the ticket: admission stamps ``now + deadline_ms``
+(request value, falling back to the policy default) and the server
+checks :meth:`Deadline.expired` before starting expensive work and
+again before writing the response.
+
+The controller is driven from the event loop thread only, so it keeps
+no lock; every time source is the injected ``clock`` (monotonic
+seconds), which is how the tests make shedding and expiry
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionTicket",
+    "Rejection",
+    "Deadline",
+    "AdmissionController",
+]
+
+Clock = Callable[[], float]
+
+#: Shed reasons (the ``reason`` label of ``repro_serve_shed_total``).
+REASON_QUEUE_FULL = "queue_full"
+REASON_RATE_LIMITED = "rate_limited"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission controller.
+
+    Parameters
+    ----------
+    max_pending:
+        Bound on admitted-but-unfinished requests (the request "queue"
+        in the loose sense: in-flight handlers plus executor backlog).
+    rate / burst:
+        Token-bucket sustained rate (requests/second) and capacity.
+        ``rate=None`` disables rate limiting; ``burst`` then only sizes
+        the initial bucket, which is never drained below refill.
+    default_deadline_ms:
+        Deadline applied when a request carries none.  ``None`` means
+        no implicit deadline.
+    queue_retry_after_ms:
+        ``retry_after_ms`` hint attached to queue-full rejections (the
+        bucket computes an exact hint for rate rejections).
+    """
+
+    max_pending: int = 64
+    rate: float | None = None
+    burst: int = 16
+    default_deadline_ms: float | None = None
+    queue_retry_after_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms < 0:
+            raise ConfigurationError(
+                f"default_deadline_ms must be >= 0, got {self.default_deadline_ms}"
+            )
+        if self.queue_retry_after_ms < 0:
+            raise ConfigurationError(
+                f"queue_retry_after_ms must be >= 0, got {self.queue_retry_after_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A shed request: the reason and how long to back off."""
+
+    reason: str
+    retry_after_ms: float
+    message: str
+
+
+class Deadline:
+    """A latency budget stamped at admission time.
+
+    ``expires_at`` is in the controller's clock domain; ``None`` means
+    the request has no deadline and never expires.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, expires_at: float | None, clock: Clock) -> None:
+        self.expires_at = expires_at
+        self._clock = clock
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def remaining_ms(self) -> float | None:
+        if self.expires_at is None:
+            return None
+        return max(0.0, (self.expires_at - self._clock()) * 1000.0)
+
+
+class AdmissionTicket:
+    """Proof of admission; release exactly once when the request ends."""
+
+    __slots__ = ("deadline", "_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController", deadline: Deadline) -> None:
+        self.deadline = deadline
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release()
+
+
+class AdmissionController:
+    """Bounded-pending + token-bucket admission with deadline stamping."""
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        *,
+        clock: Clock = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.clock = clock
+        self.metrics = metrics
+        self.pending = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self._tokens = float(self.policy.burst)
+        self._last_refill = clock()
+
+    # -- token bucket --------------------------------------------------
+    def _refill(self, now: float) -> None:
+        rate = self.policy.rate
+        if rate is None:
+            return
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.policy.burst, self._tokens + elapsed * rate)
+        self._last_refill = now
+
+    # -- admission -----------------------------------------------------
+    def try_admit(
+        self, op: str, *, deadline_ms: float | None = None
+    ) -> AdmissionTicket | Rejection:
+        """Admit one request or shed it with a back-off hint."""
+        now = self.clock()
+        if self.pending >= self.policy.max_pending:
+            return self._shed(
+                op,
+                REASON_QUEUE_FULL,
+                self.policy.queue_retry_after_ms,
+                f"server at capacity ({self.pending}/{self.policy.max_pending} "
+                "requests pending)",
+            )
+        rate = self.policy.rate
+        if rate is not None:
+            self._refill(now)
+            if self._tokens < 1.0:
+                retry_after_ms = (1.0 - self._tokens) / rate * 1000.0
+                return self._shed(
+                    op,
+                    REASON_RATE_LIMITED,
+                    retry_after_ms,
+                    f"rate limit of {rate:g} requests/s exceeded",
+                )
+            self._tokens -= 1.0
+        if deadline_ms is None:
+            deadline_ms = self.policy.default_deadline_ms
+        expires_at = None if deadline_ms is None else now + deadline_ms / 1000.0
+        self.pending += 1
+        self.admitted_total += 1
+        if self.metrics is not None:
+            self.metrics.set_gauge("repro_serve_queue_depth", self.pending)
+        return AdmissionTicket(self, Deadline(expires_at, self.clock))
+
+    def _shed(
+        self, op: str, reason: str, retry_after_ms: float, message: str
+    ) -> Rejection:
+        self.shed_total += 1
+        if self.metrics is not None:
+            self.metrics.inc("repro_serve_shed_total", reason=reason)
+        return Rejection(
+            reason=reason, retry_after_ms=retry_after_ms, message=message
+        )
+
+    def _release(self) -> None:
+        self.pending -= 1
+        if self.metrics is not None:
+            self.metrics.set_gauge("repro_serve_queue_depth", self.pending)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Snapshot for the ``stats`` endpoint."""
+        return {
+            "pending": self.pending,
+            "max_pending": self.policy.max_pending,
+            "rate": self.policy.rate,
+            "burst": self.policy.burst,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+        }

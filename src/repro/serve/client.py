@@ -1,0 +1,281 @@
+"""Clients for the CSJ similarity service.
+
+:class:`ServeClient` is the blocking client (plain sockets — usable
+from any thread, which is what the closed-loop load generator's worker
+threads need); :class:`AsyncServeClient` is the asyncio counterpart for
+callers already inside an event loop.  Both speak the newline-delimited
+JSON protocol of :mod:`repro.serve.protocol` and expose one method per
+endpoint plus a generic :meth:`~ServeClient.request`.
+
+Error responses raise :class:`ServeError` subclasses keyed by code:
+shed requests raise :class:`OverloadedError` (carrying the server's
+``retry_after_ms`` hint) and expired budgets raise
+:class:`DeadlineExceededError`, so callers can branch on the exception
+type instead of parsing payloads.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Mapping
+
+from ..core.errors import ReproError
+from .protocol import decode_response, encode_request
+
+__all__ = [
+    "ServeError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "ServeClient",
+    "AsyncServeClient",
+]
+
+
+class ServeError(ReproError):
+    """An error response from the similarity service."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after_ms: float | None = None,
+        request_id: object = None,
+    ) -> None:
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+        self.request_id = request_id
+        super().__init__(f"[{code}] {message}")
+
+
+class OverloadedError(ServeError):
+    """Admission control shed the request; back off ``retry_after_ms``."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's latency budget expired server-side."""
+
+
+def _raise_for(payload: dict) -> dict:
+    """Return the result of an ok response, raise for an error one."""
+    if payload.get("ok"):
+        result = payload.get("result")
+        return result if isinstance(result, dict) else {}
+    error = payload.get("error") or {}
+    code = str(error.get("code", "internal"))
+    message = str(error.get("message", "unknown server error"))
+    retry_after = error.get("retry_after_ms")
+    kwargs: dict[str, object] = {
+        "retry_after_ms": float(retry_after) if retry_after is not None else None,
+        "request_id": payload.get("id"),
+    }
+    if code == "overloaded":
+        raise OverloadedError(code, message, **kwargs)  # type: ignore[arg-type]
+    if code == "deadline_exceeded":
+        raise DeadlineExceededError(code, message, **kwargs)  # type: ignore[arg-type]
+    raise ServeError(code, message, **kwargs)  # type: ignore[arg-type]
+
+
+class _EndpointMixin:
+    """Shared endpoint helpers; subclasses provide ``request``."""
+
+    def register(
+        self,
+        name: str,
+        vectors: object,
+        *,
+        category: str = "",
+        page_id: int = 0,
+        replace: bool = False,
+    ):
+        vectors = getattr(vectors, "tolist", lambda: vectors)()
+        return self.request(  # type: ignore[attr-defined]
+            "register",
+            {
+                "name": name,
+                "vectors": vectors,
+                "category": category,
+                "page_id": page_id,
+                "replace": replace,
+            },
+        )
+
+    def join(
+        self,
+        first: str,
+        second: str,
+        *,
+        epsilon: int,
+        method: str = "ex-minmax",
+        options: Mapping[str, object] | None = None,
+        deadline_ms: float | None = None,
+    ):
+        args: dict[str, object] = {
+            "first": first,
+            "second": second,
+            "epsilon": epsilon,
+            "method": method,
+        }
+        if options:
+            args["options"] = dict(options)
+        return self.request("join", args, deadline_ms=deadline_ms)  # type: ignore[attr-defined]
+
+    def topk(
+        self,
+        *,
+        epsilon: int,
+        k: int = 5,
+        names: list[str] | None = None,
+        method: str = "ex-minmax",
+        deadline_ms: float | None = None,
+    ):
+        args: dict[str, object] = {"epsilon": epsilon, "k": k, "method": method}
+        if names is not None:
+            args["names"] = names
+        return self.request("topk", args, deadline_ms=deadline_ms)  # type: ignore[attr-defined]
+
+    def subscribe(self, name: str, profile: list | None = None):
+        args: dict[str, object] = {"name": name, "action": "subscribe"}
+        if profile is not None:
+            args["profile"] = profile
+        return self.request("mutate", args)  # type: ignore[attr-defined]
+
+    def unsubscribe(self, name: str, user_id: int):
+        return self.request(  # type: ignore[attr-defined]
+            "mutate", {"name": name, "action": "unsubscribe", "user_id": user_id}
+        )
+
+    def record_like(self, name: str, user_id: int, dimension: int, count: int = 1):
+        return self.request(  # type: ignore[attr-defined]
+            "mutate",
+            {
+                "name": name,
+                "action": "record_like",
+                "user_id": user_id,
+                "dimension": dimension,
+                "count": count,
+            },
+        )
+
+    def stats(self):
+        return self.request("stats")  # type: ignore[attr-defined]
+
+    def health(self):
+        return self.request("health")  # type: ignore[attr-defined]
+
+
+class ServeClient(_EndpointMixin):
+    """Blocking similarity-service client (one TCP connection)."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------
+    def send_raw(self, line: bytes | str) -> dict:
+        """Send a raw protocol line and return the raw response payload.
+
+        The malformed-request tests use this to bypass client-side
+        validation entirely; a trailing newline is added when missing.
+        """
+        if isinstance(line, str):
+            line = line.encode("utf-8")
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        self._file.write(line)
+        self._file.flush()
+        response = self._file.readline()
+        if not response:
+            raise ServeError("internal", "server closed the connection")
+        return decode_response(response)
+
+    def request(
+        self,
+        op: str,
+        args: Mapping[str, object] | None = None,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Send one request; return the result or raise a :class:`ServeError`."""
+        self._next_id += 1
+        payload = self.send_raw(
+            encode_request(
+                op, args, request_id=self._next_id, deadline_ms=deadline_ms
+            )
+        )
+        return _raise_for(payload)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class AsyncServeClient(_EndpointMixin):
+    """Asyncio similarity-service client (one TCP connection).
+
+    Every endpoint helper of the blocking client exists here too and
+    returns a coroutine — ``await client.join(...)``.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def send_raw(self, line: bytes | str) -> dict:
+        if isinstance(line, str):
+            line = line.encode("utf-8")
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        self._writer.write(line)
+        await self._writer.drain()
+        response = await self._reader.readline()
+        if not response:
+            raise ServeError("internal", "server closed the connection")
+        return decode_response(response)
+
+    async def request(
+        self,
+        op: str,
+        args: Mapping[str, object] | None = None,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        self._next_id += 1
+        payload = await self.send_raw(
+            encode_request(
+                op, args, request_id=self._next_id, deadline_ms=deadline_ms
+            )
+        )
+        return _raise_for(payload)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # server already gone; the socket is closed either way
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *_exc: object) -> None:
+        await self.close()

@@ -1,0 +1,363 @@
+"""Endpoint handlers of the CSJ similarity service.
+
+Light endpoints (``register``, ``mutate``, ``stats``, ``health``) run
+inline on the event loop — they are registry and numpy-copy work,
+microseconds to low milliseconds.  Heavy endpoints (``join``, ``topk``)
+are split in two:
+
+* a **plan** step on the loop that validates arguments and freezes the
+  involved communities into versioned snapshots (:class:`JoinWork` /
+  :class:`TopkWork`); and
+* an **execute** step (:func:`execute_join_work` /
+  :func:`execute_topk_work`) that the server dispatches onto its thread
+  executor via ``run_in_executor``.
+
+Execution reuses the batch layer wholesale: each request runs a
+short-lived serial :class:`~repro.engine.BatchEngine` over the frozen
+snapshots, sharing the server's thread-safe
+:class:`~repro.engine.JoinResultCache` (so repeated couples are served
+from memory across requests and across threads), the envelope
+pre-screen, and — when configured — :class:`~repro.engine.FaultPolicy`
+supervision.  Engine-side metrics are collected into a scratch registry
+that travels back with the result; the server merges it on the loop, so
+the shared registry is only ever written from one thread.
+
+Argument errors raise :class:`~repro.serve.protocol.ProtocolError`
+(mapped to ``invalid``); unknown community names raise
+:class:`~repro.serve.store.UnknownCommunityError` (mapped to
+``not_found``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from ..algorithms.registry import ALGORITHMS
+from ..apps import top_k_pairs
+from ..core.types import Community
+from ..engine import BatchEngine, FaultPolicy, JoinResultCache, PairJob, PairOutcome
+from ..obs import MetricsRegistry
+from .protocol import ProtocolError
+from .store import CommunityStore, StoreSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server import CSJServer
+
+__all__ = [
+    "JoinWork",
+    "TopkWork",
+    "plan_join",
+    "plan_topk",
+    "execute_join_work",
+    "execute_topk_work",
+    "handle_register",
+    "handle_mutate",
+]
+
+#: Ops whose execute step runs on the thread executor.
+HEAVY_OPS = frozenset({"join", "topk"})
+
+#: JSON-representable option value types accepted in ``args.options``.
+_OPTION_TYPES = (bool, int, float, str, type(None))
+
+
+# ----------------------------------------------------------------------
+# argument validation
+# ----------------------------------------------------------------------
+def _arg_str(args: Mapping[str, object], key: str) -> str:
+    value = args.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError("invalid", f"'{key}' must be a non-empty string")
+    return value
+
+
+def _arg_int(
+    args: Mapping[str, object], key: str, *, minimum: int | None = None,
+    default: int | None = None, required: bool = False,
+) -> int | None:
+    value = args.get(key, default)
+    if value is None:
+        if required:
+            raise ProtocolError("invalid", f"'{key}' is required")
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError("invalid", f"'{key}' must be an integer")
+    if minimum is not None and value < minimum:
+        raise ProtocolError("invalid", f"'{key}' must be >= {minimum}, got {value}")
+    return value
+
+
+def _arg_method(args: Mapping[str, object], key: str, default: str) -> str:
+    value = args.get(key, default)
+    if not isinstance(value, str):
+        raise ProtocolError("invalid", f"'{key}' must be a string")
+    method = value.strip().lower()
+    if method not in ALGORITHMS:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ProtocolError(
+            "invalid", f"unknown method {value!r} (known: {known})"
+        )
+    return method
+
+
+def _arg_options(args: Mapping[str, object]) -> dict[str, object]:
+    options = args.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("invalid", "'options' must be a JSON object")
+    for key, value in options.items():
+        if not isinstance(value, _OPTION_TYPES):
+            raise ProtocolError(
+                "invalid",
+                f"option {key!r} must be a JSON primitive, "
+                f"got {type(value).__name__}",
+            )
+    return dict(options)
+
+
+def _arg_bool(args: Mapping[str, object], key: str, default: bool) -> bool:
+    value = args.get(key, default)
+    if not isinstance(value, bool):
+        raise ProtocolError("invalid", f"'{key}' must be a boolean")
+    return value
+
+
+# ----------------------------------------------------------------------
+# heavy-op work descriptions (planned on the loop, run on the executor)
+# ----------------------------------------------------------------------
+@dataclass
+class JoinWork:
+    """One planned CSJ couple, frozen at specific store versions."""
+
+    first: StoreSnapshot
+    second: StoreSnapshot
+    method: str
+    epsilon: int
+    options: dict[str, object]
+    cache: JoinResultCache | None
+    screen: bool
+    enforce_size_ratio: bool
+    fault_policy: FaultPolicy | None
+    collect_metrics: bool = False
+
+
+@dataclass
+class TopkWork:
+    """One planned top-k ranking over frozen snapshots."""
+
+    snapshots: list[StoreSnapshot]
+    epsilon: int
+    k: int
+    screen_method: str
+    refine_method: str
+    options: dict[str, object]
+    cache: JoinResultCache | None
+    screen: bool
+    fault_policy: FaultPolicy | None
+    collect_metrics: bool = False
+    names: list[str] = field(default_factory=list)
+
+
+def plan_join(server: "CSJServer", args: Mapping[str, object]) -> JoinWork:
+    """Validate ``join`` arguments and freeze both communities."""
+    first = _arg_str(args, "first")
+    second = _arg_str(args, "second")
+    epsilon = _arg_int(args, "epsilon", minimum=0, required=True)
+    assert epsilon is not None
+    config = server.config
+    return JoinWork(
+        first=server.store.snapshot(first),
+        second=server.store.snapshot(second),
+        method=_arg_method(args, "method", "ex-minmax"),
+        epsilon=epsilon,
+        options=_arg_options(args),
+        cache=server.cache,
+        screen=_arg_bool(args, "screen", config.screen),
+        enforce_size_ratio=_arg_bool(
+            args, "enforce_size_ratio", config.enforce_size_ratio
+        ),
+        fault_policy=config.fault_policy,
+        collect_metrics=True,
+    )
+
+
+def plan_topk(server: "CSJServer", args: Mapping[str, object]) -> TopkWork:
+    """Validate ``topk`` arguments and freeze the ranked communities."""
+    epsilon = _arg_int(args, "epsilon", minimum=0, required=True)
+    k = _arg_int(args, "k", minimum=1, default=5)
+    assert epsilon is not None and k is not None
+    names_arg = args.get("names")
+    if names_arg is None:
+        names = server.store.names()
+    elif isinstance(names_arg, list) and all(
+        isinstance(name, str) for name in names_arg
+    ):
+        names = list(names_arg)
+    else:
+        raise ProtocolError("invalid", "'names' must be a list of strings")
+    if len(names) < 2:
+        raise ProtocolError(
+            "invalid", f"topk needs at least 2 communities, got {len(names)}"
+        )
+    if len(set(names)) != len(names):
+        raise ProtocolError("invalid", "'names' must not repeat communities")
+    config = server.config
+    return TopkWork(
+        snapshots=server.store.snapshots(names),
+        epsilon=epsilon,
+        k=k,
+        screen_method=_arg_method(args, "screen_method", "ap-minmax"),
+        refine_method=_arg_method(args, "method", "ex-minmax"),
+        options=_arg_options(args),
+        cache=server.cache,
+        screen=_arg_bool(args, "screen", config.screen),
+        fault_policy=config.fault_policy,
+        collect_metrics=True,
+        names=names,
+    )
+
+
+def execute_join_work(work: JoinWork) -> tuple[dict, dict | None]:
+    """Run one planned join (executor thread).
+
+    Returns the endpoint's ``result`` object plus the scratch metrics
+    snapshot for the loop to merge.  The short-lived engine takes the
+    exact same path as a direct :class:`~repro.engine.BatchEngine` call
+    over the same two communities — the parity tests assert the served
+    similarity and matching are identical to that direct computation.
+    """
+    scratch = MetricsRegistry() if work.collect_metrics else None
+    engine = BatchEngine(
+        [work.first.community, work.second.community],
+        n_jobs=1,
+        screen=work.screen,
+        cache=work.cache,
+        enforce_size_ratio=work.enforce_size_ratio,
+        metrics=scratch,
+        fault_policy=work.fault_policy,
+    )
+    try:
+        job = PairJob.build(0, 1, work.method, work.epsilon, work.options)
+        outcome: PairOutcome = engine.run([job])[0]
+    finally:
+        engine.close()
+    result: dict[str, object] = {
+        "disposition": outcome.disposition.value,
+        "result": outcome.result.to_dict(),
+        "first": _snapshot_info(work.first),
+        "second": _snapshot_info(work.second),
+    }
+    if outcome.error is not None:
+        result["error"] = outcome.error
+    return result, (scratch.snapshot() if scratch is not None else None)
+
+
+def execute_topk_work(work: TopkWork) -> tuple[dict, dict | None]:
+    """Run one planned top-k ranking (executor thread)."""
+    scratch = MetricsRegistry() if work.collect_metrics else None
+    communities: list[Community] = [
+        snapshot.community for snapshot in work.snapshots
+    ]
+    scores = top_k_pairs(
+        communities,
+        epsilon=work.epsilon,
+        k=work.k,
+        screen_method=work.screen_method,
+        refine_method=work.refine_method,
+        cache=work.cache,
+        envelope_screen=work.screen,
+        metrics=scratch,
+        fault_policy=work.fault_policy,
+        **work.options,
+    )
+    versions = {
+        snapshot.community.name: snapshot.version for snapshot in work.snapshots
+    }
+    result = {
+        "k": work.k,
+        "epsilon": work.epsilon,
+        "candidates": len(communities),
+        "versions": versions,
+        "ranking": [
+            {
+                "rank": rank,
+                "name_b": score.name_b,
+                "name_a": score.name_a,
+                "similarity": score.similarity,
+                "n_matched": score.result.n_matched,
+            }
+            for rank, score in enumerate(scores, start=1)
+        ],
+    }
+    return result, (scratch.snapshot() if scratch is not None else None)
+
+
+def _snapshot_info(snapshot: StoreSnapshot) -> dict[str, object]:
+    return {
+        "name": snapshot.community.name,
+        "version": snapshot.version,
+        "n_users": snapshot.community.n_users,
+    }
+
+
+# ----------------------------------------------------------------------
+# light endpoints (run inline on the event loop)
+# ----------------------------------------------------------------------
+def handle_register(store: CommunityStore, args: Mapping[str, object]) -> dict:
+    name = _arg_str(args, "name")
+    vectors = args.get("vectors")
+    if not isinstance(vectors, list) or not vectors:
+        raise ProtocolError(
+            "invalid", "'vectors' must be a non-empty list of counter rows"
+        )
+    category = args.get("category", "")
+    if not isinstance(category, str):
+        raise ProtocolError("invalid", "'category' must be a string")
+    page_id = _arg_int(args, "page_id", default=0)
+    assert page_id is not None
+    snapshot = store.register(
+        name,
+        vectors,
+        category=category,
+        page_id=page_id,
+        replace=_arg_bool(args, "replace", False),
+    )
+    return {
+        "name": name,
+        "version": snapshot.version,
+        "n_users": snapshot.community.n_users,
+        "n_dims": snapshot.community.n_dims,
+    }
+
+
+#: ``mutate`` actions and their required integer arguments.
+_MUTATE_ACTIONS = frozenset({"subscribe", "unsubscribe", "record_like"})
+
+
+def handle_mutate(store: CommunityStore, args: Mapping[str, object]) -> dict:
+    name = _arg_str(args, "name")
+    action = _arg_str(args, "action")
+    if action not in _MUTATE_ACTIONS:
+        known = ", ".join(sorted(_MUTATE_ACTIONS))
+        raise ProtocolError(
+            "invalid", f"unknown mutate action {action!r} (known: {known})"
+        )
+    if action == "subscribe":
+        profile = args.get("profile")
+        if profile is not None and not isinstance(profile, list):
+            raise ProtocolError(
+                "invalid", "'profile' must be a list of counters"
+            )
+        info = store.subscribe(name, profile)
+    elif action == "unsubscribe":
+        user_id = _arg_int(args, "user_id", minimum=0, required=True)
+        assert user_id is not None
+        info = store.unsubscribe(name, user_id)
+    else:  # record_like
+        user_id = _arg_int(args, "user_id", minimum=0, required=True)
+        dimension = _arg_int(args, "dimension", minimum=0, required=True)
+        count = _arg_int(args, "count", minimum=0, default=1)
+        assert user_id is not None and dimension is not None and count is not None
+        info = store.record_like(name, user_id, dimension, count)
+    info["action"] = action
+    return info

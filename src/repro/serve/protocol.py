@@ -1,0 +1,245 @@
+"""Wire protocol of the CSJ similarity service.
+
+Newline-delimited JSON over TCP: each request and each response is one
+JSON object on one line, UTF-8 encoded, terminated by ``\\n``.  The
+framing is deliberately primitive — any language with a socket and a
+JSON parser is a client, and a session is inspectable with ``nc``.
+
+Requests::
+
+    {"v": 1, "id": 7, "op": "join", "args": {...}, "deadline_ms": 250}
+
+``v`` is the protocol version (required, must equal
+:data:`PROTOCOL_VERSION`); ``id`` is an opaque client token echoed back
+verbatim (string, number or null); ``op`` names an endpoint from
+:data:`OPS`; ``args`` is the endpoint's argument object; ``deadline_ms``
+is an optional per-request latency budget — when it expires the server
+answers ``deadline_exceeded`` instead of (or despite) doing the work.
+
+Responses::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": "overloaded",
+        "message": "...", "retry_after_ms": 40.0}}
+
+``retry_after_ms`` is only present on admission-control rejections; a
+well-behaved client backs off at least that long before retrying.
+
+Schema violations raise :class:`ProtocolError`, which carries the error
+code the server answers with — the decode layer never crashes the
+connection handler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "ProtocolError",
+    "Request",
+    "decode_request",
+    "encode_request",
+    "ok_response",
+    "error_response",
+    "encode_response",
+    "decode_response",
+]
+
+#: Version stamped on (and required in) every request and response.
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one protocol line.  ``register`` payloads carry whole
+#: counter matrices, so the limit is generous; anything larger must be
+#: split into ``register`` + ``mutate`` calls.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: The service's endpoints.
+OPS = frozenset({"register", "join", "topk", "mutate", "stats", "health"})
+
+#: Error codes a response may carry.
+ERROR_CODES = frozenset(
+    {
+        "bad_request",  # unparseable or schema-violating request line
+        "unknown_op",  # op not in OPS
+        "not_found",  # named community is not registered
+        "invalid",  # well-formed request with invalid arguments
+        "overloaded",  # admission control shed the request
+        "deadline_exceeded",  # the request's latency budget expired
+        "internal",  # unexpected server-side failure
+    }
+)
+
+
+class ProtocolError(ReproError):
+    """A request line violated the wire protocol.
+
+    ``code`` is the :data:`ERROR_CODES` entry the server responds with;
+    ``request_id`` preserves the client token when it could be parsed,
+    so even a rejection is routable client-side.
+    """
+
+    def __init__(
+        self, code: str, message: str, *, request_id: object = None
+    ) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        self.code = code
+        self.request_id = request_id
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded, schema-valid request."""
+
+    op: str
+    args: Mapping[str, object]
+    id: object = None
+    deadline_ms: float | None = None
+
+
+def _require_id(value: object) -> object:
+    if value is None or isinstance(value, (str, int, float)):
+        return value
+    raise ProtocolError(
+        "bad_request", "request 'id' must be a string, number or null"
+    )
+
+
+def decode_request(line: bytes | str) -> Request:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` (never anything else) on any
+    violation: non-JSON input, a non-object payload, a missing or
+    mismatched version, an unknown op, malformed args or deadline.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                "bad_request", f"request line is not valid UTF-8: {exc}"
+            ) from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            "bad_request", f"request line is not valid JSON: {exc.msg}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_request",
+            f"request must be a JSON object, got {type(payload).__name__}",
+        )
+    request_id = _require_id(payload.get("id"))
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad_request",
+            f"protocol version must be v={PROTOCOL_VERSION}, got {version!r}",
+            request_id=request_id,
+        )
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError(
+            "bad_request", "request 'op' must be a non-empty string",
+            request_id=request_id,
+        )
+    if op not in OPS:
+        known = ", ".join(sorted(OPS))
+        raise ProtocolError(
+            "unknown_op", f"unknown op {op!r} (known: {known})",
+            request_id=request_id,
+        )
+    args = payload.get("args", {})
+    if not isinstance(args, dict):
+        raise ProtocolError(
+            "bad_request", "request 'args' must be a JSON object",
+            request_id=request_id,
+        )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise ProtocolError(
+                "bad_request", "'deadline_ms' must be a number",
+                request_id=request_id,
+            )
+        if deadline_ms < 0:
+            raise ProtocolError(
+                "bad_request",
+                f"'deadline_ms' must be >= 0, got {deadline_ms}",
+                request_id=request_id,
+            )
+        deadline_ms = float(deadline_ms)
+    return Request(op=op, args=args, id=request_id, deadline_ms=deadline_ms)
+
+
+def encode_request(
+    op: str,
+    args: Mapping[str, object] | None = None,
+    *,
+    request_id: object = None,
+    deadline_ms: float | None = None,
+) -> bytes:
+    """Serialise one request to its wire line (clients use this)."""
+    payload: dict[str, object] = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
+    if args:
+        payload["args"] = dict(args)
+    if deadline_ms is not None:
+        payload["deadline_ms"] = float(deadline_ms)
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def ok_response(request_id: object, result: Mapping[str, object]) -> dict:
+    """A success response payload echoing the client's token."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_response(
+    request_id: object,
+    code: str,
+    message: str,
+    *,
+    retry_after_ms: float | None = None,
+) -> dict:
+    """An error response payload; ``retry_after_ms`` marks shed requests."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    error: dict[str, object] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = round(float(retry_after_ms), 3)
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False, "error": error}
+
+
+def encode_response(payload: Mapping[str, object]) -> bytes:
+    """Serialise one response payload to its wire line."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_response(line: bytes | str) -> dict:
+    """Parse one response line (clients use this).
+
+    Raises :class:`ProtocolError` when the server (or a middlebox) sent
+    something that is not a valid response object.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            "bad_request", f"response line is not valid JSON: {exc.msg}"
+        ) from exc
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError("bad_request", "response must be an object with 'ok'")
+    return payload

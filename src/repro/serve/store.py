@@ -1,0 +1,222 @@
+"""Versioned community registry of the similarity service.
+
+The store layers frozen :class:`~repro.core.types.Community` snapshots
+over mutable :class:`~repro.core.incremental.IncrementalCommunity`
+state.  Every registered community is held as an ``IncrementalCommunity``
+(so subscribe / unsubscribe / like traffic is always absorbable) and
+every read path — joins, top-k — goes through :meth:`snapshot`, which
+freezes the current state into an immutable ``Community`` tagged with
+the mutable's monotonic version.
+
+Coordination is per community: a mutation and a snapshot of the *same*
+community serialise on that community's lock, while different
+communities proceed independently.  Snapshots are cached per version,
+so a read-heavy workload between mutations freezes each state exactly
+once and then hands out the same immutable object — safe to share
+across executor threads because ``Community`` matrices are read-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from ..core.errors import ValidationError
+from ..core.incremental import IncrementalCommunity
+from ..core.types import Community
+
+__all__ = ["UnknownCommunityError", "CommunityStore", "StoreSnapshot"]
+
+
+class UnknownCommunityError(ValidationError):
+    """A request named a community the store has never registered."""
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.name = name
+        known = sorted(known)
+        listed = ", ".join(known[:8]) + (", ..." if len(known) > 8 else "")
+        super().__init__(
+            f"community {name!r} is not registered"
+            + (f" (registered: {listed})" if known else " (store is empty)")
+        )
+
+
+class StoreSnapshot:
+    """One frozen read of a community: ``(community, version)``."""
+
+    __slots__ = ("community", "version")
+
+    def __init__(self, community: Community, version: int) -> None:
+        self.community = community
+        self.version = version
+
+
+class _Entry:
+    """One registered community: mutable state + snapshot cache + lock."""
+
+    __slots__ = ("mutable", "lock", "_cached_version", "_cached_snapshot")
+
+    def __init__(self, mutable: IncrementalCommunity) -> None:
+        self.mutable = mutable
+        self.lock = threading.RLock()
+        self._cached_version = -1
+        self._cached_snapshot: Community | None = None
+
+    def snapshot(self) -> StoreSnapshot:
+        with self.lock:
+            version = self.mutable.version
+            if self._cached_snapshot is None or self._cached_version != version:
+                self._cached_snapshot = self.mutable.snapshot()
+                self._cached_version = version
+            return StoreSnapshot(self._cached_snapshot, version)
+
+
+class CommunityStore:
+    """Named, versioned communities behind per-community locks.
+
+    The registry map itself is guarded by one lock (registration is
+    rare); all per-community work — mutations and snapshot freezing —
+    takes only that community's lock.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self._registry_lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+    def register(
+        self,
+        name: str,
+        vectors: object,
+        *,
+        category: str = "",
+        page_id: int = 0,
+        replace: bool = False,
+    ) -> StoreSnapshot:
+        """Register (or with ``replace`` overwrite) a community.
+
+        ``vectors`` is any array-like accepted by
+        :func:`~repro.core.types.as_counter_matrix`; the initial state
+        gets version 0 and every subsequent mutation bumps it.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValidationError("community name must be a non-empty string")
+        mutable = IncrementalCommunity(
+            name,
+            _n_dims_of(vectors),
+            category=category,
+            page_id=int(page_id),
+            vectors=vectors,
+        )
+        entry = _Entry(mutable)
+        with self._registry_lock:
+            if name in self._entries and not replace:
+                raise ValidationError(
+                    f"community {name!r} is already registered "
+                    "(pass replace=true to overwrite)"
+                )
+            self._entries[name] = entry
+        return entry.snapshot()
+
+    def register_community(
+        self, community: Community, *, replace: bool = False
+    ) -> StoreSnapshot:
+        """Register an existing frozen community (CLI preload path)."""
+        return self.register(
+            community.name,
+            community.vectors,
+            category=community.category,
+            page_id=community.page_id,
+            replace=replace,
+        )
+
+    # -- reads ---------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._registry_lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._registry_lock:
+            return name in self._entries
+
+    def _entry(self, name: str) -> _Entry:
+        with self._registry_lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise UnknownCommunityError(name, self._entries)
+            return entry
+
+    def snapshot(self, name: str) -> StoreSnapshot:
+        """The current frozen state of one community (cached per version)."""
+        return self._entry(name).snapshot()
+
+    def snapshots(self, names: Iterable[str]) -> list[StoreSnapshot]:
+        return [self.snapshot(name) for name in names]
+
+    def describe(self) -> dict[str, dict[str, object]]:
+        """Per-community metadata for the ``stats`` endpoint."""
+        with self._registry_lock:
+            entries = dict(self._entries)
+        out: dict[str, dict[str, object]] = {}
+        for name in sorted(entries):
+            mutable = entries[name].mutable
+            with entries[name].lock:
+                out[name] = {
+                    "version": mutable.version,
+                    "n_users": mutable.n_users,
+                    "n_dims": mutable.n_dims,
+                    "category": mutable.category,
+                }
+        return out
+
+    # -- mutations -----------------------------------------------------
+    def subscribe(self, name: str, profile: object | None = None) -> dict[str, object]:
+        entry = self._entry(name)
+        with entry.lock:
+            user_id = entry.mutable.subscribe(profile)
+            return self._mutation_info(entry, user_id=user_id)
+
+    def unsubscribe(self, name: str, user_id: int) -> dict[str, object]:
+        entry = self._entry(name)
+        with entry.lock:
+            entry.mutable.unsubscribe(user_id)
+            return self._mutation_info(entry, user_id=user_id)
+
+    def record_like(
+        self, name: str, user_id: int, dimension: int, count: int = 1
+    ) -> dict[str, object]:
+        entry = self._entry(name)
+        with entry.lock:
+            entry.mutable.record_like(user_id, dimension, count)
+            return self._mutation_info(entry, user_id=user_id)
+
+    @staticmethod
+    def _mutation_info(entry: _Entry, **extra: object) -> dict[str, object]:
+        mutable = entry.mutable
+        info: dict[str, object] = {
+            "name": mutable.name,
+            "version": mutable.version,
+            "n_users": mutable.n_users,
+        }
+        info.update(extra)
+        return info
+
+
+def _n_dims_of(vectors: object) -> int:
+    """Dimensionality of an array-like without importing numpy here."""
+    try:
+        first = vectors[0]  # type: ignore[index]
+    except (TypeError, IndexError, KeyError) as exc:
+        raise ValidationError(
+            "community vectors must be a non-empty (n, d) matrix"
+        ) from exc
+    try:
+        return len(first)
+    except TypeError as exc:
+        raise ValidationError(
+            "community vectors must be a 2-D (n, d) matrix"
+        ) from exc
