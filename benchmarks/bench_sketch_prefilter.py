@@ -1,0 +1,236 @@
+"""Sketch pre-filter benchmark: candidate generation and honest recall.
+
+Two measurements on the crossover-suite-style banded fleet (the same
+workload shape as ``bench_engine_batch``, scaled to catalog size —
+many communities, modest membership, so candidate *generation* is the
+dominant cost):
+
+* **candidate generation** — enumerating the non-provably-zero pairs
+  via the sketch index (signature build + band-bucket posting lists)
+  versus the envelope-only screen (one scalar envelope test per pair,
+  all ``O(C^2)`` of them).  At ``target_recall`` 0.95 the sketch path
+  must be at least 2x faster, and the recall it *achieves* against the
+  envelope-admitted set is recorded alongside the brute-force sampled
+  recall the engine folds into ``p``.
+* **end to end** — ``top_k_pairs`` under the Ap-MinMax and Ap-SuperEGO
+  screen methods with no prefilter, with the exact (``coverage``) tier
+  and with the lossy tier.  The exact tier must keep the ranking
+  byte-identical; the lossy tier's similarities must equal the baseline
+  deflated by exactly the measured recall (the Eq. (1) ``p`` fold).
+
+The ``sketch`` section merges into ``BENCH_engine.json`` (written by
+``bench_engine_batch``) when not in smoke mode.  Runs carry the
+``bench`` marker and are excluded from tier-1; ``scripts/bench_smoke.sh``
+runs the seconds-long smoke variant (which skips the speedup assertion
+— at toy sizes fixed signature-build overhead dominates).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps import top_k_pairs
+from repro.core.types import Community
+from repro.engine.envelope import community_envelope, envelopes_separated
+from repro.sketch import SketchPrefilter
+from repro.testing import banded_community_fleet
+
+#: Workload knobs (overridable for the smoke-scale run).
+BANDS = int(os.environ.get("REPRO_BENCH_SKETCH_BANDS", 128))
+PER_BAND = int(os.environ.get("REPRO_BENCH_SKETCH_PER_BAND", 6))
+USERS = int(os.environ.get("REPRO_BENCH_SKETCH_USERS", 20))
+DIMS = int(os.environ.get("REPRO_BENCH_SKETCH_DIMS", 6))
+EPSILON = int(os.environ.get("REPRO_BENCH_SKETCH_EPSILON", 2))
+TOP_K = int(os.environ.get("REPRO_BENCH_SKETCH_K", 10))
+TARGET_RECALL = float(os.environ.get("REPRO_BENCH_SKETCH_TARGET_RECALL", 0.95))
+#: Recall-estimator sample size.  Candidates are sparse at catalog scale
+#: (intra-band pairs are well under 1% of the square), so the default
+#: 24-pair sample would rarely contain a true candidate; a larger
+#: seeded sample keeps the recorded recall grounded in actual pairs.
+SAMPLE_PAIRS = int(os.environ.get("REPRO_BENCH_SKETCH_SAMPLE_PAIRS", 2048))
+#: Smoke mode checks correctness only (signature build dominates tiny runs).
+SMOKE = os.environ.get("REPRO_BENCH_SKETCH_SMOKE", "0") == "1"
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+pytestmark = pytest.mark.sketch
+
+
+def build_fleet(seed: int = 7) -> list[Community]:
+    """A catalog-scale banded fleet: many communities, small membership."""
+    return banded_community_fleet(
+        BANDS,
+        PER_BAND,
+        users=USERS,
+        dims=DIMS,
+        seed=seed,
+        band_gap=600,
+        high=40,
+        name_format="band{band:02d}-m{member}",
+    )
+
+
+def timed(label: str, func):
+    started = time.perf_counter()
+    result = func()
+    elapsed = time.perf_counter() - started
+    print(f"  {label:24s} {elapsed:8.3f}s")
+    return result, elapsed
+
+
+def envelope_candidates(fleet: list[Community]) -> set[tuple[int, int]]:
+    """The envelope-only candidate set: one scalar test per pair."""
+    return {
+        (first, second)
+        for first, second in itertools.combinations(range(len(fleet)), 2)
+        if not envelopes_separated(
+            community_envelope(fleet[first]),
+            community_envelope(fleet[second]),
+            EPSILON,
+        )
+    }
+
+
+def ranking_key(scores) -> list[tuple[str, str, str]]:
+    return [(s.name_b, s.name_a, repr(s.similarity)) for s in scores]
+
+
+@pytest.mark.bench
+def bench_sketch_prefilter(report_writer):
+    fleet = build_fleet()
+    n_communities = len(fleet)
+    all_pairs = n_communities * (n_communities - 1) // 2
+
+    # -- candidate generation: envelope loop vs sketch index ----------
+    # Pre-warm the per-community envelope memo so the baseline times the
+    # pair loop alone (the steady-state cost), not envelope construction
+    # — a conservative baseline for the speedup claim.  The sketch side
+    # pays its full price every round: fresh prefilter, signature build,
+    # index construction and enumeration.
+    for community in fleet:
+        community_envelope(community)
+
+    envelope_times, sketch_times = [], []
+    admitted = sketch_pairs = None
+    recall_report = None
+    for _ in range(3):
+        admitted, t_envelope = timed(
+            "envelope pair loop", lambda: envelope_candidates(fleet)
+        )
+        envelope_times.append(t_envelope)
+
+        def sketch_round():
+            prefilter = SketchPrefilter(
+                target_recall=TARGET_RECALL, seed=7, sample_pairs=SAMPLE_PAIRS
+            )
+            prefilter.bind(fleet, metrics=None)
+            return prefilter, prefilter.candidate_pairs(EPSILON)
+
+        (prefilter, sketch_pairs), t_sketch = timed(
+            "sketch build+enumerate", sketch_round
+        )
+        sketch_times.append(t_sketch)
+        recall_report = prefilter.report(EPSILON)
+    t_envelope = min(envelope_times)
+    t_sketch = min(sketch_times)
+    speedup = t_envelope / t_sketch
+
+    # Recall against the envelope-admitted set (the population the tier
+    # replaces) and the brute-force sampled recall the engine folds
+    # into ``p``.
+    envelope_recall = (
+        len(sketch_pairs & admitted) / len(admitted) if admitted else 1.0
+    )
+    measured_recall = recall_report.recall
+    assert 0.0 < measured_recall <= 1.0
+    print(
+        f"  candidates: envelope {len(admitted)}, sketch {len(sketch_pairs)} "
+        f"of {all_pairs} pairs; envelope-recall {envelope_recall:.3f}, "
+        f"measured recall {measured_recall:.3f}, speedup {speedup:.2f}x"
+    )
+
+    # -- end to end: Ap-MinMax / Ap-SuperEGO screens ------------------
+    exact_tier = SketchPrefilter(target_recall=1.0, seed=7)
+    lossy_tier = SketchPrefilter(
+        target_recall=TARGET_RECALL, seed=7, sample_pairs=SAMPLE_PAIRS
+    )
+    end_to_end: dict[str, dict[str, object]] = {}
+    for screen_method in ("ap-minmax", "ap-superego"):
+        kwargs = dict(epsilon=EPSILON, k=TOP_K, screen_method=screen_method)
+        baseline, t_baseline = timed(
+            f"{screen_method} no prefilter", lambda: top_k_pairs(fleet, **kwargs)
+        )
+        exact, t_exact = timed(
+            f"{screen_method} exact tier",
+            lambda: top_k_pairs(fleet, prefilter=exact_tier, **kwargs),
+        )
+        lossy, t_lossy = timed(
+            f"{screen_method} lossy tier",
+            lambda: top_k_pairs(fleet, prefilter=lossy_tier, **kwargs),
+        )
+        assert ranking_key(exact) == ranking_key(baseline)
+        folded = lossy_tier.recall(EPSILON)
+        baseline_by_pair = {(s.name_b, s.name_a): s for s in baseline}
+        for score in lossy:
+            reference = baseline_by_pair.get((score.name_b, score.name_a))
+            if reference is not None:
+                assert score.similarity == pytest.approx(
+                    reference.similarity * folded
+                )
+                if folded < 1.0:
+                    assert not score.result.exact
+        end_to_end[screen_method] = {
+            "seconds": {
+                "no_prefilter": round(t_baseline, 4),
+                "exact_tier": round(t_exact, 4),
+                "lossy_tier": round(t_lossy, 4),
+            },
+            "exact_tier_ranking_identical": True,
+            "lossy_similarities_deflated_by_measured_recall": True,
+        }
+
+    section = {
+        "workload": {
+            "communities": n_communities,
+            "bands": BANDS,
+            "per_band": PER_BAND,
+            "users_per_community": USERS,
+            "dims": DIMS,
+            "epsilon": EPSILON,
+            "k": TOP_K,
+            "all_pairs": all_pairs,
+            "target_recall": TARGET_RECALL,
+            "smoke": SMOKE,
+        },
+        "candidate_generation": {
+            "envelope_admitted_pairs": len(admitted),
+            "sketch_admitted_pairs": len(sketch_pairs),
+            "envelope_loop_seconds": round(t_envelope, 4),
+            "sketch_seconds": round(t_sketch, 4),
+            "speedup": round(speedup, 2),
+            "recall_vs_envelope_admits": round(envelope_recall, 4),
+            "measured_recall_folded_into_p": round(measured_recall, 4),
+            "recall_sample": recall_report.as_dict(),
+        },
+        "end_to_end": end_to_end,
+        "index": prefilter.stats(),
+    }
+    report = json.dumps(section, indent=2)
+    report_writer("sketch_prefilter", report)
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"sketch candidate generation ({t_sketch:.3f}s) must be >= 2x "
+            f"faster than the envelope pair loop ({t_envelope:.3f}s); "
+            f"measured {speedup:.2f}x"
+        )
+        if _JSON_PATH.exists():
+            merged = json.loads(_JSON_PATH.read_text())
+            merged["sketch"] = section
+            _JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+            print(f"[sketch section merged into {_JSON_PATH}]")

@@ -3,11 +3,12 @@
 #
 # Exercises the full bench code path (reference vs engine-serial vs
 # engine-parallel vs cache-warm, byte-identical ranking assertions, the
-# supervised/retry-path faults bench, plus the serving-layer load and
-# burst-shedding benches) in a few seconds.  Smoke mode skips the
-# speedup assertion and does NOT overwrite BENCH_engine.json — run the
-# benches without these knobs to record real numbers (including the
-# "faults" and "serve" sections).
+# supervised/retry-path faults bench, the serving-layer load and
+# burst-shedding benches, plus the sketch pre-filter bench) in a few
+# seconds.  Smoke mode skips the speedup assertions and does NOT
+# overwrite BENCH_engine.json — run the benches without these knobs to
+# record real numbers (including the "faults", "serve" and "sketch"
+# sections).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,14 @@ export REPRO_BENCH_SERVE_BANDS=2
 export REPRO_BENCH_SERVE_PER_BAND=2
 export REPRO_BENCH_SERVE_USERS=30
 
+export REPRO_BENCH_SKETCH_SMOKE=1
+export REPRO_BENCH_SKETCH_BANDS=4
+export REPRO_BENCH_SKETCH_PER_BAND=3
+export REPRO_BENCH_SKETCH_USERS=12
+export REPRO_BENCH_SKETCH_DIMS=4
+export REPRO_BENCH_SKETCH_SAMPLE_PAIRS=24
+
 PYTHONPATH=src python -m pytest \
   benchmarks/bench_engine_batch.py benchmarks/bench_serve_load.py \
+  benchmarks/bench_sketch_prefilter.py \
   -m bench -q -s "$@"

@@ -63,6 +63,13 @@ from .engine import (
     community_fingerprint,
 )
 from .obs import JoinTelemetry, MetricsRegistry, StageClock, stage_timer
+from .sketch import (
+    RecallEstimator,
+    RecallReport,
+    SketchConfig,
+    SketchIndex,
+    SketchPrefilter,
+)
 from .serve import (
     AdmissionPolicy,
     CommunityStore,
@@ -117,6 +124,11 @@ __all__ = [
     "MetricsRegistry",
     "StageClock",
     "stage_timer",
+    "SketchConfig",
+    "SketchIndex",
+    "SketchPrefilter",
+    "RecallEstimator",
+    "RecallReport",
     "CSJServer",
     "ServeConfig",
     "ServerThread",

@@ -22,6 +22,7 @@ from ..datasets.synthetic import SyntheticGenerator
 from ..datasets.vk import VKGenerator
 from ..engine import BatchEngine, CheckpointLog, FaultPolicy, JoinResultCache, PairJob
 from ..obs import JoinTelemetry, MetricsRegistry
+from ..sketch import SketchPrefilter
 
 __all__ = ["SweepPoint", "epsilon_sweep", "scale_sweep", "render_sweep"]
 
@@ -57,6 +58,7 @@ def epsilon_sweep(
     telemetry: list[JoinTelemetry] | None = None,
     fault_policy: FaultPolicy | None = None,
     checkpoint: CheckpointLog | str | Path | None = None,
+    prefilter: SketchPrefilter | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Similarity as a function of epsilon on a fixed couple.
@@ -88,6 +90,7 @@ def epsilon_sweep(
         metrics=metrics,
         fault_policy=fault_policy,
         checkpoint=checkpoint,
+        prefilter=prefilter,
     ) as engine:
         outcomes = engine.run(jobs)
         if telemetry is not None:
@@ -111,6 +114,7 @@ def scale_sweep(
     telemetry: list[JoinTelemetry] | None = None,
     fault_policy: FaultPolicy | None = None,
     checkpoint: CheckpointLog | str | Path | None = None,
+    prefilter: SketchPrefilter | None = None,
     **options: object,
 ) -> list[SweepPoint]:
     """Runtime as a function of couple size for one couple spec.
@@ -139,6 +143,7 @@ def scale_sweep(
         metrics=metrics,
         fault_policy=fault_policy,
         checkpoint=checkpoint,
+        prefilter=prefilter,
     ) as engine:
         outcomes = engine.run(jobs)
         if telemetry is not None:

@@ -34,6 +34,7 @@ from ..engine import (
     canonical_options,
 )
 from ..obs import JoinTelemetry, MetricsRegistry
+from ..sketch import SketchPrefilter
 
 __all__ = ["PairScore", "top_k_pairs", "top_k_pairs_reference"]
 
@@ -88,6 +89,7 @@ def top_k_pairs(
     telemetry: list[JoinTelemetry] | None = None,
     fault_policy: FaultPolicy | None = None,
     checkpoint: CheckpointLog | str | Path | None = None,
+    prefilter: SketchPrefilter | None = None,
     **options: object,
 ) -> list[PairScore]:
     """The k most similar pairs among ``communities``.
@@ -110,6 +112,12 @@ def top_k_pairs(
     both phases (timeouts / retries / quarantine) and ``checkpoint``
     makes completed joins durable so a killed ranking resumes without
     recomputing finished pairs.
+
+    ``prefilter`` (a :class:`~repro.sketch.SketchPrefilter`) gates both
+    phases through the sketch tier's candidate generator; with a lossy
+    tier (``target_recall < 1``) the measured recall is folded into
+    every surviving result's ``p``, so the ranking's similarities carry
+    the candidate-generation error honestly (see ``docs/approx.md``).
     """
     _validate(communities, k, screen_margin)
     job_options = canonical_options(options)
@@ -126,6 +134,7 @@ def top_k_pairs(
         metrics=metrics,
         fault_policy=fault_policy,
         checkpoint=checkpoint,
+        prefilter=prefilter,
     ) as engine:
         screen_jobs = [
             PairJob(i, j, screen_method, epsilon, job_options) for i, j in joinable

@@ -78,6 +78,27 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
             "and new ones appended, so a killed run resumes for free"
         ),
     )
+    parser.add_argument(
+        "--prefilter",
+        choices=("none", "sketch"),
+        default="none",
+        help=(
+            "candidate pre-filter tier ahead of the envelope screen; "
+            "'sketch' gates pairs through banded signatures (see "
+            "docs/approx.md)"
+        ),
+    )
+    parser.add_argument(
+        "--target-recall",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help=(
+            "sketch pre-filter candidate-pair recall target in (0, 1]; "
+            "1.0 (default) is exact, below 1.0 the measured recall is "
+            "folded into the reported p"
+        ),
+    )
 
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
@@ -94,6 +115,12 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         )
     if args.resume_from is not None:
         kwargs["checkpoint"] = args.resume_from
+    if getattr(args, "prefilter", "none") == "sketch":
+        from .sketch import SketchPrefilter
+
+        kwargs["prefilter"] = SketchPrefilter(
+            target_recall=args.target_recall, seed=getattr(args, "seed", 7)
+        )
     return kwargs
 
 
@@ -482,7 +509,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.prometheus:
             snapshot = (trailer or {}).get("metrics")
             if snapshot:
+                from .sketch import init_sketch_metrics
+
                 registry = MetricsRegistry()
+                # Zero-initialise the sketch family before merging so
+                # dashboards see repro_sketch_* samples even for runs
+                # that never used the pre-filter (counters add on merge,
+                # so recorded values pass through unchanged).
+                init_sketch_metrics(registry)
                 registry.merge(snapshot)
                 print()
                 print(registry.to_prometheus(), end="")

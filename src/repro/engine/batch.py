@@ -25,12 +25,13 @@ each worker.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..algorithms import get_algorithm
 from ..algorithms.registry import ALGORITHMS
@@ -41,7 +42,13 @@ from ..obs import JoinTelemetry, MetricsRegistry
 from ..obs.timers import stage_timer
 from .cache import JoinKey, JoinResultCache, canonical_options, decoded_options, join_key
 from .checkpoint import CheckpointLog
-from .envelope import Envelope, community_envelope, envelopes_separated
+from .envelope import (
+    Envelope,
+    community_envelope,
+    envelopes_separated,
+    separation_matrix,
+    stack_envelopes,
+)
 from .faults import (
     FaultPolicy,
     FaultSpec,
@@ -52,13 +59,24 @@ from .faults import (
 from .fingerprint import community_fingerprint
 from .shared import AttachedVectorStore, SharedVectorStore, StoreLayout
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sketch.prefilter import SketchPrefilter
+
 __all__ = ["Disposition", "PairJob", "PairOutcome", "BatchEngine"]
 
 #: Label recorded in ``CSJResult.engine`` for screened-out pairs.
 SCREEN_ENGINE = "envelope-screen"
 
+#: Label recorded in ``CSJResult.engine`` for sketch-prefiltered pairs.
+SKETCH_ENGINE = "sketch-screen"
+
 #: Label recorded in ``CSJResult.engine`` for quarantined (failed) jobs.
 QUARANTINE_ENGINE = "quarantined"
+
+#: Job lists at least this long screen via one broadcast
+#: :func:`~repro.engine.envelope.separation_matrix` call instead of
+#: per-pair Python-level envelope tests.
+VECTOR_SCREEN_MIN_JOBS = 16
 
 
 class Disposition(enum.Enum):
@@ -66,6 +84,7 @@ class Disposition(enum.Enum):
 
     COMPUTED = "computed"  # the join actually ran
     SCREENED = "screened"  # envelopes proved similarity 0
+    PREFILTERED = "prefiltered"  # the sketch tier dropped the pair
     CACHED = "cached"  # served from the join-result cache
     FAILED = "failed"  # quarantined after exhausting its attempts
 
@@ -252,6 +271,15 @@ class BatchEngine:
         path to one).  Completed joins are durably appended; on
         construction the log is loaded into the join cache (created if
         necessary) so a resumed run recomputes no finished pair.
+    prefilter:
+        Optional :class:`~repro.sketch.SketchPrefilter`.  When given,
+        every job first passes the sketch tier's band-bucket collision
+        gate (ahead of the envelope screen); dropped pairs resolve to
+        ``PREFILTERED`` similarity-0 outcomes, and the tier's measured
+        recall is folded into the ``p`` of computed/cached results so
+        approximate runs report honestly deflated similarities.
+        ``None`` (default) keeps results byte-identical to the
+        pre-sketch engine.
     fault_injector:
         Optional :class:`~repro.engine.faults.FaultSpec` — the
         deterministic test hook that kills / hangs / raises on the k-th
@@ -269,6 +297,7 @@ class BatchEngine:
         metrics: MetricsRegistry | None = None,
         fault_policy: FaultPolicy | None = None,
         checkpoint: CheckpointLog | str | Path | None = None,
+        prefilter: "SketchPrefilter | None" = None,
         fault_injector: FaultSpec | None = None,
     ) -> None:
         if n_jobs < 1:
@@ -287,9 +316,13 @@ class BatchEngine:
         #: while a registry is attached (empty otherwise).
         self.telemetry: list[JoinTelemetry] = []
         self.screened_count = 0
+        self.prefiltered_count = 0
         self.computed_count = 0
         self.cached_count = 0
         self.failed_count = 0
+        self.prefilter = prefilter
+        if prefilter is not None:
+            prefilter.bind(self.communities, metrics=metrics)
         #: Joins restored from the checkpoint log at construction.
         self.resumed_count = 0
         #: Quarantine records of every ``run`` call, in arrival order.
@@ -360,7 +393,12 @@ class BatchEngine:
         return key, swapped
 
     def _synthetic_result(
-        self, job: PairJob, swapped: bool, engine_label: str
+        self,
+        job: PairJob,
+        swapped: bool,
+        engine_label: str,
+        *,
+        exact: bool | None = None,
     ) -> CSJResult:
         """An empty-matching result for a pair that never ran a join."""
         oriented = (job.second, job.first) if swapped else (job.first, job.second)
@@ -369,7 +407,7 @@ class BatchEngine:
         algorithm_cls = ALGORITHMS[job.method.strip().lower()]
         return CSJResult(
             method=algorithm_cls.name,
-            exact=algorithm_cls.exact,
+            exact=algorithm_cls.exact if exact is None else exact,
             size_b=community_b.n_users,
             size_a=community_a.n_users,
             epsilon=job.epsilon,
@@ -384,6 +422,48 @@ class BatchEngine:
         """A similarity-0 result for a pair the envelopes ruled out."""
         return self._synthetic_result(job, swapped, SCREEN_ENGINE)
 
+    def _prefiltered_result(self, job: PairJob, swapped: bool) -> CSJResult:
+        """A similarity-0 result for a pair the sketch tier dropped.
+
+        Unlike the envelope screen, a sketch drop is only *probably*
+        right (unless the tier is exact), so the result is marked
+        approximate regardless of the requested method.
+        """
+        exact = self.prefilter.is_exact if self.prefilter is not None else False
+        return self._synthetic_result(job, swapped, SKETCH_ENGINE, exact=exact)
+
+    def _screen_verdicts(
+        self, jobs: list[PairJob]
+    ) -> dict[tuple[int, int, int], bool] | None:
+        """Batch all-pairs envelope verdicts for long job lists.
+
+        Groups jobs by epsilon, stacks the involved communities'
+        envelopes into ``(C, d)`` matrices and evaluates the whole
+        separation square in one broadcast op.  Returns ``None`` when
+        the scalar per-pair path is cheaper (short lists) or the screen
+        is off; verdicts are keyed ``(epsilon, first, second)`` and are
+        bit-identical to :func:`envelopes_separated` (the tests assert
+        parity), so the fast path never changes results — the per-job
+        metric counters are incremented by the caller exactly as on the
+        scalar path.
+        """
+        if not self.screen or len(jobs) < VECTOR_SCREEN_MIN_JOBS:
+            return None
+        by_epsilon: dict[int, set[tuple[int, int]]] = {}
+        for job in jobs:
+            by_epsilon.setdefault(job.epsilon, set()).add((job.first, job.second))
+        verdicts: dict[tuple[int, int, int], bool] = {}
+        for epsilon, pairs in by_epsilon.items():
+            indices = sorted({index for pair in pairs for index in pair})
+            mins, maxs = stack_envelopes([self.envelope(i) for i in indices])
+            separated = separation_matrix(mins, maxs, epsilon)
+            rows = {index: row for row, index in enumerate(indices)}
+            for first, second in pairs:
+                verdicts[(epsilon, first, second)] = bool(
+                    separated[rows[first], rows[second]]
+                )
+        return verdicts
+
     # -- execution -----------------------------------------------------
     def run(self, jobs: Iterable[PairJob]) -> list[PairOutcome]:
         """Resolve every job, preserving input order in the output."""
@@ -391,6 +471,7 @@ class BatchEngine:
         outcomes: list[PairOutcome | None] = [None] * len(jobs)
         pending: list[tuple[int, PairJob, JoinKey | None, bool]] = []
         with stage_timer(self.metrics, "batch.plan"):
+            verdicts = self._screen_verdicts(jobs)
             for position, job in enumerate(jobs):
                 first = self.communities[job.first]
                 second = self.communities[job.second]
@@ -400,17 +481,42 @@ class BatchEngine:
                 )
                 if job.method.strip().lower() not in ALGORITHMS:
                     raise UnknownAlgorithmError(job.method, tuple(ALGORITHMS))
-                if self.screen and envelopes_separated(
-                    self.envelope(job.first),
-                    self.envelope(job.second),
-                    job.epsilon,
-                    metrics=self.metrics,
+                if self.prefilter is not None and not self.prefilter.admits(
+                    job.epsilon, job.first, job.second
                 ):
-                    self.screened_count += 1
+                    self.prefiltered_count += 1
                     outcomes[position] = PairOutcome(
-                        job, Disposition.SCREENED, self._screened_result(job, swapped)
+                        job,
+                        Disposition.PREFILTERED,
+                        self._prefiltered_result(job, swapped),
                     )
                     continue
+                if self.screen:
+                    if verdicts is not None:
+                        separated = verdicts[(job.epsilon, job.first, job.second)]
+                        # Same counters the scalar path increments inside
+                        # envelopes_separated — metric parity either way.
+                        if self.metrics is not None:
+                            self.metrics.inc("repro_engine_envelope_tests_total")
+                            if separated:
+                                self.metrics.inc(
+                                    "repro_engine_envelope_separations_total"
+                                )
+                    else:
+                        separated = envelopes_separated(
+                            self.envelope(job.first),
+                            self.envelope(job.second),
+                            job.epsilon,
+                            metrics=self.metrics,
+                        )
+                    if separated:
+                        self.screened_count += 1
+                        outcomes[position] = PairOutcome(
+                            job,
+                            Disposition.SCREENED,
+                            self._screened_result(job, swapped),
+                        )
+                        continue
                 key: JoinKey | None = None
                 if self.cache is not None:
                     key, _ = self._cache_key(job)
@@ -452,11 +558,43 @@ class BatchEngine:
                 if self._checkpoint is not None and key is not None:
                     self._checkpoint.append(key, result)
                 outcomes[position] = PairOutcome(job, Disposition.COMPUTED, result)
+        if self.prefilter is not None and not self.prefilter.is_exact:
+            self._fold_recall(outcomes)
         assert all(outcome is not None for outcome in outcomes)
         if self.metrics is not None:
             for outcome in outcomes:
                 self._observe(outcome)  # type: ignore[arg-type]
         return outcomes  # type: ignore[return-value]
+
+    def _fold_recall(self, outcomes: list[PairOutcome | None]) -> None:
+        """Multiply the sketch tier's measured recall into reported ``p``.
+
+        Runs only for lossy pre-filters, *after* cache and checkpoint
+        writes: stored results stay pure join outputs (reusable by
+        exact runs) while the outcomes handed back report
+        ``similarity = p * recall * |M| / |B|`` — Eq. (1) with the
+        candidate-generation error folded in.  Folded results are
+        copies, so cached entries are never mutated, and they are
+        marked approximate.
+        """
+        assert self.prefilter is not None
+        for outcome in outcomes:
+            if outcome is None or outcome.disposition not in (
+                Disposition.COMPUTED,
+                Disposition.CACHED,
+            ):
+                continue
+            recall = self.prefilter.recall(outcome.job.epsilon)
+            if recall >= 1.0:
+                continue
+            result = outcome.result
+            outcome.result = dataclasses.replace(
+                result,
+                p=result.p * recall,
+                exact=False,
+                pairs=list(result.pairs),
+                stage_seconds=dict(result.stage_seconds),
+            )
 
     def _observe(self, outcome: PairOutcome) -> None:
         """Record one resolved job into the registry and telemetry log."""
@@ -669,6 +807,9 @@ class BatchEngine:
             "failed": self.failed_count,
             "n_jobs": self.n_jobs,
         }
+        if self.prefilter is not None:
+            stats["prefiltered"] = self.prefiltered_count
+            stats["sketch"] = self.prefilter.stats()
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
         if self._checkpoint is not None:

@@ -20,7 +20,7 @@ and Eq. (1) evaluates to 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,7 +29,16 @@ from ..core.types import Community
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.registry import MetricsRegistry
 
-__all__ = ["Envelope", "community_envelope", "envelopes_separated"]
+__all__ = [
+    "Envelope",
+    "community_envelope",
+    "envelopes_separated",
+    "stack_envelopes",
+    "separation_matrix",
+]
+
+#: Instance-level memo attribute of :func:`community_envelope`.
+_ENVELOPE_CACHE_ATTR = "_envelope_cache"
 
 
 @dataclass(frozen=True)
@@ -45,12 +54,54 @@ class Envelope:
 
 
 def community_envelope(community: Community) -> Envelope:
-    """Compute the per-dimension min/max envelope of a community."""
+    """The per-dimension min/max envelope of a community (memoised).
+
+    Envelopes are epsilon-independent and a community's vectors are
+    frozen read-only at construction, so the envelope is computed once
+    and stashed on the instance — sweeps touching the same community at
+    many epsilons (or many engines sharing a catalog) pay the O(n*d)
+    scan a single time.  ``dataclasses.replace`` builds fresh instances,
+    so a mutated copy never inherits a stale envelope.
+    """
+    cached = community.__dict__.get(_ENVELOPE_CACHE_ATTR)
+    if cached is not None:
+        return cached
     vectors = community.vectors
-    return Envelope(
+    envelope = Envelope(
         mins=vectors.min(axis=0).astype(np.int64, copy=False),
         maxs=vectors.max(axis=0).astype(np.int64, copy=False),
     )
+    # Community is a frozen dataclass; the memo is not a field, so
+    # object.__setattr__ is the sanctioned back door.
+    object.__setattr__(community, _ENVELOPE_CACHE_ATTR, envelope)
+    return envelope
+
+
+def stack_envelopes(
+    envelopes: Sequence[Envelope],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack per-community bounds into ``(C, d)`` min/max matrices."""
+    mins = np.stack([envelope.mins for envelope in envelopes])
+    maxs = np.stack([envelope.maxs for envelope in envelopes])
+    return mins, maxs
+
+
+def separation_matrix(
+    mins: np.ndarray, maxs: np.ndarray, epsilon: int
+) -> np.ndarray:
+    """All-pairs envelope separation in one broadcast op.
+
+    ``mins``/``maxs`` are the stacked ``(C, d)`` matrices of
+    :func:`stack_envelopes`; the result is a symmetric ``(C, C)``
+    boolean matrix whose ``[i, j]`` entry equals
+    ``envelopes_separated(envelopes[i], envelopes[j], epsilon)`` — the
+    batch engine uses it to screen a whole job list without the
+    per-pair Python loop.
+    """
+    # gap[i, j, t] = mins[j, t] - maxs[i, t]: community j strictly above i.
+    gap = mins[None, :, :] - maxs[:, None, :]
+    one_way = (gap > epsilon).any(axis=2)
+    return one_way | one_way.T
 
 
 def envelopes_separated(

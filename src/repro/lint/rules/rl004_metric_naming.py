@@ -41,6 +41,7 @@ ALLOWED_SUBSYSTEMS = frozenset(
         "cli",
         "lint",
         "serve",
+        "sketch",
         "testing",
     }
 )

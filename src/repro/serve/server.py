@@ -41,6 +41,7 @@ from .._version import __version__
 from ..core.errors import ReproError
 from ..engine import FaultPolicy, JoinResultCache
 from ..obs import MetricsRegistry
+from ..sketch import init_sketch_metrics
 from .admission import AdmissionController, AdmissionPolicy, Rejection
 from .handlers import (
     execute_join_work,
@@ -122,6 +123,9 @@ class CSJServer:
         self.config = config if config is not None else ServeConfig()
         self.store = store if store is not None else CommunityStore()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Zero-initialise the sketch family so stats/scrapes expose
+        # repro_sketch_* before the first approximate topk request.
+        init_sketch_metrics(self.metrics)
         self.clock = clock
         self.admission = AdmissionController(
             self.config.admission, clock=clock, metrics=self.metrics
@@ -357,6 +361,14 @@ class CSJServer:
             "shed_by_reason": self.metrics.counters_by_label(
                 "repro_serve_shed_total", "reason"
             ),
+            "sketch": {
+                "pairs_checked": self.metrics.counter(
+                    "repro_sketch_pairs_checked_total"
+                ),
+                "pairs_skipped": self.metrics.counter(
+                    "repro_sketch_pairs_skipped_total"
+                ),
+            },
         }
         if self.cache is not None:
             result["cache"] = self.cache.stats()

@@ -1,0 +1,30 @@
+"""Sketch-based approximate pre-filter tier.
+
+Sublinear candidate generation for catalog-scale CSJ workloads:
+communities are summarised into seeded, deterministic banded
+signatures over epsilon-bucketed values (CPSJoin-style), an in-memory
+:class:`SketchIndex` answers "which pairs might have non-zero
+similarity" from band-bucket collisions instead of ``O(C^2)`` envelope
+tests, and a :class:`RecallEstimator` measures the achieved pair
+recall so the engine can fold it into the reported ``p`` — approximate
+results carry their own error bar.
+
+:class:`SketchPrefilter` is the engine-facing entry point; see
+``docs/approx.md`` for when results stop being exact.
+"""
+
+from .index import SketchIndex
+from .prefilter import SketchPrefilter, init_sketch_metrics
+from .recall import RecallEstimator, RecallReport
+from .signature import CommunitySignature, SketchConfig, build_signature
+
+__all__ = [
+    "SketchConfig",
+    "CommunitySignature",
+    "build_signature",
+    "SketchIndex",
+    "RecallEstimator",
+    "RecallReport",
+    "SketchPrefilter",
+    "init_sketch_metrics",
+]

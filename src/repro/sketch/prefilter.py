@@ -1,0 +1,216 @@
+"""Engine-facing facade of the sketch tier.
+
+A :class:`SketchPrefilter` is what callers hand to
+:class:`~repro.engine.BatchEngine` (or to ``epsilon_sweep`` /
+``top_k_pairs`` / the runner / the CLI / the serve layer, which all
+forward it).  It owns one lazily-built :class:`SketchIndex` plus one
+measured :class:`RecallReport` per distinct epsilon seen, bound to the
+engine's community collection:
+
+* ``admits(epsilon, i, j)`` — the per-job gate the engine consults
+  *before* the envelope screen;
+* ``recall(epsilon)`` — the measured candidate-pair recall the engine
+  folds into computed results' ``p`` (1.0 in ``coverage`` mode, which
+  never drops an envelope-admitted pair).
+
+The default configuration (``target_recall=1.0``) is exact; asking for
+``target_recall < 1.0`` switches to lossy ``values``-mode signatures
+whose achieved recall is measured on a seeded sample, surfaced in the
+``repro_sketch_estimated_recall`` gauge, and multiplied into ``p``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.types import Community
+from .index import SketchIndex
+from .recall import RecallEstimator, RecallReport
+from .signature import DEFAULT_BAND_ROWS, SketchConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
+__all__ = ["SketchPrefilter", "init_sketch_metrics"]
+
+#: Every counter of the ``repro_sketch_*`` family, for zero-value
+#: initialisation (dashboards shouldn't show gaps before the first
+#: approximate query).
+SKETCH_COUNTERS = (
+    "repro_sketch_signatures_built_total",
+    "repro_sketch_indexes_built_total",
+    "repro_sketch_bucket_collisions_total",
+    "repro_sketch_pairs_checked_total",
+    "repro_sketch_pairs_skipped_total",
+)
+
+
+def init_sketch_metrics(metrics: "MetricsRegistry") -> None:
+    """Create the ``repro_sketch_*`` family at zero in ``metrics``.
+
+    Counters start at 0 and the recall gauge at 1.0 (no pre-filter ran,
+    so nothing has been dropped) under the reserved ``epsilon="none"``
+    label value.  Prometheus endpoints call this up front so scrapes
+    see the family immediately rather than after the first approximate
+    query.
+    """
+    for name in SKETCH_COUNTERS:
+        metrics.inc(name, 0)
+    metrics.set_gauge("repro_sketch_estimated_recall", 1.0, epsilon="none")
+
+
+class SketchPrefilter:
+    """Per-epsilon sketch indexes + recall reports over one collection.
+
+    Parameters mirror :meth:`SketchConfig.for_target_recall`;
+    ``sample_pairs`` sizes the recall estimator's seeded sample.  The
+    pre-filter binds to a community collection on first engine use
+    (:meth:`bind`) and rebuilds its tiers if bound to a different
+    collection, so one CLI/server configuration object can serve
+    successive engines.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_recall: float = 1.0,
+        seed: int = 7,
+        n_bands: int | None = None,
+        band_rows: int = DEFAULT_BAND_ROWS,
+        sample_pairs: int = 24,
+    ) -> None:
+        if not 0.0 < target_recall <= 1.0:
+            raise ConfigurationError(
+                f"target_recall must be in (0, 1], got {target_recall}"
+            )
+        self.target_recall = float(target_recall)
+        self.seed = int(seed)
+        self.n_bands = n_bands
+        self.band_rows = int(band_rows)
+        self.sample_pairs = int(sample_pairs)
+        self.metrics: "MetricsRegistry | None" = None
+        self._communities: list[Community] | None = None
+        self._indexes: dict[int, SketchIndex] = {}
+        self._reports: dict[int, RecallReport | None] = {}
+
+    @property
+    def is_exact(self) -> bool:
+        """True when this pre-filter can never drop a true candidate."""
+        return self.target_recall >= 1.0
+
+    # -- binding -------------------------------------------------------
+    def bind(
+        self,
+        communities: Sequence[Community],
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        """Attach to an engine's community collection (idempotent).
+
+        Rebinding to a *different* collection drops the per-epsilon
+        tiers (signatures describe specific matrices); rebinding to the
+        same list object keeps them warm across ``run`` calls.
+        """
+        if metrics is not None:
+            self.metrics = metrics
+        incoming = list(communities)
+        if self._communities is not None and len(incoming) == len(
+            self._communities
+        ) and all(
+            mine is theirs for mine, theirs in zip(self._communities, incoming)
+        ):
+            return
+        self._communities = incoming
+        self._indexes.clear()
+        self._reports.clear()
+
+    def _config(self, epsilon: int) -> SketchConfig:
+        assert self._communities is not None
+        n_dims = self._communities[0].n_dims if self._communities else 1
+        return SketchConfig.for_target_recall(
+            epsilon,
+            target_recall=self.target_recall,
+            n_dims=n_dims,
+            seed=self.seed,
+            band_rows=self.band_rows,
+            n_bands=self.n_bands,
+        )
+
+    def index(self, epsilon: int) -> SketchIndex:
+        """The (lazily built) index for one epsilon."""
+        if self._communities is None:
+            raise ConfigurationError(
+                "SketchPrefilter.bind must run before the first query"
+            )
+        index = self._indexes.get(epsilon)
+        if index is None:
+            index = SketchIndex(
+                self._communities, self._config(epsilon), metrics=self.metrics
+            )
+            self._indexes[epsilon] = index
+            if self.metrics is not None:
+                self.metrics.inc("repro_sketch_indexes_built_total")
+        return index
+
+    # -- queries -------------------------------------------------------
+    def admits(self, epsilon: int, first: int, second: int) -> bool:
+        """Whether the pair survives the sketch gate at this epsilon."""
+        return self.index(epsilon).admits(first, second)
+
+    def candidate_pairs(self, epsilon: int) -> set[tuple[int, int]]:
+        """All unordered pairs the sketch admits at this epsilon."""
+        return self.index(epsilon).candidate_pairs()
+
+    def recall(self, epsilon: int) -> float:
+        """Measured recall at this epsilon (memoised; 1.0 when exact)."""
+        return self.report(epsilon).recall if not self.is_exact else 1.0
+
+    def report(self, epsilon: int) -> RecallReport:
+        """The full recall report (runs the estimator on first call)."""
+        report = self._reports.get(epsilon)
+        if report is None:
+            index = self.index(epsilon)
+            assert self._communities is not None
+            if self.is_exact:
+                report = RecallReport(
+                    epsilon=epsilon,
+                    sampled_pairs=0,
+                    true_pairs=0,
+                    admitted_true=0,
+                    false_positives=0,
+                    recall=1.0,
+                )
+            else:
+                estimator = RecallEstimator(
+                    self._communities,
+                    seed=self.seed,
+                    sample_pairs=self.sample_pairs,
+                )
+                report = estimator.measure(index)
+            self._reports[epsilon] = report
+            if self.metrics is not None:
+                self.metrics.set_gauge(
+                    "repro_sketch_estimated_recall",
+                    report.recall,
+                    epsilon=str(epsilon),
+                )
+        return report
+
+    def stats(self) -> dict[str, object]:
+        """Per-epsilon tier stats for engine reports and logs."""
+        return {
+            "target_recall": self.target_recall,
+            "exact": self.is_exact,
+            "tiers": {
+                str(epsilon): {
+                    **index.stats(),
+                    "measured_recall": (
+                        self._reports[epsilon].recall
+                        if self._reports.get(epsilon) is not None
+                        else None
+                    ),
+                }
+                for epsilon, index in sorted(self._indexes.items())
+            },
+        }

@@ -1,0 +1,247 @@
+"""Seeded, deterministic community signatures over epsilon-bucketed values.
+
+The CSJ join condition is per-dimension: a user pair matches only when
+every dimension differs by at most epsilon.  CPSJoin-style banded
+sketching adapts cleanly to that condition once values are quantised
+into buckets of width ``2 * epsilon + 1``: two values within epsilon of
+each other land in the same bucket or in adjacent buckets, and a
+*shifted* grid (a per-band random offset in ``[0, w)``) puts them in
+the **same** bucket with probability at least ``(epsilon + 1) /
+(2 * epsilon + 1) > 1/2``.  Repeating the grid over ``n_bands``
+independently-offset bands drives the per-dimension miss probability
+towards ``2^-n_bands``.
+
+Two signature modes cover the exact/approximate split:
+
+``coverage``
+    The signature of a community is, per band and dimension, the
+    *bucket interval* spanned by its envelope (min..max) plus one
+    neighbouring bucket at the max end.  Soundness: if two communities'
+    envelopes are **not** separated by more than epsilon in a
+    dimension, their closest per-dimension values differ by at most
+    epsilon < w, so their bucket intervals are equal-or-adjacent and
+    the extended intervals intersect — in *every* band, for *any*
+    offset.  Candidates are pairs whose intervals intersect in all
+    ``(band, dimension)`` cells, which is therefore a deterministic
+    superset of the envelope screen's admits: recall is exactly 1.0.
+
+``values``
+    The signature keeps, per band and dimension, the set of buckets
+    actually occupied by the community's users, truncated bottom-k
+    style (the ``band_rows`` buckets with the smallest mixed hashes —
+    a min-hash over occupied buckets).  Candidates must collide in
+    *some* band for *every* dimension.  Recall is below 1.0 and must
+    be measured (:mod:`repro.sketch.recall`), never assumed.
+
+All hashing is :func:`mix64` (a splitmix64 finaliser) over plain
+integers — never Python's per-process salted ``hash`` — so signatures
+are bit-identical across runs, processes and machines for a fixed
+``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.types import Community
+
+__all__ = [
+    "SketchConfig",
+    "CommunitySignature",
+    "build_signature",
+    "mix64",
+    "band_offset",
+]
+
+_MASK64 = (1 << 64) - 1
+
+#: Default bottom-k truncation width of ``values``-mode cells.
+DEFAULT_BAND_ROWS = 32
+
+#: Bands used by ``coverage`` mode.  Every coverage band is individually
+#: a superset of the envelope admits, so requiring *all* bands keeps
+#: recall at exactly 1.0 while the shifted offsets prune borderline
+#: false positives.
+COVERAGE_BANDS = 4
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finaliser: a high-quality, deterministic 64-bit mix."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def _chain(*parts: int) -> int:
+    """Mix several integers into one 64-bit value, order-sensitively."""
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc = mix64(acc ^ (part & _MASK64))
+    return acc
+
+
+def band_offset(seed: int, band: int, width: int) -> int:
+    """The band's deterministic grid shift in ``[0, width)``."""
+    return _chain(seed, 0x0FF5E7, band) % width
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Parameters of one sketch tier (fixed epsilon, fixed seed).
+
+    ``mode`` selects the signature family: ``"coverage"`` (recall
+    exactly 1.0, a strict superset of the envelope screen) or
+    ``"values"`` (tunable sublinear filtering with measured recall).
+    """
+
+    epsilon: int
+    mode: str = "coverage"
+    n_bands: int = COVERAGE_BANDS
+    band_rows: int = DEFAULT_BAND_ROWS
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ConfigurationError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.mode not in ("coverage", "values"):
+            raise ConfigurationError(
+                f"mode must be 'coverage' or 'values', got {self.mode!r}"
+            )
+        if self.n_bands < 1:
+            raise ConfigurationError(f"n_bands must be >= 1, got {self.n_bands}")
+        if self.band_rows < 1:
+            raise ConfigurationError(
+                f"band_rows must be >= 1, got {self.band_rows}"
+            )
+
+    @property
+    def bucket_width(self) -> int:
+        """Grid pitch: values within epsilon span at most two buckets."""
+        return 2 * self.epsilon + 1
+
+    @property
+    def is_exact(self) -> bool:
+        """True when this configuration can never drop a true candidate."""
+        return self.mode == "coverage"
+
+    @classmethod
+    def for_target_recall(
+        cls,
+        epsilon: int,
+        *,
+        target_recall: float = 0.95,
+        n_dims: int = 8,
+        seed: int = 7,
+        band_rows: int = DEFAULT_BAND_ROWS,
+        n_bands: int | None = None,
+    ) -> "SketchConfig":
+        """Size a configuration for a requested candidate-pair recall.
+
+        ``target_recall >= 1.0`` selects ``coverage`` mode (exact by
+        construction).  Below 1.0, the band count is solved from the
+        per-band same-bucket probability ``(epsilon + 1) / (2 * epsilon
+        + 1)`` so that the *analytic* recall ``(1 - miss^bands)^dims``
+        reaches the target; the achieved recall still gets measured at
+        run time (truncation and data skew both move it) and folded
+        into the reported ``p``.
+        """
+        if not 0.0 < target_recall:
+            raise ConfigurationError(
+                f"target_recall must be positive, got {target_recall}"
+            )
+        if target_recall >= 1.0:
+            return cls(
+                epsilon=epsilon,
+                mode="coverage",
+                n_bands=COVERAGE_BANDS if n_bands is None else n_bands,
+                band_rows=band_rows,
+                seed=seed,
+            )
+        if n_bands is None:
+            width = 2 * epsilon + 1
+            miss = epsilon / width  # 1 - (epsilon + 1) / width
+            if miss <= 0.0:
+                bands = 1  # epsilon 0: equal values share a bucket always
+            else:
+                per_dim = target_recall ** (1.0 / max(1, n_dims))
+                bands = max(1, math.ceil(math.log(1.0 - per_dim) / math.log(miss)))
+            n_bands = min(bands, 16)
+        return cls(
+            epsilon=epsilon,
+            mode="values",
+            n_bands=n_bands,
+            band_rows=band_rows,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class CommunitySignature:
+    """One community's banded signature under a fixed config.
+
+    ``coverage`` mode fills ``interval_lo`` / ``interval_hi`` with the
+    (inclusive) extended bucket intervals, shaped ``(n_bands, d)``.
+    ``values`` mode fills ``cells`` with one frozenset of surviving
+    bucket ids per ``(band, dimension)`` cell.
+    """
+
+    n_users: int
+    n_dims: int
+    interval_lo: np.ndarray | None = None
+    interval_hi: np.ndarray | None = None
+    cells: tuple[tuple[frozenset[int], ...], ...] | None = None
+
+
+def build_signature(
+    community: Community, config: SketchConfig
+) -> CommunitySignature:
+    """Summarise one community's profile matrix into a signature."""
+    vectors = community.vectors
+    n_users, n_dims = vectors.shape
+    width = config.bucket_width
+    offsets = np.array(
+        [band_offset(config.seed, band, width) for band in range(config.n_bands)],
+        dtype=np.int64,
+    )
+    if config.mode == "coverage":
+        mins = vectors.min(axis=0).astype(np.int64, copy=False)
+        maxs = vectors.max(axis=0).astype(np.int64, copy=False)
+        # (n_bands, d): per-band shifted grids over the envelope interval,
+        # extended by one bucket at the max end (adjacency slack).
+        lo = (mins[None, :] + offsets[:, None]) // width
+        hi = (maxs[None, :] + offsets[:, None]) // width + 1
+        return CommunitySignature(
+            n_users=n_users, n_dims=n_dims, interval_lo=lo, interval_hi=hi
+        )
+    # One broadcast quantises every (band, user, dim) at once; the
+    # per-cell work below is pure set construction over small lists.
+    bucketed = (
+        vectors[None, :, :].astype(np.int64, copy=False)
+        + offsets[:, None, None]
+    ) // width
+    cells: list[tuple[frozenset[int], ...]] = []
+    for band in range(config.n_bands):
+        per_dim = bucketed[band].T.tolist()
+        row: list[frozenset[int]] = []
+        for dim in range(n_dims):
+            occupied: frozenset[int] | set[int] = set(per_dim[dim])
+            if len(occupied) > config.band_rows:
+                # Bottom-k min-hash truncation: keep the band_rows
+                # buckets with the smallest mixed hashes so both sides
+                # of a comparison discard buckets consistently.
+                occupied = frozenset(
+                    sorted(
+                        occupied,
+                        key=lambda bucket: _chain(config.seed, band, dim, bucket),
+                    )[: config.band_rows]
+                )
+            row.append(frozenset(occupied))
+        cells.append(tuple(row))
+    return CommunitySignature(
+        n_users=n_users, n_dims=n_dims, cells=tuple(cells)
+    )
