@@ -1,22 +1,58 @@
 """Incremental maintenance bench: absorb a like stream, re-join.
 
-Measures the full maintenance cycle a platform runs between CSJ
-refreshes — replaying a batch of like events into an incremental
-community, snapshotting, and re-joining — and checks that the updates
-behave: counters only grow and drift can only lower an epsilon-bounded
-similarity against a frozen reference.
+Two workloads:
+
+* ``bench_replay_and_rejoin`` — the batch cycle a platform runs between
+  CSJ refreshes: replay a batch of like events into an incremental
+  community, snapshot, re-join, and check that updates behave (counters
+  only grow, drift can only erode an epsilon-bounded similarity).
+* ``bench_delta_live_updates`` — the live-update cycle: one like at a
+  time, each followed by a fresh similarity read.  Three strategies are
+  timed on the same seeded stream — the in-process
+  :class:`~repro.core.delta.DeltaJoinMaintainer`, the serve-side
+  :class:`~repro.serve.store.DeltaJoinPool` (mutation-log replay per
+  refresh), and full recompute-per-event with the exact baseline — and
+  the delta path is differentially spot-checked against a from-scratch
+  join on sampled prefixes.  The ``delta`` section merges into
+  ``BENCH_engine.json`` when not in smoke mode; the maintainer must
+  sustain at least a 5x updates/sec advantage over recompute-per-event.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import IncrementalCommunity, csj_similarity
+from repro.algorithms import ExBaseline
+from repro.core.delta import DeltaJoinMaintainer
+from repro.core.types import Community
 from repro.datasets import LikeStreamSimulator, replay
+from repro.serve.store import CommunityStore, DeltaJoinPool
 
 N_USERS = 400
 N_EVENTS = 2_000
+
+#: Live-update workload knobs (overridable for the smoke-scale run).
+DELTA_USERS = int(os.environ.get("REPRO_BENCH_DELTA_USERS", 400))
+DELTA_DIMS = int(os.environ.get("REPRO_BENCH_DELTA_DIMS", 10))
+DELTA_EVENTS = int(os.environ.get("REPRO_BENCH_DELTA_EVENTS", 2_000))
+DELTA_EPSILON = int(os.environ.get("REPRO_BENCH_DELTA_EPSILON", 2))
+#: Recompute-per-event is timed on a prefix this long and extrapolated.
+DELTA_RECOMPUTE_SAMPLE = int(
+    os.environ.get("REPRO_BENCH_DELTA_RECOMPUTE_SAMPLE", 64)
+)
+#: Differential spot-check cadence (every Nth event, plus the final one).
+DELTA_CHECK_EVERY = int(os.environ.get("REPRO_BENCH_DELTA_CHECK_EVERY", 250))
+#: Smoke mode checks correctness only (no speedup floor, no JSON merge).
+DELTA_SMOKE = os.environ.get("REPRO_BENCH_DELTA_SMOKE", "0") == "1"
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="module")
@@ -53,3 +89,128 @@ def bench_replay_and_rejoin(benchmark, incremental_pair, bench_seed, report_writ
     assert result.similarity <= before
     # Counters are aggregates: they never decrease.
     assert (living.snapshot().vectors >= frozen.snapshot().vectors).all()
+
+
+def _reference_join(mats: dict[str, np.ndarray]):
+    """Recompute-from-scratch on the current ground-truth matrices."""
+    return ExBaseline(DELTA_EPSILON, matcher="hopcroft_karp").join(
+        Community("one", vectors=mats["one"].copy()),
+        Community("two", vectors=mats["two"].copy()),
+    )
+
+
+def _like_stream(seed: int, sizes: dict[str, int], n_events: int):
+    """A seeded likes-only stream: ``(name, row, dimension, count)``."""
+    rng = np.random.default_rng([seed, 93])
+    names = sorted(sizes)
+    stream = []
+    for _ in range(n_events):
+        name = names[int(rng.integers(0, len(names)))]
+        stream.append(
+            (
+                name,
+                int(rng.integers(0, sizes[name])),
+                int(rng.integers(0, DELTA_DIMS)),
+                int(rng.integers(1, 4)),
+            )
+        )
+    return stream
+
+
+@pytest.mark.bench
+@pytest.mark.delta
+def bench_delta_live_updates(bench_seed, report_writer):
+    rng = np.random.default_rng([bench_seed, 17])
+    users_b = max(2, (DELTA_USERS * 17) // 20)
+    base = {
+        "one": rng.integers(0, 10, size=(DELTA_USERS, DELTA_DIMS)),
+        "two": rng.integers(0, 10, size=(users_b, DELTA_DIMS)),
+    }
+    sizes = {name: len(mat) for name, mat in base.items()}
+    events = _like_stream(bench_seed, sizes, DELTA_EVENTS)
+
+    # -- recompute-per-event baseline (timed on a prefix, extrapolated) --
+    sample = min(DELTA_RECOMPUTE_SAMPLE, len(events))
+    mats = {name: mat.copy() for name, mat in base.items()}
+    started = time.perf_counter()
+    for name, row, dimension, count in events[:sample]:
+        mats[name][row, dimension] += count
+        _reference_join(mats)
+    t_recompute = time.perf_counter() - started
+    recompute_rate = sample / t_recompute
+
+    # -- in-process maintainer: apply the delta, read the similarity ----
+    mats = {name: mat.copy() for name, mat in base.items()}
+    maintainer = DeltaJoinMaintainer(
+        Community("one", vectors=base["one"].copy()),
+        Community("two", vectors=base["two"].copy()),
+        DELTA_EPSILON,
+    )
+    checks = 0
+    t_delta = 0.0
+    for index, (name, row, dimension, count) in enumerate(events, start=1):
+        mats[name][row, dimension] += count
+        tick = time.perf_counter()
+        maintainer.record_like("first" if name == "one" else "second", row, dimension, count)
+        similarity = maintainer.similarity
+        t_delta += time.perf_counter() - tick
+        if index % DELTA_CHECK_EVERY == 0 or index == len(events):
+            reference = _reference_join(mats)
+            assert similarity == reference.similarity
+            assert maintainer.n_matched == reference.n_matched
+            assert maintainer.events.as_dict() == reference.events.as_dict()
+            checks += 1
+    delta_rate = len(events) / t_delta
+
+    # -- serve-side pool: store mutation log replayed per refresh -------
+    store = CommunityStore()
+    for name, mat in base.items():
+        store.register(name, mat)
+    pool = DeltaJoinPool(store)
+    pool.refresh("one", "two", DELTA_EPSILON)
+    started = time.perf_counter()
+    for name, row, dimension, count in events:
+        store.record_like(name, row, dimension, count)
+        summary = pool.refresh("one", "two", DELTA_EPSILON)
+    t_pool = time.perf_counter() - started
+    pool_rate = len(events) / t_pool
+    assert summary["mode"] == "delta"
+    assert summary["similarity"] == maintainer.similarity
+
+    speedup = delta_rate / recompute_rate
+    section = {
+        "workload": {
+            "users": sizes,
+            "dims": DELTA_DIMS,
+            "events": len(events),
+            "epsilon": DELTA_EPSILON,
+            "recompute_sample": sample,
+            "differential_checks": checks,
+            "smoke": DELTA_SMOKE,
+        },
+        "updates_per_sec": {
+            "delta_maintainer": round(delta_rate, 1),
+            "delta_pool": round(pool_rate, 1),
+            "recompute_per_event": round(recompute_rate, 1),
+        },
+        "staleness_seconds_per_update": {
+            "delta_maintainer": round(t_delta / len(events), 8),
+            "delta_pool": round(t_pool / len(events), 8),
+            "recompute_per_event": round(t_recompute / sample, 8),
+        },
+        "speedup_vs_recompute": round(speedup, 2),
+        "maintainer_stats": maintainer.stats.as_dict(),
+        "pool_stats": pool.stats(),
+    }
+    report_writer("delta_live_updates", json.dumps(section, indent=2))
+    if not DELTA_SMOKE:
+        assert speedup >= 5.0, (
+            f"delta maintenance ({delta_rate:.0f} updates/s) must sustain "
+            f">= 5x recompute-per-event ({recompute_rate:.0f} updates/s); "
+            f"measured {speedup:.2f}x"
+        )
+        if _JSON_PATH.exists():
+            merged = json.loads(_JSON_PATH.read_text())
+            merged["delta"] = section
+            _JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+            print(f"[delta section merged into {_JSON_PATH}]")

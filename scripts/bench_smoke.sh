@@ -4,11 +4,11 @@
 # Exercises the full bench code path (reference vs engine-serial vs
 # engine-parallel vs cache-warm, byte-identical ranking assertions, the
 # supervised/retry-path faults bench, the serving-layer load and
-# burst-shedding benches, plus the sketch pre-filter bench) in a few
-# seconds.  Smoke mode skips the speedup assertions and does NOT
-# overwrite BENCH_engine.json — run the benches without these knobs to
-# record real numbers (including the "faults", "serve" and "sketch"
-# sections).
+# burst-shedding benches, the sketch pre-filter bench, plus the
+# incremental delta-maintenance bench) in a few seconds.  Smoke mode
+# skips the speedup assertions and does NOT overwrite BENCH_engine.json
+# — run the benches without these knobs to record real numbers
+# (including the "faults", "serve", "sketch" and "delta" sections).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,7 +33,13 @@ export REPRO_BENCH_SKETCH_USERS=12
 export REPRO_BENCH_SKETCH_DIMS=4
 export REPRO_BENCH_SKETCH_SAMPLE_PAIRS=24
 
+export REPRO_BENCH_DELTA_SMOKE=1
+export REPRO_BENCH_DELTA_USERS=60
+export REPRO_BENCH_DELTA_EVENTS=200
+export REPRO_BENCH_DELTA_RECOMPUTE_SAMPLE=20
+export REPRO_BENCH_DELTA_CHECK_EVERY=40
+
 PYTHONPATH=src python -m pytest \
   benchmarks/bench_engine_batch.py benchmarks/bench_serve_load.py \
-  benchmarks/bench_sketch_prefilter.py \
+  benchmarks/bench_sketch_prefilter.py benchmarks/bench_incremental_updates.py \
   -m bench -q -s "$@"

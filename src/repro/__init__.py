@@ -35,6 +35,7 @@ from .algorithms import (
 from .core import (
     Community,
     CSJResult,
+    DeltaJoinMaintainer,
     EventCounts,
     EventTrace,
     EventType,
@@ -90,6 +91,7 @@ __all__ = [
     "EventTrace",
     "EventType",
     "IncrementalCommunity",
+    "DeltaJoinMaintainer",
     "MatchedPair",
     "MinMaxEncoder",
     "ReproError",

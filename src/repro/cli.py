@@ -354,6 +354,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=range(0, 21),
         help="register this many paper couples (2 communities each) at startup",
     )
+    serve.add_argument(
+        "--delta",
+        action="store_true",
+        help="maintain per-couple delta joins for the update endpoint "
+        "(falls back to full recompute per update when off)",
+    )
+    serve.add_argument(
+        "--delta-couples",
+        type=int,
+        default=64,
+        metavar="COUPLES",
+        help="LRU bound on concurrently maintained couples",
+    )
     serve.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
     serve.add_argument("--scale", type=float, default=DEFAULT_SCALE / 4)
     serve.add_argument("--seed", type=int, default=7)
@@ -425,6 +438,8 @@ def main(argv: list[str] | None = None) -> int:
                 ),
                 executor_threads=args.threads,
                 cache_entries=args.cache,
+                delta_maintenance=args.delta,
+                delta_couples=args.delta_couples,
             ),
             store=store,
         )

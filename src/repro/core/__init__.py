@@ -8,6 +8,7 @@ model (:mod:`repro.core.types`), input validation
 (:mod:`repro.core.events`).
 """
 
+from .delta import DeltaJoinMaintainer, DeltaStats
 from .encoding import EncodedCandidates, EncodedTargets, MinMaxEncoder, split_dimensions
 from .errors import (
     ConfigurationError,
@@ -34,6 +35,8 @@ from .validation import orient_pair, validate_epsilon, validate_pair
 __all__ = [
     "Community",
     "IncrementalCommunity",
+    "DeltaJoinMaintainer",
+    "DeltaStats",
     "CSJResult",
     "EventCounts",
     "MatchedPair",

@@ -132,8 +132,8 @@ class IncrementalCommunity:
     def record_like(self, user_id: int, dimension: int, count: int = 1) -> None:
         """Increase one counter: the user liked ``count`` posts of a
         category (counters are aggregates, so they never decrease)."""
-        if count < 0:
-            raise ValidationError(f"like count must be >= 0, got {count}")
+        if count <= 0:
+            raise ValidationError(f"like count must be >= 1, got {count}")
         if not 0 <= dimension < self._n_dims:
             raise ValidationError(
                 f"dimension {dimension} out of range [0, {self._n_dims})"
@@ -142,8 +142,6 @@ class IncrementalCommunity:
             raise ValidationError(
                 f"user {user_id} is not subscribed to {self.name!r}"
             )
-        if count == 0:
-            return
         self._rows[user_id][dimension] += count
         self._version += 1
 

@@ -26,7 +26,14 @@ from .couples import (
 from .catalog import CachedSimilarity, CommunityCatalog
 from .manifest import build_manifest, load_manifest, save_manifest, verify_manifest
 from .io import load_communities, load_couple, save_communities, save_couple
-from .streams import LikeEvent, LikeStreamSimulator, replay
+from .streams import (
+    LikeEvent,
+    LikeStreamSimulator,
+    MutationEvent,
+    MutationStreamSimulator,
+    apply_mutation,
+    replay,
+)
 from .stats import CategoryTotal, category_totals, max_likes_per_dimension, ranking
 from .synthetic import SYNTHETIC_EPSILON, SyntheticGenerator
 from .vk import VK_EPSILON, VKGenerator
@@ -40,6 +47,9 @@ __all__ = [
     "CommunityCatalog",
     "LikeEvent",
     "LikeStreamSimulator",
+    "MutationEvent",
+    "MutationStreamSimulator",
+    "apply_mutation",
     "replay",
     "CATEGORIES",
     "N_CATEGORIES",

@@ -22,7 +22,14 @@ from ..core.errors import ConfigurationError
 from ..core.incremental import IncrementalCommunity
 from .categories import CATEGORIES
 
-__all__ = ["LikeEvent", "LikeStreamSimulator", "replay"]
+__all__ = [
+    "LikeEvent",
+    "LikeStreamSimulator",
+    "MutationEvent",
+    "MutationStreamSimulator",
+    "apply_mutation",
+    "replay",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,159 @@ class LikeStreamSimulator:
 
         self._tick += 1
         return LikeEvent(tick=self._tick, user_id=user_id, dimension=dimension)
+
+
+#: Mutation kinds a community can absorb between joins.
+MUTATION_ACTIONS = ("like", "subscribe", "unsubscribe")
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One membership-or-counter mutation on a community.
+
+    ``action`` is one of :data:`MUTATION_ACTIONS`.  For ``"like"``,
+    ``user_id``/``dimension``/``count`` describe the counter bump; for
+    ``"subscribe"``, ``profile`` is the joining user's initial counter
+    tuple (``user_id`` is filled in by :func:`apply_mutation`'s return
+    value, not the event); for ``"unsubscribe"``, ``user_id`` names the
+    departing user.
+    """
+
+    tick: int
+    action: str
+    user_id: int = -1
+    dimension: int = -1
+    count: int = 1
+    profile: tuple[int, ...] | None = None
+
+
+class MutationStreamSimulator:
+    """Generates a reproducible mixed mutation stream for a community.
+
+    Likes dominate (real platforms see orders of magnitude more likes
+    than membership churn); subscriptions and unsubscriptions arrive at
+    configurable rates.  Events are generated lazily from the
+    community's *current* state, so the caller must apply each event
+    (:func:`apply_mutation`) before pulling the next — exactly how the
+    differential harness in ``tests/test_delta.py`` replays them.
+
+    Parameters
+    ----------
+    community:
+        The incremental community the stream mutates.
+    seed:
+        Stream seed (independent of the community's content).
+    churn:
+        Probability in [0, 0.5] that an event is a membership change
+        (split evenly between subscribe and unsubscribe); the rest are
+        likes.  Unsubscribes are suppressed while the community is at
+        ``min_users`` so joins stay well-defined.
+    min_users:
+        Floor below which unsubscriptions are converted to likes.
+    max_count:
+        Like deltas are drawn uniformly from ``[1, max_count]``.
+    """
+
+    def __init__(
+        self,
+        community: IncrementalCommunity,
+        *,
+        seed: int = 7,
+        churn: float = 0.05,
+        min_users: int = 2,
+        max_count: int = 3,
+    ) -> None:
+        if not 0.0 <= churn <= 0.5:
+            raise ConfigurationError(
+                f"churn must be within [0, 0.5], got {churn}"
+            )
+        if min_users < 1:
+            raise ConfigurationError(
+                f"min_users must be >= 1, got {min_users}"
+            )
+        if max_count < 1:
+            raise ConfigurationError(
+                f"max_count must be >= 1, got {max_count}"
+            )
+        self.community = community
+        self.churn = float(churn)
+        self.min_users = int(min_users)
+        self.max_count = int(max_count)
+        digest = zlib.crc32(community.name.encode("utf-8"))
+        self._rng = np.random.default_rng([seed + 1, digest])
+        self._tick = 0
+
+    def events(self, n: int) -> Iterator[MutationEvent]:
+        """Yield the next ``n`` mutation events (lazy).
+
+        Each event is generated against the community's state at yield
+        time; apply it before advancing the iterator.
+        """
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        for _ in range(n):
+            yield self._next_event()
+
+    def _next_event(self) -> MutationEvent:
+        rng = self._rng
+        self._tick += 1
+        roll = float(rng.random())
+        n_users = self.community.n_users
+        if roll < self.churn / 2:
+            profile = tuple(
+                int(v)
+                for v in rng.integers(
+                    0, 4, size=self.community.n_dims, dtype=np.int64
+                )
+            )
+            return MutationEvent(
+                tick=self._tick, action="subscribe", profile=profile
+            )
+        if roll < self.churn and n_users > self.min_users:
+            user_id = int(rng.choice(self.community.user_ids()))
+            return MutationEvent(
+                tick=self._tick, action="unsubscribe", user_id=user_id
+            )
+        if n_users == 0:
+            raise ConfigurationError(
+                f"community {self.community.name!r} has no subscribers"
+            )
+        user_id = int(rng.choice(self.community.user_ids()))
+        dimension = int(rng.integers(0, self.community.n_dims))
+        count = int(rng.integers(1, self.max_count + 1))
+        return MutationEvent(
+            tick=self._tick,
+            action="like",
+            user_id=user_id,
+            dimension=dimension,
+            count=count,
+        )
+
+
+def apply_mutation(
+    community: IncrementalCommunity, event: MutationEvent
+) -> int | None:
+    """Fold one mutation into the community.
+
+    Returns the new user id for ``subscribe`` events, ``None``
+    otherwise.  Like events for users that departed mid-stream are
+    dropped, matching :func:`replay`.
+    """
+    if event.action == "like":
+        if event.user_id not in community:
+            return None
+        community.record_like(event.user_id, event.dimension, event.count)
+        return None
+    if event.action == "subscribe":
+        return community.subscribe(event.profile)
+    if event.action == "unsubscribe":
+        if event.user_id in community:
+            community.unsubscribe(event.user_id)
+        return None
+    raise ConfigurationError(
+        f"unknown mutation action {event.action!r}; "
+        f"expected one of {MUTATION_ACTIONS}"
+    )
 
 
 def replay(

@@ -40,6 +40,7 @@ ALLOWED_SUBSYSTEMS = frozenset(
         "extensions",
         "cli",
         "lint",
+        "delta",
         "serve",
         "sketch",
         "testing",

@@ -39,7 +39,13 @@ from .protocol import (
     ok_response,
 )
 from .server import CSJServer, ServeConfig, ServerThread
-from .store import CommunityStore, StoreSnapshot, UnknownCommunityError
+from .store import (
+    CommunityStore,
+    DeltaJoinPool,
+    MutationRecord,
+    StoreSnapshot,
+    UnknownCommunityError,
+)
 
 __all__ = [
     # server
@@ -50,6 +56,8 @@ __all__ = [
     "CommunityStore",
     "StoreSnapshot",
     "UnknownCommunityError",
+    "DeltaJoinPool",
+    "MutationRecord",
     # admission
     "AdmissionController",
     "AdmissionPolicy",

@@ -145,6 +145,32 @@ class _EndpointMixin:
             "mutate", {"name": name, "action": "unsubscribe", "user_id": user_id}
         )
 
+    def update(
+        self,
+        first: str,
+        second: str,
+        *,
+        epsilon: int,
+        mutation: Mapping[str, object] | None = None,
+        enforce_size_ratio: bool | None = None,
+        deadline_ms: float | None = None,
+    ):
+        """Apply one mutation and get the couple's repaired similarity.
+
+        ``mutation`` uses the ``mutate`` argument schema (``name`` must
+        be ``first`` or ``second``) and may be omitted to just refresh.
+        """
+        args: dict[str, object] = {
+            "first": first,
+            "second": second,
+            "epsilon": epsilon,
+        }
+        if mutation is not None:
+            args["mutation"] = dict(mutation)
+        if enforce_size_ratio is not None:
+            args["enforce_size_ratio"] = enforce_size_ratio
+        return self.request("update", args, deadline_ms=deadline_ms)  # type: ignore[attr-defined]
+
     def record_like(self, name: str, user_id: int, dimension: int, count: int = 1):
         return self.request(  # type: ignore[attr-defined]
             "mutate",

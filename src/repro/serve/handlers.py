@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from ..algorithms.baseline import ExBaseline
 from ..algorithms.registry import ALGORITHMS
 from ..apps import top_k_pairs
 from ..core.types import Community
@@ -40,7 +41,7 @@ from ..engine import BatchEngine, FaultPolicy, JoinResultCache, PairJob, PairOut
 from ..obs import MetricsRegistry
 from ..sketch import SketchPrefilter
 from .protocol import ProtocolError
-from .store import CommunityStore, StoreSnapshot
+from .store import CommunityStore, DeltaJoinPool, StoreSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .server import CSJServer
@@ -48,16 +49,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "JoinWork",
     "TopkWork",
+    "UpdateWork",
     "plan_join",
     "plan_topk",
+    "plan_update",
     "execute_join_work",
     "execute_topk_work",
+    "execute_update_work",
     "handle_register",
     "handle_mutate",
 ]
 
 #: Ops whose execute step runs on the thread executor.
-HEAVY_OPS = frozenset({"join", "topk"})
+HEAVY_OPS = frozenset({"join", "topk", "update"})
 
 #: JSON-representable option value types accepted in ``args.options``.
 _OPTION_TYPES = (bool, int, float, str, type(None))
@@ -252,6 +256,118 @@ def plan_topk(server: "CSJServer", args: Mapping[str, object]) -> TopkWork:
     )
 
 
+@dataclass
+class UpdateWork:
+    """One planned live update: mutation already applied on the loop.
+
+    The execute step only *reads*: it syncs (or, with delta maintenance
+    disabled, recomputes) the couple's similarity at the store versions
+    current after the mutation.
+    """
+
+    store: CommunityStore
+    pool: DeltaJoinPool | None
+    first: str
+    second: str
+    epsilon: int
+    enforce_size_ratio: bool
+    mutation: dict[str, object] | None
+    collect_metrics: bool = False
+
+
+def plan_update(server: "CSJServer", args: Mapping[str, object]) -> UpdateWork:
+    """Validate ``update`` arguments and apply the mutation inline.
+
+    The mutation (optional — an update without one just refreshes the
+    couple) is applied on the event loop exactly like a ``mutate``
+    request, so the store's per-community lock and mutation log see it
+    before the executor syncs the maintainer.  The mutation must target
+    one of the couple's two communities.
+    """
+    first = _arg_str(args, "first")
+    second = _arg_str(args, "second")
+    if first == second:
+        raise ProtocolError(
+            "invalid", "update needs two distinct communities"
+        )
+    epsilon = _arg_int(args, "epsilon", minimum=0, required=True)
+    assert epsilon is not None
+    config = server.config
+    mutation_args = args.get("mutation")
+    mutation: dict[str, object] | None = None
+    if mutation_args is not None:
+        if not isinstance(mutation_args, dict):
+            raise ProtocolError("invalid", "'mutation' must be a JSON object")
+        target = _arg_str(mutation_args, "name")
+        if target not in (first, second):
+            raise ProtocolError(
+                "invalid",
+                f"mutation targets {target!r}, which is neither "
+                f"{first!r} nor {second!r}",
+            )
+        mutation = handle_mutate(server.store, mutation_args)
+    return UpdateWork(
+        store=server.store,
+        pool=server.delta_pool,
+        first=first,
+        second=second,
+        epsilon=epsilon,
+        enforce_size_ratio=_arg_bool(
+            args, "enforce_size_ratio", config.enforce_size_ratio
+        ),
+        mutation=mutation,
+        collect_metrics=True,
+    )
+
+
+def execute_update_work(work: UpdateWork) -> tuple[dict, dict | None]:
+    """Sync or recompute one couple after a mutation (executor thread).
+
+    With delta maintenance enabled the couple's maintainer replays the
+    mutation log through local augmenting-path repair (``mode`` is
+    ``"delta"``, or ``"rebuild"`` after structural changes / log gaps).
+    Without it, every update pays a full
+    ``ExBaseline(matcher="hopcroft_karp")`` join (``mode`` is
+    ``"recompute"``) — the reference computation the delta path is
+    byte-identical to.
+    """
+    scratch = MetricsRegistry() if work.collect_metrics else None
+    if work.pool is not None:
+        summary = work.pool.refresh(
+            work.first,
+            work.second,
+            work.epsilon,
+            enforce_size_ratio=work.enforce_size_ratio,
+            metrics=scratch,
+        )
+    else:
+        first = work.store.snapshot(work.first)
+        second = work.store.snapshot(work.second)
+        result = ExBaseline(work.epsilon, matcher="hopcroft_karp").join(
+            first.community,
+            second.community,
+            enforce_size_ratio=work.enforce_size_ratio,
+        )
+        if scratch is not None:
+            scratch.inc("repro_delta_fallbacks_total")
+        summary = {
+            "mode": "recompute",
+            "similarity": result.similarity,
+            "n_matched": result.n_matched,
+            "size_b": result.size_b,
+            "size_a": result.size_a,
+            "events": result.events.as_dict(),
+            "versions": {
+                work.first: first.version,
+                work.second: second.version,
+            },
+        }
+    payload: dict[str, object] = {"epsilon": work.epsilon, **summary}
+    if work.mutation is not None:
+        payload["mutation"] = work.mutation
+    return payload, (scratch.snapshot() if scratch is not None else None)
+
+
 def execute_join_work(work: JoinWork) -> tuple[dict, dict | None]:
     """Run one planned join (executor thread).
 
@@ -396,7 +512,7 @@ def handle_mutate(store: CommunityStore, args: Mapping[str, object]) -> dict:
     else:  # record_like
         user_id = _arg_int(args, "user_id", minimum=0, required=True)
         dimension = _arg_int(args, "dimension", minimum=0, required=True)
-        count = _arg_int(args, "count", minimum=0, default=1)
+        count = _arg_int(args, "count", minimum=1, default=1)
         assert user_id is not None and dimension is not None and count is not None
         info = store.record_like(name, user_id, dimension, count)
     info["action"] = action

@@ -62,7 +62,9 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: The service's endpoints.
-OPS = frozenset({"register", "join", "topk", "mutate", "stats", "health"})
+OPS = frozenset(
+    {"register", "join", "topk", "mutate", "update", "stats", "health"}
+)
 
 #: Error codes a response may carry.
 ERROR_CODES = frozenset(

@@ -46,10 +46,12 @@ from .admission import AdmissionController, AdmissionPolicy, Rejection
 from .handlers import (
     execute_join_work,
     execute_topk_work,
+    execute_update_work,
     handle_mutate,
     handle_register,
     plan_join,
     plan_topk,
+    plan_update,
 )
 from .protocol import (
     MAX_LINE_BYTES,
@@ -61,7 +63,12 @@ from .protocol import (
     error_response,
     ok_response,
 )
-from .store import CommunityStore, UnknownCommunityError
+from .store import (
+    CommunityStore,
+    DeltaJoinPool,
+    UnknownCommunityError,
+    init_delta_metrics,
+)
 
 __all__ = ["ServeConfig", "CSJServer", "ServerThread"]
 
@@ -87,6 +94,11 @@ class ServeConfig:
     screen: bool = True
     enforce_size_ratio: bool = True
     fault_policy: FaultPolicy | None = None
+    #: Maintain per-couple delta joins for the ``update`` endpoint; off
+    #: by default (updates then fall back to full recompute per call).
+    delta_maintenance: bool = False
+    #: LRU bound on concurrently maintained couples.
+    delta_couples: int = 64
 
 
 class CSJServer:
@@ -123,9 +135,15 @@ class CSJServer:
         self.config = config if config is not None else ServeConfig()
         self.store = store if store is not None else CommunityStore()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        # Zero-initialise the sketch family so stats/scrapes expose
-        # repro_sketch_* before the first approximate topk request.
+        # Zero-initialise the sketch and delta families so stats/scrapes
+        # expose them before the first approximate topk / update request.
         init_sketch_metrics(self.metrics)
+        init_delta_metrics(self.metrics)
+        self.delta_pool: DeltaJoinPool | None = None
+        if self.config.delta_maintenance:
+            self.delta_pool = DeltaJoinPool(
+                self.store, max_couples=self.config.delta_couples
+            )
         self.clock = clock
         self.admission = AdmissionController(
             self.config.admission, clock=clock, metrics=self.metrics
@@ -299,6 +317,12 @@ class CSJServer:
                 result, snapshot = await self._run_in_executor(
                     execute_join_work, plan_join(self, request.args)
                 )
+            elif op == "update":
+                # plan_update applies the mutation inline (loop thread,
+                # store locks); only the read-side sync runs off-loop.
+                result, snapshot = await self._run_in_executor(
+                    execute_update_work, plan_update(self, request.args)
+                )
             else:  # topk — decode_request guarantees op is in OPS
                 result, snapshot = await self._run_in_executor(
                     execute_topk_work, plan_topk(self, request.args)
@@ -367,6 +391,22 @@ class CSJServer:
                 ),
                 "pairs_skipped": self.metrics.counter(
                     "repro_sketch_pairs_skipped_total"
+                ),
+            },
+            "delta": {
+                "enabled": self.delta_pool is not None,
+                "updates": self.metrics.counter("repro_delta_updates_total"),
+                "skips": self.metrics.counter("repro_delta_skips_total"),
+                "rebuilds": self.metrics.counter(
+                    "repro_delta_rebuilds_total"
+                ),
+                "fallbacks": self.metrics.counter(
+                    "repro_delta_fallbacks_total"
+                ),
+                **(
+                    self.delta_pool.stats()
+                    if self.delta_pool is not None
+                    else {}
                 ),
             },
         }

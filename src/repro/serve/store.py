@@ -19,13 +19,32 @@ across executor threads because ``Community`` matrices are read-only.
 from __future__ import annotations
 
 import threading
-from typing import Iterable
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Iterable
 
+from ..core.delta import DeltaJoinMaintainer
 from ..core.errors import ValidationError
 from ..core.incremental import IncrementalCommunity
 from ..core.types import Community
 
-__all__ = ["UnknownCommunityError", "CommunityStore", "StoreSnapshot"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
+__all__ = [
+    "UnknownCommunityError",
+    "CommunityStore",
+    "StoreSnapshot",
+    "MutationRecord",
+    "DeltaJoinPool",
+    "init_delta_metrics",
+]
+
+#: Per-community mutation-log capacity.  A maintainer that falls more
+#: than this many mutations behind cannot replay and rebuilds instead —
+#: the log is a catch-up window, not a durable history.
+MUTATION_LOG_CAPACITY = 4096
 
 
 class UnknownCommunityError(ValidationError):
@@ -42,33 +61,91 @@ class UnknownCommunityError(ValidationError):
 
 
 class StoreSnapshot:
-    """One frozen read of a community: ``(community, version)``."""
+    """One frozen read of a community: ``(community, version)``.
 
-    __slots__ = ("community", "version")
+    ``user_ids`` maps snapshot rows back to stable store user ids (row
+    ``k`` of the matrix is user ``user_ids[k]``) — the delta layer needs
+    it to translate like events into matrix rows.  ``generation``
+    identifies the registration the snapshot came from: replacing a
+    community restarts its version counter, so version comparisons are
+    only meaningful within one generation.
+    """
 
-    def __init__(self, community: Community, version: int) -> None:
+    __slots__ = ("community", "version", "user_ids", "generation")
+
+    def __init__(
+        self,
+        community: Community,
+        version: int,
+        user_ids: tuple[int, ...] = (),
+        generation: int = 0,
+    ) -> None:
         self.community = community
         self.version = version
+        self.user_ids = user_ids
+        self.generation = generation
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One logged mutation; ``version`` is the state *after* applying.
+
+    ``structural`` marks membership changes (subscribe / unsubscribe)
+    that re-shape the snapshot matrix — the delta layer cannot replay
+    those locally and rebuilds instead.
+    """
+
+    version: int
+    action: str
+    user_id: int
+    dimension: int = -1
+    count: int = 0
+
+    @property
+    def structural(self) -> bool:
+        return self.action != "record_like"
+
+
+#: Distinguishes registrations of the same name across ``replace=True``
+#: (``itertools.count.__next__`` is atomic under the GIL).
+_generations = count(1)
 
 
 class _Entry:
     """One registered community: mutable state + snapshot cache + lock."""
 
-    __slots__ = ("mutable", "lock", "_cached_version", "_cached_snapshot")
+    __slots__ = (
+        "mutable",
+        "lock",
+        "log",
+        "generation",
+        "_cached_version",
+        "_cached_snapshot",
+        "_cached_user_ids",
+    )
 
     def __init__(self, mutable: IncrementalCommunity) -> None:
         self.mutable = mutable
         self.lock = threading.RLock()
+        self.log: deque[MutationRecord] = deque(maxlen=MUTATION_LOG_CAPACITY)
+        self.generation = next(_generations)
         self._cached_version = -1
         self._cached_snapshot: Community | None = None
+        self._cached_user_ids: tuple[int, ...] = ()
 
     def snapshot(self) -> StoreSnapshot:
         with self.lock:
             version = self.mutable.version
             if self._cached_snapshot is None or self._cached_version != version:
                 self._cached_snapshot = self.mutable.snapshot()
+                self._cached_user_ids = tuple(self.mutable.user_ids())
                 self._cached_version = version
-            return StoreSnapshot(self._cached_snapshot, version)
+            return StoreSnapshot(
+                self._cached_snapshot,
+                version,
+                self._cached_user_ids,
+                self.generation,
+            )
 
 
 class CommunityStore:
@@ -178,12 +255,18 @@ class CommunityStore:
         entry = self._entry(name)
         with entry.lock:
             user_id = entry.mutable.subscribe(profile)
+            entry.log.append(
+                MutationRecord(entry.mutable.version, "subscribe", user_id)
+            )
             return self._mutation_info(entry, user_id=user_id)
 
     def unsubscribe(self, name: str, user_id: int) -> dict[str, object]:
         entry = self._entry(name)
         with entry.lock:
             entry.mutable.unsubscribe(user_id)
+            entry.log.append(
+                MutationRecord(entry.mutable.version, "unsubscribe", user_id)
+            )
             return self._mutation_info(entry, user_id=user_id)
 
     def record_like(
@@ -192,7 +275,45 @@ class CommunityStore:
         entry = self._entry(name)
         with entry.lock:
             entry.mutable.record_like(user_id, dimension, count)
+            entry.log.append(
+                MutationRecord(
+                    entry.mutable.version,
+                    "record_like",
+                    user_id,
+                    dimension=dimension,
+                    count=count,
+                )
+            )
             return self._mutation_info(entry, user_id=user_id)
+
+    # -- delta catch-up ------------------------------------------------
+    def mutations_since(
+        self, name: str, version: int, generation: int
+    ) -> tuple[list[MutationRecord] | None, int]:
+        """Mutations applied to ``name`` after store version ``version``.
+
+        ``generation`` must be the :class:`StoreSnapshot` generation the
+        caller's state was built from.  Returns
+        ``(records, current_version)``.  ``records`` is ``None`` when
+        the log cannot prove continuity — the caller fell out of the
+        bounded log window, or the community was replaced (new
+        generation, restarted version counter) — in which case the
+        caller must rebuild from a fresh snapshot.  An empty list means
+        the caller is already current.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            current = entry.mutable.version
+            if entry.generation != generation or version > current:
+                return None, current  # replaced community
+            if version == current:
+                return [], current
+            records = [
+                record for record in entry.log if record.version > version
+            ]
+            if len(records) != current - version:
+                return None, current  # gap: log window no longer covers
+            return records, current
 
     @staticmethod
     def _mutation_info(entry: _Entry, **extra: object) -> dict[str, object]:
@@ -204,6 +325,253 @@ class CommunityStore:
         }
         info.update(extra)
         return info
+
+
+#: Counter families of the delta layer, zero-initialised at server
+#: startup so stats/scrapes expose them before the first update.
+DELTA_COUNTERS = (
+    "repro_delta_updates_total",
+    "repro_delta_skips_total",
+    "repro_delta_pairs_rechecked_total",
+    "repro_delta_edges_added_total",
+    "repro_delta_edges_removed_total",
+    "repro_delta_augment_phases_total",
+    "repro_delta_rebuilds_total",
+    "repro_delta_refreshes_total",
+    "repro_delta_evictions_total",
+    "repro_delta_fallbacks_total",
+)
+
+
+def init_delta_metrics(metrics: "MetricsRegistry") -> None:
+    """Create the ``repro_delta_*`` family at zero in ``metrics``."""
+    for name in DELTA_COUNTERS:
+        metrics.inc(name, 0)
+
+
+class _CoupleState:
+    """One maintained couple: maintainer + synced versions + row maps."""
+
+    __slots__ = ("lock", "maintainer", "versions", "generations", "row_maps")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.maintainer: DeltaJoinMaintainer | None = None
+        self.versions: dict[str, int] = {}
+        self.generations: dict[str, int] = {}
+        self.row_maps: dict[str, dict[int, int]] = {}
+
+
+class DeltaJoinPool:
+    """Version-aware :class:`DeltaJoinMaintainer` cache over a store.
+
+    One maintainer per ``(couple, epsilon, size-ratio flag)`` key, LRU
+    bounded.  :meth:`refresh` brings a couple's maintainer up to the
+    store's current versions: like mutations replay through the
+    maintainer's local repair path, while structural changes
+    (subscribe / unsubscribe / community replacement / log gaps)
+    discard the maintainer and rebuild it from fresh snapshots — row
+    indices and the B/A orientation are only stable between membership
+    changes.
+
+    Thread-safety: the pool map takes its own lock; each couple's state
+    takes a per-couple lock for the whole refresh, so concurrent
+    ``update`` requests for the same couple serialise while different
+    couples repair in parallel.  Metric emission goes to the
+    caller-provided scratch registry (executor threads never touch the
+    server's shared registry).
+    """
+
+    def __init__(
+        self,
+        store: CommunityStore,
+        *,
+        max_couples: int = 64,
+    ) -> None:
+        if max_couples < 1:
+            raise ValidationError(
+                f"max_couples must be >= 1, got {max_couples}"
+            )
+        self._store = store
+        self._max_couples = int(max_couples)
+        self._couples: OrderedDict[
+            tuple[str, str, int, bool], _CoupleState
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+        self.refreshes = 0
+        self.rebuilds = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._couples)
+
+    def _state_for(
+        self, key: tuple[str, str, int, bool]
+    ) -> _CoupleState:
+        with self._lock:
+            state = self._couples.get(key)
+            if state is None:
+                state = _CoupleState()
+                self._couples[key] = state
+                while len(self._couples) > self._max_couples:
+                    self._couples.popitem(last=False)
+                    self.evictions += 1
+            self._couples.move_to_end(key)
+            return state
+
+    def invalidate(self, name: str) -> None:
+        """Drop every maintainer involving ``name`` (re-registration)."""
+        with self._lock:
+            stale = [key for key in self._couples if name in key[:2]]
+            for key in stale:
+                del self._couples[key]
+
+    def refresh(
+        self,
+        first: str,
+        second: str,
+        epsilon: int,
+        *,
+        enforce_size_ratio: bool = True,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> dict[str, object]:
+        """Sync the couple's maintainer with the store; return a summary.
+
+        ``mode`` in the summary is ``"delta"`` when the catch-up
+        replayed like mutations through local repair (also when there
+        was nothing to replay) and ``"rebuild"`` when the maintainer was
+        (re)built from fresh snapshots.
+        """
+        if first == second:
+            raise ValidationError(
+                "update needs two distinct communities, got "
+                f"{first!r} twice"
+            )
+        key = (
+            min(first, second),
+            max(first, second),
+            int(epsilon),
+            bool(enforce_size_ratio),
+        )
+        state = self._state_for(key)
+        with state.lock:
+            summary = self._refresh_locked(state, key, metrics)
+        with self._lock:
+            self.refreshes += 1
+        if metrics is not None:
+            metrics.inc("repro_delta_refreshes_total")
+        return summary
+
+    def _refresh_locked(
+        self,
+        state: _CoupleState,
+        key: tuple[str, str, int, bool],
+        metrics: "MetricsRegistry | None",
+    ) -> dict[str, object]:
+        name_one, name_two = key[0], key[1]
+        maintainer = state.maintainer
+        mode = "delta"
+        pending: dict[str, list[MutationRecord]] = {}
+        if maintainer is None:
+            mode = "rebuild"
+        else:
+            for name in (name_one, name_two):
+                records, current = self._store.mutations_since(
+                    name, state.versions[name], state.generations[name]
+                )
+                if records is None or any(
+                    record.structural for record in records
+                ):
+                    mode = "rebuild"
+                    break
+                pending[name] = records
+        if mode == "rebuild":
+            maintainer = self._rebuild(state, key, metrics)
+        else:
+            assert maintainer is not None
+            maintainer.metrics = metrics
+            try:
+                for name in (name_one, name_two):
+                    side = "first" if name == name_one else "second"
+                    rows = state.row_maps[name]
+                    for record in pending[name]:
+                        maintainer.record_like(
+                            side,
+                            rows[record.user_id],
+                            record.dimension,
+                            record.count,
+                        )
+                        state.versions[name] = record.version
+            finally:
+                maintainer.metrics = None
+        return {
+            "mode": mode,
+            "similarity": maintainer.similarity,
+            "n_matched": maintainer.n_matched,
+            "size_b": maintainer.size_b,
+            "size_a": maintainer.size_a,
+            "events": maintainer.events.as_dict(),
+            "versions": dict(state.versions),
+            "stats": maintainer.stats.as_dict(),
+        }
+
+    def _rebuild(
+        self,
+        state: _CoupleState,
+        key: tuple[str, str, int, bool],
+        metrics: "MetricsRegistry | None",
+    ) -> DeltaJoinMaintainer:
+        name_one, name_two, epsilon, enforce = key
+        snap_one = self._store.snapshot(name_one)
+        snap_two = self._store.snapshot(name_two)
+        if state.maintainer is None:
+            maintainer = DeltaJoinMaintainer(
+                snap_one.community,
+                snap_two.community,
+                epsilon,
+                enforce_size_ratio=enforce,
+            )
+            state.maintainer = maintainer
+            if metrics is not None:
+                metrics.inc("repro_delta_rebuilds_total")
+        else:
+            maintainer = state.maintainer
+            maintainer.metrics = metrics
+            try:
+                maintainer.rebuild(snap_one.community, snap_two.community)
+            finally:
+                maintainer.metrics = None
+        with self._lock:
+            self.rebuilds += 1
+        state.versions = {
+            name_one: snap_one.version,
+            name_two: snap_two.version,
+        }
+        state.generations = {
+            name_one: snap_one.generation,
+            name_two: snap_two.generation,
+        }
+        state.row_maps = {
+            name_one: {
+                user_id: row for row, user_id in enumerate(snap_one.user_ids)
+            },
+            name_two: {
+                user_id: row for row, user_id in enumerate(snap_two.user_ids)
+            },
+        }
+        return maintainer
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            couples = len(self._couples)
+        return {
+            "couples": couples,
+            "max_couples": self._max_couples,
+            "refreshes": self.refreshes,
+            "rebuilds": self.rebuilds,
+            "evictions": self.evictions,
+        }
 
 
 def _n_dims_of(vectors: object) -> int:

@@ -1,0 +1,644 @@
+"""Differential harness for incremental delta joins.
+
+The delta layer's entire correctness story is *equivalence*: after any
+mutation stream, the maintained state must be byte-identical to a full
+``ExBaseline(matcher="hopcroft_karp")`` join of the current snapshots in
+every path-independent field — similarity, maximum-matching size, and
+pairing events.  These tests replay seeded ``datasets.streams`` mutation
+sequences and check that equivalence on **every prefix**:
+
+* a Hypothesis property over random seeds and churn rates (core
+  maintainer, structural events handled by rebuild);
+* a deterministic 200+-event harness through the serving store and
+  :class:`~repro.serve.store.DeltaJoinPool` (mutation log, catch-up
+  replay, structural rebuilds, generation fencing);
+* a concurrency test interleaving ``update`` with ``join``/``topk``
+  from multiple client threads, asserting version monotonicity and
+  that every response is consistent with a committed store version
+  (no torn mid-delta reads).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ExBaseline
+from repro.core import (
+    Community,
+    DeltaJoinMaintainer,
+    IncrementalCommunity,
+    ValidationError,
+)
+from repro.core.types import CSJResult
+from repro.datasets import MutationStreamSimulator, apply_mutation
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.serve.store import CommunityStore, DeltaJoinPool
+
+pytestmark = pytest.mark.delta
+
+
+def reference_join(first: Community, second: Community, epsilon: int) -> CSJResult:
+    """The full recompute the delta path must be byte-identical to."""
+    return ExBaseline(epsilon, matcher="hopcroft_karp").join(
+        first, second, enforce_size_ratio=False
+    )
+
+
+def assert_equivalent(
+    maintainer: DeltaJoinMaintainer,
+    first: Community,
+    second: Community,
+    epsilon: int,
+    context: object = "",
+) -> None:
+    """Byte-identity of every path-independent field vs full recompute."""
+    full = reference_join(first, second, epsilon)
+    assert maintainer.similarity == full.similarity, context
+    assert maintainer.n_matched == full.n_matched, context
+    assert maintainer.events.as_dict() == full.events.as_dict(), context
+    assert maintainer.size_b == full.size_b, context
+    assert maintainer.size_a == full.size_a, context
+
+
+def make_incremental(name: str, n_users: int, seed: int, n_dims: int = 6):
+    rng = np.random.default_rng([seed, n_users])
+    vectors = rng.integers(0, 8, size=(n_users, n_dims), dtype=np.int64)
+    return IncrementalCommunity(name, n_dims, vectors=vectors)
+
+
+# ----------------------------------------------------------------------
+# core maintainer: Hypothesis differential replay
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    churn=st.sampled_from([0.0, 0.1, 0.3]),
+    epsilon=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_differential_replay_matches_full_join(seed, churn, epsilon):
+    """After EVERY replayed event, delta state == full recompute."""
+    left = make_incremental("left", 12, seed)
+    right = make_incremental("right", 15, seed + 1)
+    simulators = {
+        "left": MutationStreamSimulator(left, seed=seed, churn=churn),
+        "right": MutationStreamSimulator(right, seed=seed + 1, churn=churn),
+    }
+    communities = {"left": left, "right": right}
+    maintainer = DeltaJoinMaintainer(
+        left.snapshot(), right.snapshot(), epsilon, enforce_size_ratio=False
+    )
+    pick = np.random.default_rng(seed + 2)
+    for step in range(40):
+        name = "left" if pick.random() < 0.5 else "right"
+        community = communities[name]
+        event = next(simulators[name].events(1))
+        apply_mutation(community, event)
+        if event.action == "like":
+            # The maintainer addresses users by snapshot row; the row
+            # order is sorted user ids, stable between structural events.
+            row = community.user_ids().index(event.user_id)
+            side = "first" if name == "left" else "second"
+            maintainer.record_like(side, row, event.dimension, event.count)
+        else:
+            maintainer.rebuild(left.snapshot(), right.snapshot())
+        assert_equivalent(
+            maintainer,
+            left.snapshot(),
+            right.snapshot(),
+            epsilon,
+            context=(step, event),
+        )
+
+
+@given(
+    rows_b=st.lists(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=3, max_size=3),
+        min_size=2,
+        max_size=6,
+    ),
+    rows_a=st.lists(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=3, max_size=3),
+        min_size=2,
+        max_size=6,
+    ),
+    likes=st.lists(
+        st.tuples(
+            st.booleans(),  # touch first side?
+            st.integers(min_value=0, max_value=5),  # row (clamped)
+            st.integers(min_value=0, max_value=2),  # dimension
+            st.integers(min_value=1, max_value=4),  # count
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    epsilon=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_like_sequences_stay_equivalent(rows_b, rows_a, likes, epsilon):
+    """Pure like-streams over arbitrary matrices — no structural events."""
+    first_mat = np.array(rows_b, dtype=np.int64)
+    second_mat = np.array(rows_a, dtype=np.int64)
+    maintainer = DeltaJoinMaintainer(
+        Community("first", first_mat.copy()),
+        Community("second", second_mat.copy()),
+        epsilon,
+        enforce_size_ratio=False,
+    )
+    for touch_first, row, dimension, count in likes:
+        matrix = first_mat if touch_first else second_mat
+        row %= len(matrix)
+        matrix[row, dimension] += count
+        maintainer.record_like(
+            "first" if touch_first else "second", row, dimension, count
+        )
+        assert_equivalent(
+            maintainer,
+            Community("first", first_mat.copy()),
+            Community("second", second_mat.copy()),
+            epsilon,
+        )
+
+
+# ----------------------------------------------------------------------
+# core maintainer: unit coverage
+# ----------------------------------------------------------------------
+
+
+class TestMaintainerValidation:
+    def setup_method(self):
+        self.maintainer = DeltaJoinMaintainer(
+            Community("b", np.zeros((3, 2), dtype=np.int64)),
+            Community("a", np.ones((4, 2), dtype=np.int64)),
+            1,
+        )
+
+    def test_rejects_zero_and_negative_counts(self):
+        for count in (0, -1, -7):
+            with pytest.raises(ValidationError, match="positive"):
+                self.maintainer.record_like("first", 0, 0, count)
+
+    def test_rejects_non_integer_count(self):
+        with pytest.raises(ValidationError, match="positive"):
+            self.maintainer.record_like("first", 0, 0, True)
+
+    def test_rejects_unknown_side(self):
+        with pytest.raises(ValidationError, match="side"):
+            self.maintainer.record_like("b", 0, 0, 1)
+
+    def test_rejects_out_of_range_row_and_dimension(self):
+        with pytest.raises(ValidationError, match="row"):
+            self.maintainer.record_like("first", 99, 0, 1)
+        with pytest.raises(ValidationError, match="dimension"):
+            self.maintainer.record_like("first", 0, 99, 1)
+
+    def test_count_rejection_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            self.maintainer.record_like("first", 0, 0, 0)
+
+
+def test_window_gate_skips_far_deltas_without_losing_equivalence():
+    """Deltas provably outside the other side's envelope short-circuit."""
+    first_mat = np.array([[0, 0], [1, 1]], dtype=np.int64)
+    second_mat = np.array([[100, 100], [101, 101]], dtype=np.int64)
+    maintainer = DeltaJoinMaintainer(
+        Community("first", first_mat.copy()),
+        Community("second", second_mat.copy()),
+        2,
+        enforce_size_ratio=False,
+    )
+    changed = maintainer.record_like("first", 0, 0, 1)
+    first_mat[0, 0] += 1
+    assert not changed
+    assert maintainer.stats.skipped == 1
+    assert maintainer.stats.pairs_rechecked == 0
+    assert_equivalent(
+        maintainer,
+        Community("first", first_mat.copy()),
+        Community("second", second_mat.copy()),
+        2,
+    )
+
+
+def test_delta_crossing_into_envelope_repairs_matching():
+    """A like that bridges the gap must add edges and grow the matching."""
+    first_mat = np.array([[0, 5]], dtype=np.int64)
+    second_mat = np.array([[4, 5], [9, 5]], dtype=np.int64)
+    maintainer = DeltaJoinMaintainer(
+        Community("first", first_mat.copy()),
+        Community("second", second_mat.copy()),
+        1,
+        enforce_size_ratio=False,
+    )
+    assert maintainer.n_matched == 0
+    maintainer.record_like("first", 0, 0, 3)  # 0 -> 3: now within 1 of 4
+    first_mat[0, 0] += 3
+    assert maintainer.n_matched == 1
+    assert_equivalent(
+        maintainer,
+        Community("first", first_mat.copy()),
+        Community("second", second_mat.copy()),
+        1,
+    )
+
+
+def test_result_packages_reference_identical_fields():
+    rng = np.random.default_rng(17)
+    first = Community("f", rng.integers(0, 6, size=(8, 4), dtype=np.int64))
+    second = Community("s", rng.integers(0, 6, size=(9, 4), dtype=np.int64))
+    maintainer = DeltaJoinMaintainer(first, second, 2, enforce_size_ratio=False)
+    result = maintainer.result()
+    full = reference_join(first, second, 2)
+    assert result.engine == "delta"
+    assert result.exact
+    assert result.similarity == full.similarity
+    assert result.n_matched == full.n_matched
+    assert result.events.as_dict() == full.events.as_dict()
+    # Pairs are one maximum matching among possibly many, but they must
+    # be a *valid* matching of the same cardinality.
+    assert len({pair.b_index for pair in result.pairs}) == len(result.pairs)
+    assert len({pair.a_index for pair in result.pairs}) == len(result.pairs)
+
+
+# ----------------------------------------------------------------------
+# store + pool: deterministic 200+-event prefix harness
+# ----------------------------------------------------------------------
+
+
+def test_store_pool_differential_200_event_stream():
+    """Every prefix of a seeded 240-event stream is byte-identical.
+
+    The stream mixes likes with membership churn and flows through the
+    real serving path: store mutation log -> pool catch-up -> maintainer
+    repair (or structural rebuild).  A mirror community replays the same
+    events so the expected full join is computed from scratch each step.
+    """
+    epsilon = 2
+    store = CommunityStore()
+    pool = DeltaJoinPool(store)
+    mirrors = {
+        "left": make_incremental("left", 14, seed=3),
+        "right": make_incremental("right", 17, seed=4),
+    }
+    for name, mirror in mirrors.items():
+        store.register(name, mirror.snapshot().vectors)
+    simulators = {
+        name: MutationStreamSimulator(mirror, seed=11, churn=0.08)
+        for name, mirror in mirrors.items()
+    }
+    pick = np.random.default_rng(12)
+    delta_modes = 0
+    for step in range(240):
+        name = "left" if pick.random() < 0.5 else "right"
+        mirror = mirrors[name]
+        event = next(simulators[name].events(1))
+        # Apply to the mirror first: subscribe ids must line up with the
+        # store's (both assign sequentially from the same initial state).
+        new_id = apply_mutation(mirror, event)
+        if event.action == "like":
+            if event.user_id in mirror:
+                store.record_like(
+                    name, event.user_id, event.dimension, event.count
+                )
+        elif event.action == "subscribe":
+            info = store.subscribe(name, list(event.profile))
+            assert info["user_id"] == new_id
+        else:
+            store.unsubscribe(name, event.user_id)
+        summary = pool.refresh(
+            "left", "right", epsilon, enforce_size_ratio=False
+        )
+        if summary["mode"] == "delta":
+            delta_modes += 1
+        full = reference_join(
+            mirrors["left"].snapshot(),
+            mirrors["right"].snapshot(),
+            epsilon,
+        )
+        context = (step, event, summary["mode"])
+        assert summary["similarity"] == full.similarity, context
+        assert summary["n_matched"] == full.n_matched, context
+        assert summary["events"] == full.events.as_dict(), context
+        assert summary["versions"] == {
+            "left": mirrors["left"].version,
+            "right": mirrors["right"].version,
+        }, context
+    # The harness only proves equivalence if the delta path actually ran
+    # (an all-rebuild run would pass vacuously).
+    assert delta_modes > 150
+
+
+def test_pool_rebuilds_after_log_gap():
+    """Falling out of the bounded log window forces a full rebuild."""
+    store = CommunityStore()
+    rng = np.random.default_rng(21)
+    store.register("x", rng.integers(0, 6, size=(6, 3)).tolist())
+    store.register("y", rng.integers(0, 6, size=(7, 3)).tolist())
+    pool = DeltaJoinPool(store)
+    assert pool.refresh("x", "y", 1)["mode"] == "rebuild"
+    # Overflow the per-community log so continuity cannot be proven.
+    from repro.serve.store import MUTATION_LOG_CAPACITY
+
+    for _ in range(MUTATION_LOG_CAPACITY + 5):
+        store.record_like("x", 0, 0, 1)
+    summary = pool.refresh("x", "y", 1)
+    assert summary["mode"] == "rebuild"
+    # Back in the window: the next update repairs locally.
+    store.record_like("x", 1, 1, 1)
+    assert pool.refresh("x", "y", 1)["mode"] == "delta"
+
+
+def test_pool_rebuilds_when_community_replaced():
+    """replace=True restarts versions; generation fencing must catch it."""
+    store = CommunityStore()
+    rng = np.random.default_rng(22)
+    store.register("x", rng.integers(0, 6, size=(6, 3)).tolist())
+    store.register("y", rng.integers(0, 6, size=(7, 3)).tolist())
+    pool = DeltaJoinPool(store)
+    pool.refresh("x", "y", 1)
+    # Replace, then mutate the *new* community back up to a version the
+    # pool has already seen — without generations this would alias.
+    store.record_like("x", 0, 0, 1)
+    pool.refresh("x", "y", 1)
+    replacement = rng.integers(0, 6, size=(6, 3))
+    store.register("x", replacement.tolist(), replace=True)
+    store.record_like("x", 2, 2, 2)
+    summary = pool.refresh("x", "y", 1)
+    assert summary["mode"] == "rebuild"
+    expected = replacement.copy()
+    expected[2, 2] += 2
+    full = reference_join(
+        Community("x", expected), store.snapshot("y").community, 1
+    )
+    assert summary["similarity"] == full.similarity
+
+
+def test_mutations_since_contract():
+    store = CommunityStore()
+    store.register("x", [[0, 0], [1, 1], [2, 2]])
+    snap = store.snapshot("x")
+    records, current = store.mutations_since("x", snap.version, snap.generation)
+    assert records == [] and current == 0
+    store.record_like("x", 0, 1, 3)
+    store.subscribe("x", [5, 5])
+    records, current = store.mutations_since("x", snap.version, snap.generation)
+    assert current == 2
+    assert [record.action for record in records] == ["record_like", "subscribe"]
+    assert records[0].dimension == 1 and records[0].count == 3
+    assert records[0].structural is False and records[1].structural is True
+    # A stale generation can never replay.
+    records, _ = store.mutations_since("x", 0, snap.generation - 1)
+    assert records is None
+
+
+def test_pool_lru_eviction():
+    store = CommunityStore()
+    rng = np.random.default_rng(23)
+    for name in ("a", "b", "c"):
+        store.register(name, rng.integers(0, 6, size=(5, 3)).tolist())
+    pool = DeltaJoinPool(store, max_couples=1)
+    pool.refresh("a", "b", 1)
+    pool.refresh("a", "c", 1)  # evicts (a, b)
+    assert len(pool) == 1
+    assert pool.evictions == 1
+    assert pool.refresh("a", "b", 1)["mode"] == "rebuild"
+
+
+# ----------------------------------------------------------------------
+# serve: update endpoint end-to-end + concurrency
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def couple_vectors():
+    rng = np.random.default_rng(31)
+    return (
+        rng.integers(0, 9, size=(18, 5)).tolist(),
+        rng.integers(0, 9, size=(22, 5)).tolist(),
+    )
+
+
+@pytest.mark.serve
+@pytest.mark.parametrize("delta", [True, False], ids=["delta", "recompute"])
+def test_update_endpoint_matches_reference(couple_vectors, delta):
+    vec_one, vec_two = couple_vectors
+    config = ServeConfig(delta_maintenance=delta)
+    with ServerThread(config) as thread:
+        host, port = thread.address
+        with ServeClient(host, port) as client:
+            client.register("one", vec_one)
+            client.register("two", vec_two)
+            mirror = np.array(vec_one, dtype=np.int64)
+            for step in range(12):
+                user = step % len(mirror)
+                mirror[user, step % 5] += 1
+                response = client.update(
+                    "one",
+                    "two",
+                    epsilon=2,
+                    mutation={
+                        "name": "one",
+                        "action": "record_like",
+                        "user_id": user,
+                        "dimension": step % 5,
+                        "count": 1,
+                    },
+                )
+                expected_mode = (
+                    "recompute"
+                    if not delta
+                    else ("rebuild" if step == 0 else "delta")
+                )
+                assert response["mode"] == expected_mode
+                full = reference_join(
+                    Community("one", mirror.copy()),
+                    Community("two", np.array(vec_two, dtype=np.int64)),
+                    2,
+                )
+                assert response["similarity"] == full.similarity
+                assert response["n_matched"] == full.n_matched
+                assert response["events"] == full.events.as_dict()
+                assert response["versions"]["one"] == step + 1
+                assert response["mutation"]["action"] == "record_like"
+
+
+@pytest.mark.serve
+def test_update_rejects_bad_arguments(couple_vectors):
+    vec_one, vec_two = couple_vectors
+    with ServerThread(ServeConfig(delta_maintenance=True)) as thread:
+        host, port = thread.address
+        with ServeClient(host, port) as client:
+            client.register("one", vec_one)
+            client.register("two", vec_two)
+            from repro.serve import ServeError
+
+            with pytest.raises(ServeError, match="distinct"):
+                client.update("one", "one", epsilon=1)
+            with pytest.raises(ServeError, match="neither"):
+                client.update(
+                    "one",
+                    "two",
+                    epsilon=1,
+                    mutation={
+                        "name": "elsewhere",
+                        "action": "record_like",
+                        "user_id": 0,
+                        "dimension": 0,
+                    },
+                )
+            with pytest.raises(ServeError, match=">= 1"):
+                client.update(
+                    "one",
+                    "two",
+                    epsilon=1,
+                    mutation={
+                        "name": "one",
+                        "action": "record_like",
+                        "user_id": 0,
+                        "dimension": 0,
+                        "count": 0,
+                    },
+                )
+
+
+@pytest.mark.serve
+def test_concurrent_updates_joins_and_topk_see_committed_states():
+    """Interleaved update/join/topk never observe a torn mid-delta state.
+
+    Every updater likes the SAME cell by exactly 1, so the store state
+    at version ``v`` is fully determined: base + v on that cell.  Each
+    response reports the versions it was computed at; its similarity
+    must equal the one precomputed for exactly that committed version —
+    a torn read (mid-mutation matrix, or matching repaired against a
+    different snapshot than reported) cannot satisfy that equality.
+    Versions must also be non-decreasing per thread.
+    """
+    rng = np.random.default_rng(41)
+    base_one = rng.integers(0, 7, size=(12, 4), dtype=np.int64)
+    base_two = rng.integers(0, 7, size=(14, 4), dtype=np.int64)
+    epsilon = 2
+    n_updaters, likes_each = 3, 20
+    total_likes = n_updaters * likes_each
+
+    # Precompute expected results for every committed version of "one".
+    expected_hk: dict[int, float] = {}
+    expected_minmax: dict[int, float] = {}
+    scratch = base_one.copy()
+    for version in range(total_likes + 1):
+        community = Community("one", scratch.copy())
+        other = Community("two", base_two.copy())
+        expected_hk[version] = reference_join(community, other, epsilon).similarity
+        from repro import csj_similarity
+
+        expected_minmax[version] = csj_similarity(
+            community, other, epsilon=epsilon, method="ex-minmax"
+        ).similarity
+        scratch[0, 0] += 1
+
+    failures: list[str] = []
+    config = ServeConfig(delta_maintenance=True)
+    with ServerThread(config) as thread:
+        host, port = thread.address
+        with ServeClient(host, port) as setup:
+            setup.register("one", base_one.tolist())
+            setup.register("two", base_two.tolist())
+
+        def updater() -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    last_version = -1
+                    for _ in range(likes_each):
+                        response = client.update(
+                            "one",
+                            "two",
+                            epsilon=epsilon,
+                            mutation={
+                                "name": "one",
+                                "action": "record_like",
+                                "user_id": 0,
+                                "dimension": 0,
+                                "count": 1,
+                            },
+                        )
+                        version = response["versions"]["one"]
+                        if version < last_version:
+                            failures.append(
+                                f"update version regressed: {version} < {last_version}"
+                            )
+                        last_version = version
+                        if response["similarity"] != expected_hk[version]:
+                            failures.append(
+                                f"update@v{version}: torn similarity "
+                                f"{response['similarity']!r}"
+                            )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(f"updater crashed: {exc!r}")
+
+        def join_reader() -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    last_version = -1
+                    for _ in range(likes_each):
+                        response = client.join(
+                            "one",
+                            "two",
+                            epsilon=epsilon,
+                            method="ex-baseline",
+                            options={"matcher": "hopcroft_karp"},
+                        )
+                        version = response["first"]["version"]
+                        if version < last_version:
+                            failures.append(
+                                f"join version regressed: {version} < {last_version}"
+                            )
+                        last_version = version
+                        similarity = response["result"]["similarity"]
+                        if similarity != expected_hk[version]:
+                            failures.append(
+                                f"join@v{version}: torn similarity {similarity!r}"
+                            )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(f"join reader crashed: {exc!r}")
+
+        def topk_reader() -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    last_version = -1
+                    for _ in range(10):
+                        response = client.topk(
+                            epsilon=epsilon, k=1, names=["one", "two"]
+                        )
+                        version = response["versions"]["one"]
+                        if version < last_version:
+                            failures.append(
+                                f"topk version regressed: {version} < {last_version}"
+                            )
+                        last_version = version
+                        similarity = response["ranking"][0]["similarity"]
+                        if similarity != expected_minmax[version]:
+                            failures.append(
+                                f"topk@v{version}: torn similarity {similarity!r}"
+                            )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(f"topk reader crashed: {exc!r}")
+
+        threads = (
+            [threading.Thread(target=updater) for _ in range(n_updaters)]
+            + [threading.Thread(target=join_reader) for _ in range(2)]
+            + [threading.Thread(target=topk_reader)]
+        )
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join(timeout=120)
+        with ServeClient(host, port) as client:
+            final = client.update("one", "two", epsilon=epsilon)
+            assert final["versions"]["one"] == total_likes
+            assert final["similarity"] == expected_hk[total_likes]
+    assert not failures, "\n".join(failures[:20])

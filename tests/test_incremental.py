@@ -66,16 +66,28 @@ class TestLikes:
         community.record_like(user, 2, count=4)
         assert community.profile(user)[2] == 5
 
-    def test_zero_count_is_noop(self, community):
+    def test_zero_count_rejected(self, community):
+        # A zero delta is a caller bug, not a no-op: the serving layer
+        # logs every accepted like for delta replay, so silently
+        # swallowing count=0 would desynchronise log and state.
         user = community.subscribe()
         version = community.version
-        community.record_like(user, 0, count=0)
+        with pytest.raises(ValidationError, match=">= 1"):
+            community.record_like(user, 0, count=0)
         assert community.version == version
 
     def test_negative_count_rejected(self, community):
         user = community.subscribe()
-        with pytest.raises(ValidationError, match=">= 0"):
+        version = community.version
+        with pytest.raises(ValidationError, match=">= 1"):
             community.record_like(user, 0, count=-1)
+        assert community.version == version
+
+    def test_rejected_count_is_a_value_error(self, community):
+        # The public contract promises plain ValueError semantics.
+        user = community.subscribe()
+        with pytest.raises(ValueError):
+            community.record_like(user, 0, count=0)
 
     def test_dimension_out_of_range(self, community):
         user = community.subscribe()

@@ -223,3 +223,71 @@ def test_self_join_is_full_similarity(rows, epsilon):
     result = csj_similarity(b, a, epsilon=epsilon, method="ex-minmax")
     # Every user matches at least itself, so a perfect matching exists.
     assert result.similarity == 1.0
+
+
+# ----------------------------------------------------------------------
+# epsilon-boundary flips under deltas (the classic off-by-one surface)
+# ----------------------------------------------------------------------
+
+
+@given(
+    base=st.integers(min_value=0, max_value=20),
+    epsilon=st.integers(min_value=0, max_value=4),
+    pad=st.integers(min_value=0, max_value=5),
+    touch_first=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_delta_flips_epsilon_boundary_identically_to_full_join(
+    base, epsilon, pad, touch_first
+):
+    """Deltas landing exactly on/off ``|a - b| == eps`` flip identically.
+
+    Start with a pair exactly ``eps + 1`` apart on one dimension (just
+    outside), step the lower counter by 1 so the gap becomes exactly
+    ``eps`` (on the boundary: MUST match), then overshoot past the far
+    side until the gap is ``eps + 1`` again (off the boundary: MUST NOT
+    match).  After every step the delta path must agree byte-for-byte
+    with a full recompute — ``<=`` vs ``<`` anywhere in the delta
+    window arithmetic fails one of the three phases.
+    """
+    from repro.core import DeltaJoinMaintainer
+
+    low = base
+    high = base + epsilon + 1  # just outside the epsilon window
+    first_mat = np.array([[low, pad]], dtype=np.int64)
+    second_mat = np.array([[high, pad]], dtype=np.int64)
+    if not touch_first:
+        first_mat, second_mat = second_mat, first_mat
+    side = "first" if touch_first else "second"
+    moving = first_mat if touch_first else second_mat
+
+    maintainer = DeltaJoinMaintainer(
+        Community("first", first_mat.copy()),
+        Community("second", second_mat.copy()),
+        epsilon,
+        enforce_size_ratio=False,
+    )
+    assert maintainer.n_matched == 0  # gap is eps + 1: outside
+
+    # Walk the moving counter up one like at a time: the pair must be
+    # matched exactly while |gap| <= eps and unmatched the step the gap
+    # reaches eps + 1 on the far side.
+    for step in range(1, 2 * (epsilon + 1) + 1):
+        moving[0, 0] += 1
+        maintainer.record_like(side, 0, 0, 1)
+        gap = abs(int(first_mat[0, 0]) - int(second_mat[0, 0]))
+        full = csj_similarity(
+            Community("first", first_mat.copy()),
+            Community("second", second_mat.copy()),
+            epsilon=epsilon,
+            method="ex-baseline",
+            matcher="hopcroft_karp",
+        )
+        expected = 1 if gap <= epsilon else 0
+        assert maintainer.n_matched == full.n_matched == expected, (
+            step,
+            gap,
+            epsilon,
+        )
+        assert maintainer.similarity == full.similarity
+        assert maintainer.events.as_dict() == full.events.as_dict()
