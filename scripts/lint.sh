@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Local equivalent of the CI lint gate.
 #
-#   scripts/lint.sh            # lint src/repro (+ ruff/mypy when installed)
-#   scripts/lint.sh src tests  # explicit targets for repro.lint
+#   scripts/lint.sh                    # lint src/repro (+ ruff/mypy when installed)
+#   scripts/lint.sh src tests          # explicit targets for repro.lint
+#   scripts/lint.sh --diff [ref]       # only findings on lines changed vs ref
+#                                      # (default ref: origin/main)
+#   scripts/lint.sh --baseline-update  # re-acknowledge current findings in
+#                                      # lint_baseline.json (new entries get a
+#                                      # TODO justification to fill in)
 #
 # repro.lint is pure stdlib and always runs.  ruff and mypy are
 # optional extras (`pip install -e ".[lint]"`); when absent they are
@@ -11,7 +16,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-targets=("$@")
+lint_args=()
+targets=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --diff)
+      ref="origin/main"
+      if [ $# -gt 1 ] && [[ "$2" != -* ]]; then
+        ref="$2"
+        shift
+      fi
+      lint_args+=(--changed-only "$ref")
+      ;;
+    --baseline-update)
+      PYTHONPATH=src python -m repro.lint src/repro --baseline-update
+      echo "review lint_baseline.json: replace any TODO justification"
+      exit 0
+      ;;
+    *)
+      targets+=("$1")
+      ;;
+  esac
+  shift
+done
 if [ ${#targets[@]} -eq 0 ]; then
   targets=(src/repro)
 fi
@@ -19,7 +46,7 @@ fi
 status=0
 
 echo "== repro.lint =="
-PYTHONPATH=src python -m repro.lint "${targets[@]}" || status=1
+PYTHONPATH=src python -m repro.lint "${targets[@]}" ${lint_args[@]+"${lint_args[@]}"} || status=1
 
 echo "== ruff =="
 if command -v ruff >/dev/null 2>&1; then

@@ -378,11 +378,17 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=None,
         help="files or directories to lint (default: src/repro)",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     lint.add_argument("--select", default=None, metavar="IDS")
     lint.add_argument("--ignore", default=None, metavar="IDS")
     lint.add_argument("--show-suppressed", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--changed-only", default=None, metavar="GIT_REF")
+    lint.add_argument("--baseline", default=None, metavar="FILE")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--baseline-update", action="store_true")
     return parser
 
 
@@ -402,6 +408,10 @@ def main(argv: list[str] | None = None) -> int:
             select=args.select,
             ignore=args.ignore,
             show_suppressed=args.show_suppressed,
+            changed_only=args.changed_only,
+            baseline_path=args.baseline,
+            no_baseline=args.no_baseline,
+            baseline_update=args.baseline_update,
         )
 
     if command == "serve":
@@ -524,14 +534,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.prometheus:
             snapshot = (trailer or {}).get("metrics")
             if snapshot:
+                from .serve.store import init_delta_metrics
                 from .sketch import init_sketch_metrics
 
                 registry = MetricsRegistry()
-                # Zero-initialise the sketch family before merging so
-                # dashboards see repro_sketch_* samples even for runs
-                # that never used the pre-filter (counters add on merge,
-                # so recorded values pass through unchanged).
+                # Zero-initialise every metric family before merging so
+                # dashboards see all repro_* samples even for runs that
+                # never touched a subsystem (counters add on merge, so
+                # recorded values pass through unchanged).
                 init_sketch_metrics(registry)
+                init_delta_metrics(registry)
                 registry.merge(snapshot)
                 print()
                 print(registry.to_prometheus(), end="")

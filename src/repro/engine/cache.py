@@ -194,7 +194,9 @@ class JoinResultCache:
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"JoinResultCache(entries={len(self._entries)}/{self.max_entries}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        with self._lock:
+            return (
+                f"JoinResultCache(entries={len(self._entries)}"
+                f"/{self.max_entries}, "
+                f"hits={self.hits}, misses={self.misses})"
+            )

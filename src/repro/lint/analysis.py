@@ -1,0 +1,898 @@
+"""Project-wide static analysis the dataflow rules run on.
+
+The per-module syntactic checks (RL001-RL006) each re-derive whatever
+context they need from one AST.  The dataflow and concurrency rules
+(RL007-RL011) need more: *whole-project* knowledge of what a name
+refers to, what a call resolves to, what type a local variable holds,
+and which statements execute while a lock is held.  This module builds
+that knowledge once per run and hands it to every rule:
+
+* :class:`ModuleAnalysis` — one module's import/alias table, functions
+  (with signatures, lock contexts, attribute accesses and call sites)
+  and classes (with inferred ``self.attr`` types and lock attributes).
+  Pure function of the source text, so instances are cached by content
+  hash in an :class:`AnalysisCache` and survive unchanged files across
+  runs.
+* :class:`ProjectAnalysis` — the cross-module view: a symbol table of
+  every definition keyed by dotted name, call resolution through
+  imports / ``self`` / annotated parameters / inferred local types, the
+  resulting call graph, and a "held-context" fixpoint that classifies
+  functions only ever invoked while a lock is held.
+
+The type inference is deliberately modest — nominal types from
+constructor calls, parameter/return annotations (string annotations
+included, so ``TYPE_CHECKING``-guarded imports resolve) and
+``self.attr`` assignments.  It never guesses: a call or variable the
+analysis cannot resolve simply resolves to nothing, and rules treat
+unresolved as unknown rather than as a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "AnalysisCache",
+    "AttrAccess",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "LockRegion",
+    "ModuleAnalysis",
+    "ParamInfo",
+    "ProjectAnalysis",
+    "analyze_module",
+    "content_hash",
+    "module_name_for",
+]
+
+#: Attribute names treated as locks when assigned a ``threading.Lock`` /
+#: ``RLock`` / ``Condition`` / ``Semaphore`` in ``__init__`` (the name
+#: itself must also look lock-ish so data fields never qualify).
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+
+def content_hash(source: str) -> str:
+    """The cache key of one module: sha256 of its exact source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path`` within its package tree.
+
+    Walks up through ``__init__.py``-bearing directories, so
+    ``src/repro/serve/store.py`` maps to ``repro.serve.store`` wherever
+    the repository is checked out.  Files outside any package keep
+    their bare stem.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.resolve().parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _is_lockish_name(name: str) -> bool:
+    lowered = name.lower()
+    return "lock" in lowered or "sem" in lowered or "cond" in lowered
+
+
+def _annotation_text(node: ast.expr | None) -> str | None:
+    """An annotation as dotted text: ``Name``, ``a.b.C``, or ``"C"``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the leading dotted name so
+        # "MetricsRegistry | None" still resolves.
+        text = node.value.strip()
+        head = ""
+        for char in text:
+            if char.isalnum() or char in "._":
+                head += char
+            else:
+                break
+        return head or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _annotation_text(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Subscript):  # Optional[X], list[X] -> unresolved
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # ``X | None`` / ``None | X``: resolve the non-None side.
+        for side in (node.left, node.right):
+            text = _annotation_text(side)
+            if text and text != "None":
+                return text
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """One parameter of a function signature."""
+
+    name: str
+    annotation: str | None
+    has_default: bool
+    kind: str  # "positional", "keyword_only", "vararg", "kwarg"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``callee`` is the raw dotted text of the called expression when it
+    is a simple chain (``handle_mutate``, ``self.store.snapshot``,
+    ``time.sleep``); resolution to a definition happens project-side.
+    ``passed_args``/``passed_keywords`` carry just enough of the
+    argument shape for signature-sensitive rules (RL011's dropped-seed
+    check); ``lock_stems`` is the set of guard roots whose lock is held
+    at this statement.
+    """
+
+    callee: str | None
+    lineno: int
+    col: int
+    n_positional: int
+    keywords: tuple[str, ...]
+    has_star_args: bool
+    lock_stems: frozenset[str]
+    #: first positional argument when it is a string literal ("join" in
+    #: ``self.request("join", ...)``) — what parity rules key on
+    first_arg: str | None = None
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``stem.attr`` touch: read, write, or mutating method call."""
+
+    stem: str  # the base name: "self", "entry", "state"
+    attr: str
+    kind: str  # "read", "write", "call" (method invoked on the attr)
+    lineno: int
+    col: int
+    lock_stems: frozenset[str]
+
+
+@dataclass(frozen=True)
+class LockRegion:
+    """One ``with <stem>.<lock_attr>:`` region."""
+
+    stem: str
+    lock_attr: str
+    lineno: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method: signature, body facts, call sites."""
+
+    qualname: str  # "CommunityStore.subscribe" or "plan_join"
+    name: str
+    lineno: int
+    col: int
+    is_async: bool
+    params: tuple[ParamInfo, ...]
+    returns: str | None
+    cls: str | None  # enclosing class name, if a method
+    decorators: tuple[str, ...]
+    calls: list[CallSite] = field(default_factory=list)
+    accesses: list[AttrAccess] = field(default_factory=list)
+    lock_regions: list[LockRegion] = field(default_factory=list)
+    awaits_under_lock: list[tuple[int, int, str]] = field(default_factory=list)
+    #: names bound in this scope -> annotation/constructor dotted text
+    local_types: dict[str, str] = field(default_factory=dict)
+    #: names bound to anything at all (for visibility checks)
+    bound_names: set[str] = field(default_factory=set)
+
+    @property
+    def is_staticmethod(self) -> bool:
+        return "staticmethod" in self.decorators
+
+    def param(self, name: str) -> ParamInfo | None:
+        for param in self.params:
+            if param.name == name:
+                return param
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, lock attributes, ``self.attr`` types."""
+
+    qualname: str
+    name: str
+    lineno: int
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` assigned a threading lock in ``__init__``
+    lock_attrs: set[str] = field(default_factory=set)
+    #: ``self.<attr>`` -> dotted type text inferred from assignments
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleAnalysis:
+    """Everything project rules need from one module, content-addressed."""
+
+    module_name: str
+    source_hash: str
+    #: local name -> fully dotted import target ("repro.engine.BatchEngine",
+    #: "time", "numpy.random.default_rng")
+    imports: dict[str, str]
+    functions: dict[str, FunctionInfo]
+    classes: dict[str, ClassInfo]
+    #: module-level ``NAME = ("str", ...)`` tuple/list constants
+    string_tuples: dict[str, tuple[str, ...]]
+
+
+# ----------------------------------------------------------------------
+# per-module extraction
+# ----------------------------------------------------------------------
+class _FunctionScanner:
+    """Collects body facts for one function without entering nested defs."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+
+    def scan(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for statement in node.body:
+            self._statement(statement, frozenset())
+
+    # -- statement walk, threading the held-lock stem set ---------------
+    def _statement(self, node: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are separate functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                region = self._lock_region(item.context_expr)
+                if region is not None:
+                    self.info.lock_regions.append(region)
+                    inner = inner | {region.stem}
+                self._expression(item.context_expr, held, lock_context=region is not None)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, None)
+            for statement in node.body:
+                self._statement(statement, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._assignment(node, held)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._target_access(target, held)
+            return
+        # Generic statement: record expressions, then recurse into the
+        # statement's nested blocks with the same held set.
+        for fieldname, value in ast.iter_fields(node):
+            if isinstance(value, ast.expr):
+                self._expression(value, held)
+            elif isinstance(value, list):
+                for child in value:
+                    if isinstance(child, ast.stmt):
+                        self._statement(child, held)
+                    elif isinstance(child, ast.expr):
+                        self._expression(child, held)
+                    elif isinstance(child, ast.excepthandler):
+                        if child.name:
+                            self.info.bound_names.add(child.name)
+                        for statement in child.body:
+                            self._statement(statement, held)
+
+    def _lock_region(self, context: ast.expr) -> LockRegion | None:
+        """``with <Name>.<lockish attr>`` (or bare lockish Name)."""
+        if (
+            isinstance(context, ast.Attribute)
+            and isinstance(context.value, ast.Name)
+            and _is_lockish_name(context.attr)
+        ):
+            return LockRegion(context.value.id, context.attr, context.lineno)
+        if isinstance(context, ast.Name) and _is_lockish_name(context.id):
+            return LockRegion(context.id, context.id, context.lineno)
+        return None
+
+    # -- assignments: writes + local type inference ----------------------
+    def _assignment(
+        self, node: ast.Assign | ast.AugAssign | ast.AnnAssign, held: frozenset[str]
+    ) -> None:
+        if isinstance(node, ast.Assign):
+            targets: Sequence[ast.expr] = node.targets
+            value: ast.expr | None = node.value
+            annotation = None
+        elif isinstance(node, ast.AugAssign):
+            targets, value, annotation = (node.target,), node.value, None
+        else:
+            targets = (node.target,)
+            value = node.value
+            annotation = _annotation_text(node.annotation)
+        if value is not None:
+            self._expression(value, held)
+        inferred = annotation or (self._value_type(value) if value is not None else None)
+        for target in targets:
+            self._target_access(target, held)
+            self._bind_target(target, inferred)
+
+    def _bind_target(self, target: ast.expr, inferred: str | None) -> None:
+        if isinstance(target, ast.Name):
+            self.info.bound_names.add(target.id)
+            if inferred:
+                self.info.local_types[target.id] = inferred
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None)
+
+    def _value_type(self, value: ast.expr) -> str | None:
+        """Dotted type text of an assigned value, when inferable."""
+        if isinstance(value, ast.Call):
+            return _dotted(value.func)
+        if isinstance(value, ast.IfExp):
+            # ``x if cond else Fallback()``: either branch that infers.
+            return self._value_type(value.body) or self._value_type(value.orelse)
+        if isinstance(value, ast.Attribute):
+            return _dotted(value)  # resolved later via attr_types
+        if isinstance(value, ast.Await):
+            return None
+        return None
+
+    def _target_access(self, target: ast.expr, held: frozenset[str]) -> None:
+        """Record the write an assignment/delete target performs."""
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            self._record_access(target.value.id, target.attr, "write", target, held)
+        elif isinstance(target, ast.Subscript):
+            # ``stem.attr[k] = v`` mutates the object held in stem.attr.
+            base = target.value
+            if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                self._record_access(base.value.id, base.attr, "write", base, held)
+            self._expression(target.slice, held)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target_access(element, held)
+
+    # -- expressions: reads, calls, awaits -------------------------------
+    def _expression(
+        self, node: ast.expr, held: frozenset[str], *, lock_context: bool = False
+    ) -> None:
+        for child in self._walk_expr(node):
+            if isinstance(child, ast.Call):
+                self._call(child, held)
+            elif isinstance(child, ast.Await):
+                if held:
+                    self.info.awaits_under_lock.append(
+                        (child.lineno, child.col_offset, ", ".join(sorted(held)))
+                    )
+            elif (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and isinstance(child.ctx, ast.Load)
+                and not (lock_context and _is_lockish_name(child.attr))
+            ):
+                self._record_access(child.value.id, child.attr, "read", child, held)
+
+    def _walk_expr(self, node: ast.expr) -> Iterator[ast.AST]:
+        """``ast.walk`` that does not descend into lambdas/comprehension defs."""
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, ast.Lambda):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _call(self, node: ast.Call, held: frozenset[str]) -> None:
+        callee = _dotted(node.func)
+        first_arg: str | None = None
+        if (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            first_arg = node.args[0].value
+        self.info.calls.append(
+            CallSite(
+                callee=callee,
+                lineno=node.lineno,
+                col=node.col_offset,
+                n_positional=len(node.args),
+                keywords=tuple(k.arg for k in node.keywords if k.arg),
+                has_star_args=any(isinstance(a, ast.Starred) for a in node.args)
+                or any(k.arg is None for k in node.keywords),
+                lock_stems=held,
+                first_arg=first_arg,
+            )
+        )
+        # ``stem.attr.method(...)`` is a mutating touch of stem.attr;
+        # ``stem.method(...)`` is a plain method call, not an attr touch.
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                self._record_access(base.value.id, base.attr, "call", base, held)
+
+    def _record_access(
+        self, stem: str, attr: str, kind: str, node: ast.AST, held: frozenset[str]
+    ) -> None:
+        if _is_lockish_name(attr):
+            return  # the lock itself is exempt from discipline checks
+        self.info.accesses.append(
+            AttrAccess(
+                stem=stem,
+                attr=attr,
+                kind=kind,
+                lineno=getattr(node, "lineno", self.info.lineno),
+                col=getattr(node, "col_offset", 0),
+                lock_stems=held,
+            )
+        )
+
+
+def _signature(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[ParamInfo, ...]:
+    args = node.args
+    params: list[ParamInfo] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults_start = len(positional) - len(args.defaults)
+    for index, arg in enumerate(positional):
+        params.append(
+            ParamInfo(
+                name=arg.arg,
+                annotation=_annotation_text(arg.annotation),
+                has_default=index >= defaults_start,
+                kind="positional",
+            )
+        )
+    if args.vararg is not None:
+        params.append(ParamInfo(args.vararg.arg, None, False, "vararg"))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        params.append(
+            ParamInfo(
+                name=arg.arg,
+                annotation=_annotation_text(arg.annotation),
+                has_default=default is not None,
+                kind="keyword_only",
+            )
+        )
+    if args.kwarg is not None:
+        params.append(ParamInfo(args.kwarg.arg, None, False, "kwarg"))
+    return tuple(params)
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, cls: ClassInfo | None
+) -> FunctionInfo:
+    qualname = f"{cls.name}.{node.name}" if cls is not None else node.name
+    info = FunctionInfo(
+        qualname=qualname,
+        name=node.name,
+        lineno=node.lineno,
+        col=node.col_offset,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        params=_signature(node),
+        returns=_annotation_text(node.returns),
+        cls=cls.name if cls is not None else None,
+        decorators=tuple(
+            text for d in node.decorator_list if (text := _dotted(d)) is not None
+        ),
+    )
+    for param in info.params:
+        info.bound_names.add(param.name)
+        if param.annotation:
+            info.local_types[param.name] = param.annotation
+    _FunctionScanner(info).scan(node)
+    return info
+
+
+def _scan_class(node: ast.ClassDef) -> ClassInfo:
+    cls = ClassInfo(
+        qualname=node.name,
+        name=node.name,
+        lineno=node.lineno,
+        bases=tuple(
+            text for base in node.bases if (text := _dotted(base)) is not None
+        ),
+    )
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[child.name] = _function_info(child, cls)
+    _infer_self_attrs(node, cls)
+    return cls
+
+
+def _infer_self_attrs(node: ast.ClassDef, cls: ClassInfo) -> None:
+    """``self.X = ...`` assignments anywhere in the class: types + locks."""
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for statement in ast.walk(method):
+            if not isinstance(statement, ast.Assign):
+                continue
+            for target in statement.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                inferred = _value_type_static(statement.value)
+                if inferred:
+                    tail = inferred.rsplit(".", 1)[-1]
+                    if (
+                        tail in _LOCK_FACTORIES
+                        and _is_lockish_name(target.attr)
+                        and method.name == "__init__"
+                    ):
+                        cls.lock_attrs.add(target.attr)
+                    else:
+                        cls.attr_types.setdefault(target.attr, inferred)
+
+
+def _value_type_static(value: ast.expr) -> str | None:
+    if isinstance(value, ast.Call):
+        return _dotted(value.func)
+    if isinstance(value, ast.IfExp):
+        return _value_type_static(value.body) or _value_type_static(value.orelse)
+    return None
+
+
+def _scan_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                # ``import a.b as x`` binds x -> a.b; plain
+                # ``import a.b`` binds only the top-level name ``a``.
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            prefix = "." * node.level + module
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return imports
+
+
+def _resolve_relative(module_name: str, target: str) -> str:
+    """Turn ``..engine.BatchEngine`` seen in ``repro.serve.handlers``
+    into ``repro.engine.BatchEngine``."""
+    if not target.startswith("."):
+        return target
+    level = len(target) - len(target.lstrip("."))
+    remainder = target.lstrip(".")
+    parts = module_name.split(".")
+    # level 1 = current package, 2 = parent package, ...
+    base = parts[: len(parts) - level] if len(parts) >= level else []
+    return ".".join(base + ([remainder] if remainder else [])).strip(".")
+
+
+def analyze_module(path: Path, source: str, tree: ast.Module) -> ModuleAnalysis:
+    """Extract the full per-module analysis (pure; cacheable)."""
+    module_name = module_name_for(path)
+    raw_imports = _scan_imports(tree)
+    imports = {
+        local: _resolve_relative(module_name, target)
+        for local, target in raw_imports.items()
+    }
+    functions: dict[str, FunctionInfo] = {}
+    classes: dict[str, ClassInfo] = {}
+    string_tuples: dict[str, tuple[str, ...]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = _function_info(node, None)
+        elif isinstance(node, ast.ClassDef):
+            cls = _scan_class(node)
+            classes[cls.name] = cls
+            for method in cls.methods.values():
+                functions[method.qualname] = method
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, (ast.Tuple, ast.List))
+        ):
+            elements = node.value.elts
+            if elements and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in elements
+            ):
+                string_tuples[node.targets[0].id] = tuple(
+                    e.value for e in elements  # type: ignore[union-attr]
+                )
+    return ModuleAnalysis(
+        module_name=module_name,
+        source_hash=content_hash(source),
+        imports=imports,
+        functions=functions,
+        classes=classes,
+        string_tuples=string_tuples,
+    )
+
+
+class AnalysisCache:
+    """Content-hash keyed cache of :class:`ModuleAnalysis` instances.
+
+    The key is the sha256 of the source text, so an edited file can
+    never be served a stale analysis while an untouched file costs one
+    dict lookup on every subsequent run.  ``hits``/``misses`` exist for
+    the cache-invalidation tests and for curiosity.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: dict[str, ModuleAnalysis] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def analyze(self, path: Path, source: str, tree: ast.Module) -> ModuleAnalysis:
+        key = content_hash(source)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        analysis = analyze_module(path, source, tree)
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()  # wholesale reset; keys are hashes anyway
+        self._entries[key] = analysis
+        return analysis
+
+
+#: The process-wide default cache `lint_paths` uses unless given one.
+DEFAULT_CACHE = AnalysisCache()
+
+
+class ProjectAnalysis:
+    """The cross-module view rules query: symbols, types, call graph."""
+
+    def __init__(self, modules: Sequence[tuple[str, ModuleAnalysis]]) -> None:
+        #: display path -> per-module analysis
+        self.by_path: dict[str, ModuleAnalysis] = dict(modules)
+        #: dotted module name -> analysis
+        self.by_module: dict[str, ModuleAnalysis] = {
+            analysis.module_name: analysis for _, analysis in modules
+        }
+        #: "module.Class" -> ClassInfo, plus bare "Class" fallback index
+        self.classes: dict[str, ClassInfo] = {}
+        self._class_by_name: dict[str, list[tuple[str, ClassInfo]]] = {}
+        #: "module.func" / "module.Class.method" -> (module, FunctionInfo)
+        self.functions: dict[str, tuple[ModuleAnalysis, FunctionInfo]] = {}
+        for _, analysis in modules:
+            for cls in analysis.classes.values():
+                fq = f"{analysis.module_name}.{cls.name}"
+                self.classes[fq] = cls
+                self._class_by_name.setdefault(cls.name, []).append((fq, cls))
+            for info in analysis.functions.values():
+                self.functions[f"{analysis.module_name}.{info.qualname}"] = (
+                    analysis,
+                    info,
+                )
+        self._held_cache: dict[str, bool] | None = None
+
+    # -- name resolution -------------------------------------------------
+    def resolve_name(self, module: ModuleAnalysis, name: str) -> str | None:
+        """Resolve a dotted local name to a project-fq dotted name."""
+        head, _, tail = name.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            # module-local definition?
+            if head in module.classes or head in module.functions:
+                target = f"{module.module_name}.{head}"
+            else:
+                return None
+        return f"{target}.{tail}" if tail else target
+
+    def resolve_class(self, module: ModuleAnalysis, name: str | None) -> str | None:
+        """Resolve dotted text to a known class fq name, if any."""
+        if not name:
+            return None
+        resolved = self.resolve_name(module, name) or name
+        if resolved in self.classes:
+            return resolved
+        # Re-exports ("repro.engine.BatchEngine" defined in
+        # repro.engine.batch) and bare names: fall back to the simple
+        # class-name index when it is unambiguous.
+        tail = resolved.rsplit(".", 1)[-1]
+        candidates = self._class_by_name.get(tail, [])
+        if len(candidates) == 1:
+            return candidates[0][0]
+        return None
+
+    # -- type queries ------------------------------------------------------
+    def type_of_stem(
+        self,
+        module: ModuleAnalysis,
+        func: FunctionInfo,
+        stem: str,
+        _seen: frozenset[str] = frozenset(),
+    ) -> str | None:
+        """Class fq of the object a simple name holds inside ``func``."""
+        if stem in _seen:  # self-referential binding like ``x = x.next()``
+            return None
+        if stem == "self" and func.cls is not None:
+            return self.resolve_class(module, func.cls)
+        dotted_type = func.local_types.get(stem)
+        if dotted_type is None:
+            return None
+        return self._resolve_type_text(
+            module, func, dotted_type, _seen=_seen | {stem}
+        )
+
+    def _resolve_type_text(
+        self,
+        module: ModuleAnalysis,
+        func: FunctionInfo,
+        text: str,
+        depth: int = 0,
+        _seen: frozenset[str] = frozenset(),
+    ) -> str | None:
+        if depth > 4:
+            return None
+        direct = self.resolve_class(module, text)
+        if direct is not None:
+            return direct
+        head, _, tail = text.partition(".")
+        if not tail:
+            return None
+        # ``self._entry(...)`` -> method return annotation;
+        # ``server.store`` -> attr type of server's class.
+        base_cls_fq = (
+            self.type_of_stem(module, func, head, _seen) if depth == 0 else None
+        )
+        if base_cls_fq is None:
+            return None
+        return self._member_type(base_cls_fq, tail, module, func, depth)
+
+    def _member_type(
+        self,
+        cls_fq: str,
+        member_path: str,
+        module: ModuleAnalysis,
+        func: FunctionInfo,
+        depth: int,
+    ) -> str | None:
+        cls = self.classes.get(cls_fq)
+        if cls is None:
+            return None
+        owner_module = self.by_module.get(cls_fq.rsplit(".", 1)[0], module)
+        head, _, tail = member_path.partition(".")
+        candidate: str | None = None
+        if head in cls.attr_types:
+            candidate = cls.attr_types[head]
+        elif head in cls.methods and cls.methods[head].returns:
+            candidate = cls.methods[head].returns
+        if candidate is None:
+            return None
+        resolved = self.resolve_class(owner_module, candidate)
+        if resolved is None:
+            return None
+        if not tail:
+            return resolved
+        return self._member_type(resolved, tail, owner_module, func, depth + 1)
+
+    # -- call resolution ---------------------------------------------------
+    def resolve_call(
+        self, module: ModuleAnalysis, func: FunctionInfo, call: CallSite
+    ) -> str | None:
+        """Project-fq of the function/method a call site invokes.
+
+        Returns ``module.func`` / ``module.Class.method`` for project
+        definitions, the raw dotted import target for external calls
+        (``time.sleep``), or ``None`` when unresolvable.
+        """
+        if call.callee is None:
+            return None
+        head, _, tail = call.callee.partition(".")
+        if not tail:
+            # Bare name: local function, imported symbol, or class ctor.
+            if head in module.functions:
+                return f"{module.module_name}.{head}"
+            if head in module.classes:
+                return f"{module.module_name}.{head}"
+            return module.imports.get(head)
+        # Method-ish chain: resolve the receiver's type when possible.
+        receiver, _, method = call.callee.rpartition(".")
+        receiver_cls = self._receiver_class(module, func, receiver)
+        if receiver_cls is not None:
+            resolved = self._lookup_method(receiver_cls, method)
+            if resolved is not None:
+                return resolved
+        # Imported module attribute: time.sleep, socket.create_connection.
+        resolved_name = self.resolve_name(module, call.callee)
+        return resolved_name
+
+    def _receiver_class(
+        self, module: ModuleAnalysis, func: FunctionInfo, receiver: str
+    ) -> str | None:
+        head, _, tail = receiver.partition(".")
+        base = self.type_of_stem(module, func, head)
+        if base is None:
+            return None
+        if not tail:
+            return base
+        return self._member_type(base, tail, module, func, 0)
+
+    def _lookup_method(self, cls_fq: str, method: str) -> str | None:
+        """Find ``method`` on the class or its in-project bases."""
+        seen: set[str] = set()
+        queue = [cls_fq]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return f"{current}.{method}"
+            owner_module = self.by_module.get(current.rsplit(".", 1)[0])
+            if owner_module is None:
+                continue
+            for base in cls.bases:
+                resolved = self.resolve_class(owner_module, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    # -- held-context fixpoint --------------------------------------------
+    def held_functions(self) -> dict[str, bool]:
+        """Which functions only ever run while some lock is held.
+
+        A function is *held* when its name ends in ``_locked`` (the
+        codebase convention asserting "caller holds the lock") or when
+        every known project call site of it is lexically inside a
+        ``with <lock>:`` region or inside another held function.
+        Functions with no known call sites are not held.
+        """
+        if self._held_cache is not None:
+            return self._held_cache
+        # call sites: callee fq -> list[(caller fq, under_lock: bool)]
+        sites: dict[str, list[tuple[str, bool]]] = {}
+        for caller_fq, (module, info) in self.functions.items():
+            for call in info.calls:
+                callee = self.resolve_call(module, info, call)
+                if callee is None or callee not in self.functions:
+                    continue
+                sites.setdefault(callee, []).append(
+                    (caller_fq, bool(call.lock_stems))
+                )
+        held: dict[str, bool] = {
+            fq: info.name.endswith("_locked")
+            for fq, (_, info) in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fq in self.functions:
+                if held[fq]:
+                    continue
+                call_sites = sites.get(fq)
+                if not call_sites:
+                    continue
+                if all(
+                    under_lock or held.get(caller, False)
+                    for caller, under_lock in call_sites
+                ):
+                    held[fq] = True
+                    changed = True
+        self._held_cache = held
+        return held

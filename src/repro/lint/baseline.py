@@ -1,0 +1,131 @@
+"""The committed findings baseline (``lint_baseline.json``).
+
+A baseline entry acknowledges one pre-existing or deliberate finding so
+the full-tree CI job can fail on *new* findings only.  Matching is by
+``(rule_id, message)`` plus path-suffix (so the file can move between
+checkouts with different roots) and deliberately **not** by line
+number — unrelated edits above a finding must not resurrect it.
+
+Every entry carries a one-line ``justification``; ``--baseline-update``
+refuses to write entries without one (it stamps a TODO marker the
+reviewer must replace).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .violations import Violation
+
+__all__ = ["Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding."""
+
+    rule_id: str
+    path: str  # posix, repo-relative; matched as a suffix
+    message: str
+    justification: str = ""
+
+    def matches(self, violation: "Violation") -> bool:
+        if violation.rule_id != self.rule_id:
+            return False
+        if violation.message != self.message:
+            return False
+        observed = violation.path.replace("\\", "/")
+        return observed == self.path or observed.endswith("/" + self.path)
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of acknowledged findings, with load/save round-tripping."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, json.JSONDecodeError) as error:
+            raise RuntimeError(f"unreadable baseline {path}: {error}")
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise RuntimeError(
+                f"baseline {path}: expected version {_FORMAT_VERSION} document"
+            )
+        entries = [
+            BaselineEntry(
+                rule_id=str(item["rule_id"]),
+                path=str(item["path"]),
+                message=str(item["message"]),
+                justification=str(item.get("justification", "")),
+            )
+            for item in payload.get("findings", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": _FORMAT_VERSION,
+            "findings": [entry.as_dict() for entry in self.entries],
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def matches(self, violation: "Violation") -> bool:
+        return any(entry.matches(violation) for entry in self.entries)
+
+    @classmethod
+    def from_violations(
+        cls, violations: Iterable["Violation"], *, keep: "Baseline | None" = None
+    ) -> "Baseline":
+        """Build a baseline acknowledging ``violations``.
+
+        Justifications carried by matching entries of ``keep`` (the
+        previous baseline) are preserved; genuinely new entries get a
+        TODO marker that review must replace with a real reason.
+        """
+        entries: list[BaselineEntry] = []
+        seen: set[tuple[str, str, str]] = set()
+        for violation in violations:
+            path = violation.path.replace("\\", "/")
+            key = (violation.rule_id, path, violation.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            justification = "TODO: justify or fix"
+            if keep is not None:
+                for old in keep.entries:
+                    if old.matches(violation) and old.justification:
+                        justification = old.justification
+                        break
+            entries.append(
+                BaselineEntry(
+                    rule_id=violation.rule_id,
+                    path=path,
+                    message=violation.message,
+                    justification=justification,
+                )
+            )
+        entries.sort(key=lambda e: (e.rule_id, e.path, e.message))
+        return cls(entries=entries)

@@ -11,8 +11,10 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .diff import git_changed_lines
 from .engine import lint_paths
-from .report import json_report, text_report
+from .report import json_report, sarif_report, text_report
 from .rules import all_rules
 
 __all__ = ["build_parser", "default_paths", "main", "run_lint"]
@@ -37,9 +39,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        default=None,
+        metavar="GIT_REF",
+        help=(
+            "diff mode: only report findings on lines changed relative "
+            "to GIT_REF (the whole tree is still analysed)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "move findings acknowledged in FILE out of the failure set "
+            f"(default: {DEFAULT_BASELINE_NAME} next to the first path, "
+            "when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--baseline-update",
+        action="store_true",
+        help=(
+            "rewrite the baseline to acknowledge all current findings "
+            "(keeps existing justifications; new entries get a TODO "
+            "marker that review must replace) and exit 0"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -72,6 +107,20 @@ def _split(ids: str | None) -> list[str] | None:
     return [part.strip() for part in ids.split(",") if part.strip()]
 
 
+def _find_baseline(paths: Sequence[str]) -> Path | None:
+    """The nearest committed baseline: cwd, then up from the first path."""
+    candidates = [Path.cwd()]
+    if paths:
+        first = Path(paths[0]).resolve()
+        candidates.extend([first] if first.is_dir() else [])
+        candidates.extend(first.parents)
+    for root in candidates:
+        candidate = root / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
 def run_lint(
     paths: Sequence[str],
     *,
@@ -79,13 +128,51 @@ def run_lint(
     select: str | None = None,
     ignore: str | None = None,
     show_suppressed: bool = False,
+    changed_only: str | None = None,
+    baseline_path: str | None = None,
+    no_baseline: bool = False,
+    baseline_update: bool = False,
 ) -> int:
     """Lint ``paths`` and print the report; returns the exit status."""
+    changed = None
+    if changed_only is not None:
+        try:
+            changed = git_changed_lines(changed_only)
+        except RuntimeError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+    resolved_baseline: Path | None = None
+    if not no_baseline:
+        if baseline_path is not None:
+            resolved_baseline = Path(baseline_path)
+        else:
+            resolved_baseline = _find_baseline(paths)
+    baseline = None
+    if resolved_baseline is not None and not baseline_update:
+        try:
+            baseline = Baseline.load(resolved_baseline)
+        except RuntimeError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
     report = lint_paths(
-        paths, select=_split(select), ignore=_split(ignore)
+        paths,
+        select=_split(select),
+        ignore=_split(ignore),
+        changed_lines=changed,
+        baseline=baseline,
     )
+    if baseline_update:
+        target = resolved_baseline or Path(DEFAULT_BASELINE_NAME)
+        previous = Baseline.load(target) if target.is_file() else None
+        Baseline.from_violations(report.violations, keep=previous).save(target)
+        print(
+            f"baseline: wrote {len(report.violations)} finding(s) to {target}"
+        )
+        return 0
     if report_format == "json":
         print(json_report(report))
+    elif report_format == "sarif":
+        print(sarif_report(report))
     else:
         print(text_report(report, show_suppressed=show_suppressed))
     return 0 if report.ok else 1
@@ -118,6 +205,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         select=args.select,
         ignore=args.ignore,
         show_suppressed=args.show_suppressed,
+        changed_only=args.changed_only,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        baseline_update=args.baseline_update,
     )
 
 

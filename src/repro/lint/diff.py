@@ -1,0 +1,96 @@
+"""Changed-line extraction for diff-aware (``--changed-only``) linting.
+
+The engine filters findings to lines a diff touched; this module turns
+``git diff`` output into the ``{absolute posix path -> set of line
+numbers}`` map the filter consumes.  The unified-diff parser is pure so
+the diff-mode tests can feed it synthetic patches; only
+:func:`git_changed_lines` shells out.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+
+__all__ = ["ChangedLines", "git_changed_lines", "parse_unified_diff"]
+
+#: ``path -> line numbers added/modified by the diff``.  A file that was
+#: touched but contributed no new lines (pure deletion) maps to an empty
+#: set, so "was this file changed at all?" stays answerable.
+ChangedLines = dict[str, set[int]]
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(?P<start>\d+)(?:,(?P<count>\d+))? @@")
+
+
+def parse_unified_diff(diff_text: str) -> dict[str, set[int]]:
+    """New-side changed lines per file from a unified diff.
+
+    Paths are returned exactly as the ``+++ b/<path>`` headers spell
+    them (repo-relative for git); the caller anchors them to a root.
+    Works with any context width, though ``--unified=0`` is cheapest.
+    """
+    changed: dict[str, set[int]] = {}
+    current: set[int] | None = None
+    new_line = 0
+    for line in diff_text.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target.startswith("b/"):
+                target = target[2:]
+            if target == "/dev/null":  # deleted file
+                current = None
+                continue
+            current = changed.setdefault(target, set())
+            continue
+        if current is None:
+            continue
+        match = _HUNK_RE.match(line)
+        if match is not None:
+            new_line = int(match.group("start"))
+            continue
+        if line.startswith("+") and not line.startswith("+++"):
+            current.add(new_line)
+            new_line += 1
+        elif line.startswith("-") and not line.startswith("---"):
+            continue  # old-side only; new-side cursor does not move
+        elif not line.startswith("\\"):  # context line
+            new_line += 1
+    return changed
+
+
+def git_changed_lines(ref: str, cwd: Path | None = None) -> ChangedLines:
+    """Lines changed relative to ``ref``, keyed by absolute posix path.
+
+    Includes both committed differences against ``ref`` and uncommitted
+    working-tree edits (``git diff <ref>`` covers the union).  Raises
+    ``RuntimeError`` when git is unavailable or the ref does not
+    resolve — diff mode with a broken ref must fail loudly, not lint
+    nothing and report success.
+    """
+    base = cwd or Path.cwd()
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--unified=0", "--no-color", ref, "--", "*.py"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except FileNotFoundError as error:
+        raise RuntimeError(f"git not available for --changed-only: {error}")
+    except subprocess.CalledProcessError as error:
+        detail = (error.stderr or "").strip() or f"exit {error.returncode}"
+        raise RuntimeError(f"git diff {ref!r} failed: {detail}")
+    root = Path(top)
+    return {
+        (root / rel).as_posix(): lines
+        for rel, lines in parse_unified_diff(diff).items()
+    }

@@ -27,6 +27,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from .analysis import (
+    DEFAULT_CACHE,
+    AnalysisCache,
+    ModuleAnalysis,
+    ProjectAnalysis,
+)
+from .baseline import Baseline
+from .diff import ChangedLines
 from .rules import Rule, all_rules
 from .violations import Violation
 
@@ -89,6 +97,9 @@ class ModuleContext:
     tree: ast.Module
     line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
     file_suppressions: frozenset[str] = frozenset()
+    #: content-addressed dataflow facts, attached by the engine before
+    #: any rule runs (never ``None`` inside a rule's ``check``).
+    analysis: ModuleAnalysis | None = field(default=None, repr=False)
     _constants: dict[str, str] | None = field(default=None, repr=False)
 
     @property
@@ -137,6 +148,9 @@ class ProjectContext:
     """Everything the engine parsed, handed to ``Rule.finalize``."""
 
     modules: list[ModuleContext]
+    #: the cross-module resolver/call-graph view (never ``None`` inside
+    #: ``finalize``; the default only eases direct construction in tests).
+    analysis: ProjectAnalysis | None = None
 
 
 @dataclass
@@ -147,6 +161,8 @@ class LintReport:
     suppressed: list[Violation]
     files_checked: int
     rules_run: tuple[str, ...]
+    #: findings acknowledged by the baseline file (not failures)
+    baselined: list[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -180,6 +196,14 @@ def _load_module(path: Path) -> ModuleContext | Violation:
     display = _display(path)
     try:
         source = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as error:
+        return Violation(
+            PARSE_RULE,
+            display,
+            1,
+            1,
+            f"not valid UTF-8 (byte offset {error.start}): {error.reason}",
+        )
     except OSError as error:
         return Violation(PARSE_RULE, display, 1, 1, f"unreadable file: {error}")
     try:
@@ -192,6 +216,9 @@ def _load_module(path: Path) -> ModuleContext | Violation:
             (error.offset or 0) + 1,
             f"syntax error: {error.msg}",
         )
+    except ValueError as error:
+        # ast.parse raises bare ValueError for e.g. null bytes in source.
+        return Violation(PARSE_RULE, display, 1, 1, f"unparsable source: {error}")
     per_line, file_wide = _parse_suppressions(source)
     return ModuleContext(
         path=path,
@@ -224,9 +251,21 @@ def lint_paths(
     rules: Iterable[Rule] | None = None,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    changed_lines: ChangedLines | None = None,
+    baseline: Baseline | None = None,
+    cache: AnalysisCache | None = None,
 ) -> LintReport:
-    """Run the (selected) rules over every ``.py`` file under ``paths``."""
+    """Run the (selected) rules over every ``.py`` file under ``paths``.
+
+    ``changed_lines`` (diff mode) keeps only findings anchored on a
+    changed line; every file is still parsed and analysed, because
+    cross-file rules need the whole project to judge the changed part.
+    ``baseline`` moves acknowledged findings into ``report.baselined``
+    instead of ``violations``.  ``cache`` reuses per-module analyses by
+    content hash (defaults to the process-wide cache).
+    """
     active = _select_rules(rules, select, ignore)
+    analysis_cache = cache if cache is not None else DEFAULT_CACHE
     modules: list[ModuleContext] = []
     findings: list[Violation] = []
     for path in discover_files(paths):
@@ -234,8 +273,21 @@ def lint_paths(
         if isinstance(loaded, Violation):
             findings.append(loaded)
             continue
+        loaded.analysis = analysis_cache.analyze(
+            loaded.path, loaded.source, loaded.tree
+        )
         modules.append(loaded)
 
+    project = ProjectContext(
+        modules=modules,
+        analysis=ProjectAnalysis(
+            [
+                (module.display_path, module.analysis)
+                for module in modules
+                if module.analysis is not None
+            ]
+        ),
+    )
     for module in modules:
         for rule in active:
             for violation in rule.check(module):
@@ -243,7 +295,6 @@ def lint_paths(
                     findings.append(_mark_suppressed(violation))
                 else:
                     findings.append(violation)
-    project = ProjectContext(modules=modules)
     by_path = {module.display_path: module for module in modules}
     for rule in active:
         for violation in rule.finalize(project):
@@ -261,12 +312,51 @@ def lint_paths(
         (_unmark(v) for v in findings if _is_suppressed(v)),
         key=Violation.sort_key,
     )
+    if changed_lines is not None:
+        resolved = {module.display_path: module.path for module in modules}
+        kept = [
+            v for v in kept if _in_changed_lines(v, resolved, changed_lines)
+        ]
+    baselined: list[Violation] = []
+    if baseline is not None:
+        remaining: list[Violation] = []
+        for violation in kept:
+            if baseline.matches(violation):
+                baselined.append(violation)
+            else:
+                remaining.append(violation)
+        kept = remaining
     return LintReport(
         violations=kept,
         suppressed=suppressed,
         files_checked=len(modules),
         rules_run=tuple(rule.rule_id for rule in active),
+        baselined=baselined,
     )
+
+
+def _in_changed_lines(
+    violation: Violation,
+    resolved_paths: dict[str, Path],
+    changed: ChangedLines,
+) -> bool:
+    """Did the diff touch the line this finding is anchored on?
+
+    Cross-file rules anchor a finding at the most relevant location,
+    which may legitimately sit outside the edited hunk of the same
+    file; diff mode still requires the anchor line itself to be new or
+    modified, because that is the contract that makes PR lint output
+    reviewable.  Parse errors (RL000) pass whenever their file changed
+    at all.
+    """
+    path = resolved_paths.get(violation.path)
+    key = (path if path is not None else Path(violation.path)).resolve().as_posix()
+    lines = changed.get(key)
+    if lines is None:
+        return False
+    if violation.rule_id == PARSE_RULE:
+        return True
+    return violation.line in lines
 
 
 # Suppressed findings travel through the same list, tagged on the rule id

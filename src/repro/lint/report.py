@@ -1,8 +1,9 @@
 """Reporters: render a :class:`~repro.lint.engine.LintReport`.
 
-Two formats: ``text`` (one ``path:line:col: RLxxx message`` line per
-finding plus a summary line, the human/CI default) and ``json`` (a
-machine-readable object for tooling).
+Three formats: ``text`` (one ``path:line:col: RLxxx message`` line per
+finding plus a summary line, the human/CI default), ``json`` (a
+machine-readable object for tooling) and ``sarif`` (SARIF 2.1.0, the
+format GitHub code scanning ingests to annotate PRs inline).
 """
 
 from __future__ import annotations
@@ -10,8 +11,9 @@ from __future__ import annotations
 import json
 
 from .engine import LintReport
+from .rules import all_rules
 
-__all__ = ["json_report", "text_report"]
+__all__ = ["json_report", "sarif_report", "text_report"]
 
 
 def text_report(report: LintReport, *, show_suppressed: bool = False) -> str:
@@ -21,6 +23,11 @@ def text_report(report: LintReport, *, show_suppressed: bool = False) -> str:
         lines.append("-- suppressed --")
         lines.extend(
             violation.format() for violation in report.suppressed
+        )
+    if report.baselined:
+        noun = "finding" if len(report.baselined) == 1 else "findings"
+        lines.append(
+            f"-- {len(report.baselined)} baselined {noun} acknowledged --"
         )
     noun = "violation" if len(report.violations) == 1 else "violations"
     lines.append(
@@ -39,5 +46,66 @@ def json_report(report: LintReport) -> str:
         "ok": report.ok,
         "violations": [v.as_dict() for v in report.violations],
         "suppressed": [v.as_dict() for v in report.suppressed],
+        "baselined": [v.as_dict() for v in report.baselined],
     }
     return json.dumps(payload, indent=2)
+
+
+def sarif_report(report: LintReport) -> str:
+    """SARIF 2.1.0 log for inline PR annotations (GitHub code scanning)."""
+    descriptors = {rule.rule_id: rule for rule in all_rules()}
+    ran = [
+        rule_id for rule_id in report.rules_run if rule_id in descriptors
+    ]
+    results = []
+    for violation in report.violations:
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path.replace("\\", "/"),
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": max(violation.col, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/lint.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": descriptors[rule_id].title,
+                                "shortDescription": {
+                                    "text": descriptors[rule_id].rationale
+                                },
+                            }
+                            for rule_id in ran
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -69,6 +69,11 @@ from . import (  # noqa: E402  (registry must exist before rule modules)
     rl004_metric_naming,
     rl005_error_handling,
     rl006_api_docs,
+    rl007_async_blocking,
+    rl008_lock_discipline,
+    rl009_serve_parity,
+    rl010_metric_parity,
+    rl011_seed_threading,
 )
 
 _ = (
@@ -78,4 +83,9 @@ _ = (
     rl004_metric_naming,
     rl005_error_handling,
     rl006_api_docs,
+    rl007_async_blocking,
+    rl008_lock_discipline,
+    rl009_serve_parity,
+    rl010_metric_parity,
+    rl011_seed_threading,
 )

@@ -19,6 +19,8 @@ from __future__ import annotations
 import ast
 import re
 from collections import Counter
+from functools import lru_cache
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 from ..violations import Violation
@@ -27,25 +29,36 @@ from . import Rule, register
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine import ModuleContext, ProjectContext
 
-#: Allowed ``<subsystem>`` segments — the package map of the codebase.
-ALLOWED_SUBSYSTEMS = frozenset(
-    {
-        "core",
-        "engine",
-        "obs",
-        "algo",
-        "datasets",
-        "analysis",
-        "apps",
-        "extensions",
-        "cli",
-        "lint",
-        "delta",
-        "serve",
-        "sketch",
-        "testing",
-    }
-)
+#: Metric-segment abbreviations for package names too long on a
+#: dashboard; everything else must match the layout exactly.
+_SEGMENT_ALIASES = {"algorithms": ("algo",)}
+
+
+@lru_cache(maxsize=1)
+def allowed_subsystems() -> frozenset[str]:
+    """``<subsystem>`` segments derived from the package layout.
+
+    A subsystem is valid when it names a top-level sub-package or module
+    of ``repro``, a module one level down (``core/delta.py`` grounds the
+    ``repro_delta_*`` family), or a registered alias.  New subsystems
+    therefore become lintable by existing, not by editing this rule.
+    """
+    package_root = Path(__file__).resolve().parents[2]
+    names: set[str] = set()
+    for child in package_root.iterdir():
+        if child.name.startswith("_"):
+            continue
+        if child.is_dir() and (child / "__init__.py").is_file():
+            names.add(child.name)
+            for module in child.glob("*.py"):
+                if not module.name.startswith("_"):
+                    names.add(module.stem)
+        elif child.suffix == ".py":
+            names.add(child.stem)
+    for full, aliases in _SEGMENT_ALIASES.items():
+        if full in names:
+            names.update(aliases)
+    return frozenset(names)
 
 _NAME_RE = re.compile(r"^repro_[a-z][a-z0-9]*(?:_[a-z0-9]+)+$")
 
@@ -153,8 +166,8 @@ class MetricNamingRule(Rule):
                 "repro_<subsystem>_<name> (lower snake case)",
             )
             return
-        if _subsystem(name) not in ALLOWED_SUBSYSTEMS:
-            known = ", ".join(sorted(ALLOWED_SUBSYSTEMS))
+        if _subsystem(name) not in allowed_subsystems():
+            known = ", ".join(sorted(allowed_subsystems()))
             yield module.violation(
                 self.rule_id,
                 node,

@@ -1,0 +1,193 @@
+"""RL007 — blocking call reachable from an ``async def``.
+
+The serve layer's latency story assumes the event loop never blocks: a
+single sync ``time.sleep``, file read, socket call, lock acquisition or
+serial ``BatchEngine`` run inside a coroutine stalls *every* in-flight
+request.  The convention is to plan on the loop and hop heavy work onto
+the thread executor — and because executor targets are passed **by
+reference** (``run_in_executor(execute_join, ...)``), they never appear
+as call edges, so the hop exempts them from this rule automatically.
+
+The check walks the project call graph from every ``async def`` through
+synchronous project callees (awaited coroutines are their own roots)
+and reports each blocking sink it can reach, with the call path that
+reaches it.  Unresolvable calls are treated as unknown, not blocking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis import FunctionInfo, ModuleAnalysis, ProjectAnalysis
+    from ..engine import ProjectContext
+
+#: Fully-qualified callables that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "io.open",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+    }
+)
+
+#: Any resolved call under these module prefixes blocks (socket IO).
+_BLOCKING_PREFIXES = ("socket.socket.",)
+
+#: Constructing the serial join engine inside a coroutine runs the whole
+#: join on the loop; it belongs on the executor.
+_ENGINE_CLASS = "BatchEngine"
+
+_MAX_DEPTH = 12
+
+
+def _is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return "lock" in lowered or "sem" in lowered or "cond" in lowered
+
+
+def _direct_sinks(
+    analysis: "ProjectAnalysis",
+    module: "ModuleAnalysis",
+    func: "FunctionInfo",
+) -> list[tuple[int, int, str]]:
+    """Blocking operations performed directly by ``func``'s own body."""
+    sinks: list[tuple[int, int, str]] = []
+    for region in func.lock_regions:
+        sinks.append(
+            (
+                region.lineno,
+                1,
+                f"acquires lock '{region.stem}.{region.lock_attr}'"
+                if region.stem != region.lock_attr
+                else f"acquires lock '{region.stem}'",
+            )
+        )
+    for call in func.calls:
+        resolved = analysis.resolve_call(module, func, call) or call.callee
+        if resolved is None:
+            continue
+        tail = resolved.rsplit(".", 1)[-1]
+        if resolved in _BLOCKING_CALLS or resolved.startswith(_BLOCKING_PREFIXES):
+            sinks.append((call.lineno, call.col + 1, f"calls blocking '{resolved}'"))
+        elif tail == "acquire" and "." in resolved:
+            owner = resolved.rsplit(".", 2)[-2]
+            if _is_lockish(owner):
+                sinks.append(
+                    (call.lineno, call.col + 1, f"calls '{resolved}' (sync lock)")
+                )
+        elif tail == _ENGINE_CLASS:
+            sinks.append(
+                (
+                    call.lineno,
+                    call.col + 1,
+                    f"constructs '{_ENGINE_CLASS}' (serial join on this thread)",
+                )
+            )
+    return sinks
+
+
+@register
+class AsyncBlockingRule(Rule):
+    rule_id = "RL007"
+    title = "async-blocking"
+    rationale = (
+        "sync sleep/file/socket/lock/BatchEngine work reachable from an "
+        "async def blocks the event loop; hop it through the executor"
+    )
+
+    def finalize(self, project: "ProjectContext") -> Iterator[Violation]:
+        analysis = project.analysis
+        if analysis is None:  # pragma: no cover - engine always provides one
+            return
+        module_of = {
+            context.analysis.module_name: context
+            for context in project.modules
+            if context.analysis is not None
+        }
+        for context in project.modules:
+            if context.analysis is None:
+                continue
+            for func in context.analysis.functions.values():
+                if not func.is_async:
+                    continue
+                yield from self._check_async(
+                    analysis, module_of, context, func
+                )
+
+    def _check_async(self, analysis, module_of, context, root):
+        root_module = context.analysis
+        root_fq = f"{root_module.module_name}.{root.qualname}"
+        # Direct sinks anchor on the offending line itself.
+        for lineno, col, what in _direct_sinks(analysis, root_module, root):
+            yield Violation(
+                rule_id=self.rule_id,
+                path=context.display_path,
+                line=lineno,
+                col=col,
+                message=(
+                    f"async '{root.qualname}' {what} on the event loop; "
+                    "run it via the executor"
+                ),
+            )
+        # Reachable sinks anchor on the first call edge out of the async
+        # function, with the path in the message; one finding per
+        # (async def, sink-owning function).
+        queue: list[tuple[str, tuple[str, ...], int, int]] = []
+        for call in root.calls:
+            callee = analysis.resolve_call(root_module, root, call)
+            if callee is None or callee not in analysis.functions:
+                continue
+            _, info = analysis.functions[callee]
+            if info.is_async:
+                continue
+            queue.append((callee, (root.qualname,), call.lineno, call.col + 1))
+        seen_functions: set[str] = {root_fq}
+        reported: set[str] = set()
+        while queue:
+            fq, path_names, anchor_line, anchor_col = queue.pop(0)
+            if fq in seen_functions or len(path_names) > _MAX_DEPTH:
+                continue
+            seen_functions.add(fq)
+            callee_module, callee_info = analysis.functions[fq]
+            sinks = _direct_sinks(analysis, callee_module, callee_info)
+            if sinks and fq not in reported:
+                reported.add(fq)
+                _, _, what = sinks[0]
+                via = " -> ".join(path_names + (callee_info.qualname,))
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=context.display_path,
+                    line=anchor_line,
+                    col=anchor_col,
+                    message=(
+                        f"async '{root.qualname}' reaches blocking work: "
+                        f"'{callee_info.qualname}' {what} (via {via}); "
+                        "hop through the executor or restructure"
+                    ),
+                )
+            for call in callee_info.calls:
+                nested = analysis.resolve_call(callee_module, callee_info, call)
+                if nested is None or nested not in analysis.functions:
+                    continue
+                _, nested_info = analysis.functions[nested]
+                if nested_info.is_async:
+                    continue
+                queue.append(
+                    (
+                        nested,
+                        path_names + (callee_info.qualname,),
+                        anchor_line,
+                        anchor_col,
+                    )
+                )

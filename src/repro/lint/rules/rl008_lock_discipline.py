@@ -1,0 +1,135 @@
+"""RL008 — lock-guarded state touched on an unlocked path.
+
+A class that creates a ``threading.Lock``/``RLock`` in ``__init__`` is
+declaring a discipline: the attributes it mutates under ``with
+self._lock:`` form that lock's protected set, and *every* access to
+them — read, write, or mutating method call — must hold the lock.  A
+single unlocked read is a torn-read bug waiting for a thread switch
+(``DeltaJoinPool.stats`` reading three counters between two mutations
+reports a state that never existed).
+
+Protected set inference: an attribute is protected when at least one
+write or method call on it happens inside a ``with <lock>:`` region
+outside ``__init__``, anywhere in the project (accesses through typed
+locals count — ``entry = self._entry(name)`` followed by ``with
+entry.lock: entry.log.append(...)`` protects ``_Entry.log``).
+
+Exempt paths: ``__init__`` (no concurrent aliases exist yet), methods
+whose name ends in ``_locked`` (the codebase convention for "caller
+holds the lock"), and functions the call-graph fixpoint proves are only
+ever invoked with the lock held.  The rule also flags ``await`` inside
+a lock region: parking a coroutine while holding a thread lock invites
+lock-order deadlocks across the executor boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ProjectContext
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "RL008"
+    title = "lock-discipline"
+    rationale = (
+        "attributes written under a class's lock must never be read, "
+        "written or mutated on a path that does not hold it"
+    )
+
+    def finalize(self, project: "ProjectContext") -> Iterator[Violation]:
+        analysis = project.analysis
+        if analysis is None:  # pragma: no cover - engine always provides one
+            return
+        held = analysis.held_functions()
+
+        # First pass: classify every attribute access project-wide by the
+        # class that owns the attribute, and whether the lock was held.
+        # guarded[cls_fq] -> set of protected attrs;
+        # touches[cls_fq]  -> [(attr, kind, guarded, context, func_fq, line, col)]
+        protected: dict[str, set[str]] = {}
+        touches: dict[str, list[tuple]] = {}
+        for context in project.modules:
+            module = context.analysis
+            if module is None:
+                continue
+            for func in module.functions.values():
+                func_fq = f"{module.module_name}.{func.qualname}"
+                exempt = (
+                    func.name == "__init__"
+                    or func.name.endswith("_locked")
+                    or held.get(func_fq, False)
+                )
+                for access in func.accesses:
+                    cls_fq = analysis.type_of_stem(module, func, access.stem)
+                    if cls_fq is None:
+                        continue
+                    cls = analysis.classes.get(cls_fq)
+                    if cls is None or not cls.lock_attrs:
+                        continue
+                    under_lock = access.stem in access.lock_stems
+                    if (
+                        under_lock
+                        and access.kind in ("write", "call")
+                        and func.name != "__init__"
+                    ):
+                        protected.setdefault(cls_fq, set()).add(access.attr)
+                    if not under_lock and not exempt:
+                        touches.setdefault(cls_fq, []).append(
+                            (
+                                access.attr,
+                                access.kind,
+                                context.display_path,
+                                access.lineno,
+                                access.col + 1,
+                                func.qualname,
+                            )
+                        )
+                for lineno, col, locks in func.awaits_under_lock:
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=context.display_path,
+                        line=lineno,
+                        col=col + 1,
+                        message=(
+                            f"'{func.qualname}' awaits while holding lock(s) "
+                            f"on '{locks}'; parking a coroutine under a "
+                            "thread lock risks deadlock"
+                        ),
+                    )
+
+        # Second pass: any unlocked touch of a protected attribute fires.
+        # A read subsumed by a call at the same spot (``self.log`` loaded
+        # to invoke ``self.log.append``) is one finding, not two.
+        kinds = {"read": "read", "write": "written", "call": "mutated"}
+        for cls_fq, attrs in sorted(protected.items()):
+            cls = analysis.classes[cls_fq]
+            lock_names = ", ".join(sorted(cls.lock_attrs))
+            cls_touches = touches.get(cls_fq, [])
+            subsumed = {
+                (attr, path, line, col)
+                for attr, kind, path, line, col, _ in cls_touches
+                if kind != "read"
+            }
+            for touch in cls_touches:
+                attr, kind, path, line, col, qualname = touch
+                if attr not in attrs:
+                    continue
+                if kind == "read" and (attr, path, line, col) in subsumed:
+                    continue
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"'{cls.name}.{attr}' is guarded by '{lock_names}' "
+                        f"elsewhere but {kinds[kind]} in '{qualname}' "
+                        "without holding it"
+                    ),
+                )

@@ -1,0 +1,205 @@
+"""RL009 — serve-surface parity: protocol ops vs handlers/clients/docs.
+
+``serve/protocol.py``'s ``OPS`` frozenset is the wire contract.  Every
+op in it must be (a) dispatched by the server, (b) callable from both
+the blocking and the async client, and (c) documented in
+``docs/serving.md`` — otherwise the surface silently drifts: an op the
+server answers but no client can issue, or a documented endpoint that
+returns ``unknown_op``.  The reverse direction is checked too: a client
+method issuing ``self.request("<op>")`` for an op the protocol does not
+declare is dead on arrival.
+
+All findings anchor in the module that is out of step, so diff mode
+attributes the drift to the edit that caused it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext, ProjectContext
+
+_CLIENT_CLASSES = ("ServeClient", "AsyncServeClient")
+_DOC_NAME = "serving.md"
+
+
+def _ops_assignment(module: "ModuleContext") -> tuple[ast.Assign, frozenset[str]] | None:
+    """The module-level ``OPS = frozenset({...})`` declaration, if any."""
+    for node in module.tree.body:
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "OPS"
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "frozenset"
+            and node.value.args
+        ):
+            continue
+        literal = node.value.args[0]
+        if isinstance(literal, (ast.Set, ast.Tuple, ast.List)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in literal.elts
+        ):
+            return node, frozenset(e.value for e in literal.elts)
+    return None
+
+
+def _find_doc(start: Path) -> Path | None:
+    for parent in [start.resolve()] + list(start.resolve().parents):
+        candidate = parent / "docs" / _DOC_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@register
+class ServeParityRule(Rule):
+    rule_id = "RL009"
+    title = "serve-parity"
+    rationale = (
+        "every protocol op needs a server dispatch arm, a blocking and "
+        "an async client method, and a docs/serving.md mention"
+    )
+
+    def finalize(self, project: "ProjectContext") -> Iterator[Violation]:
+        analysis = project.analysis
+        if analysis is None:  # pragma: no cover - engine always provides one
+            return
+        protocol = server = client = None
+        for context in project.modules:
+            name = context.posix_path
+            if name.endswith("serve/protocol.py"):
+                protocol = context
+            elif name.endswith("serve/server.py"):
+                server = context
+            elif name.endswith("serve/client.py"):
+                client = context
+        if protocol is None:
+            return
+        declared = _ops_assignment(protocol)
+        if declared is None:
+            return
+        ops_node, ops = declared
+
+        handled = self._server_ops(server)
+        client_ops = {
+            cls: self._client_ops(analysis, client, cls)
+            for cls in _CLIENT_CLASSES
+        }
+        doc_path = _find_doc(protocol.path)
+        doc_text = doc_path.read_text(encoding="utf-8") if doc_path else None
+
+        for op in sorted(ops):
+            if server is not None and op not in handled:
+                yield protocol.violation(
+                    self.rule_id,
+                    ops_node,
+                    f"op '{op}' is declared in OPS but never dispatched in "
+                    f"{server.display_path}",
+                )
+            if client is not None:
+                for cls in _CLIENT_CLASSES:
+                    if cls in client_ops and op not in client_ops[cls]:
+                        yield protocol.violation(
+                            self.rule_id,
+                            ops_node,
+                            f"op '{op}' has no {cls} method issuing "
+                            f"request({op!r})",
+                        )
+            if doc_text is not None and not re.search(
+                rf"\b{re.escape(op)}\b", doc_text
+            ):
+                yield protocol.violation(
+                    self.rule_id,
+                    ops_node,
+                    f"op '{op}' is not documented in docs/{_DOC_NAME}",
+                )
+        # Reverse direction: client methods for undeclared ops.
+        if client is not None:
+            for cls in _CLIENT_CLASSES:
+                for op, (line, col) in sorted(
+                    self._client_op_sites(analysis, client, cls).items()
+                ):
+                    if op not in ops:
+                        yield Violation(
+                            rule_id=self.rule_id,
+                            path=client.display_path,
+                            line=line,
+                            col=col,
+                            message=(
+                                f"{cls} issues request({op!r}) but the "
+                                "protocol does not declare that op"
+                            ),
+                        )
+
+    def _server_ops(self, server: "ModuleContext | None") -> frozenset[str]:
+        """Ops the server dispatches: an ``op == "join"`` string constant
+        anywhere, or a call to a ``plan_<op>``/``handle_<op>``/
+        ``execute_<op>*`` function (the else-arm of a dispatch chain
+        handles an op without ever spelling its string)."""
+        if server is None:
+            return frozenset()
+        mentioned: set[str] = set()
+        for node in ast.walk(server.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                mentioned.add(node.value)
+            elif isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name is None:
+                    continue
+                for prefix in ("plan_", "handle_", "execute_"):
+                    if name.startswith(prefix):
+                        op = name[len(prefix):]
+                        mentioned.add(op)
+                        # execute_topk_work -> topk
+                        mentioned.add(op.split("_", 1)[0])
+        return frozenset(mentioned)
+
+    def _client_ops(self, analysis, client, cls_name) -> frozenset[str]:
+        return frozenset(self._client_op_sites(analysis, client, cls_name))
+
+    def _client_op_sites(
+        self, analysis, client: "ModuleContext | None", cls_name: str
+    ) -> dict[str, tuple[int, int]]:
+        """Ops a client class can issue, via its own and inherited methods."""
+        if client is None or client.analysis is None:
+            return {}
+        module = client.analysis
+        if cls_name not in module.classes:
+            return {}
+        sites: dict[str, tuple[int, int]] = {}
+        seen: set[str] = set()
+        queue = [cls_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = module.classes.get(current)
+            if cls is None:
+                continue
+            queue.extend(base.rsplit(".", 1)[-1] for base in cls.bases)
+            for method in cls.methods.values():
+                for call in method.calls:
+                    if (
+                        call.callee is not None
+                        and call.callee.rsplit(".", 1)[-1] == "request"
+                        and call.first_arg is not None
+                    ):
+                        sites.setdefault(
+                            call.first_arg, (call.lineno, call.col + 1)
+                        )
+        return sites

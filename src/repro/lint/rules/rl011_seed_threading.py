@@ -1,0 +1,160 @@
+"""RL011 — seeds must thread through call boundaries, not vanish at them.
+
+RL001 catches the syntactic sin (an argless ``default_rng()``); this
+rule catches the dataflow one: the caller *has* a generator or seed in
+scope but calls a project function that accepts one — as a defaulted
+``rng``/``seed``-like parameter — without passing it.  The callee then
+falls back to its own entropy and the byte-identical reproduction
+contract breaks one stack frame away from where the seed lives, which
+is exactly the distance at which review misses it.
+
+Also flagged: a literal constant seed baked into a function body
+(``default_rng(42)`` outside tests) — determinism yes, but callers can
+never vary it, so experiment configs silently collide.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..violations import Violation
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ModuleContext, ProjectContext
+
+#: Parameter / variable names that carry randomness.
+_SEED_NAMES = frozenset({"rng", "generator", "seed", "random_state"})
+
+
+def _positional_index(params, name: str) -> int | None:
+    index = 0
+    for param in params:
+        if param.kind == "positional":
+            if param.name == name:
+                return index
+            index += 1
+        elif param.name == name:
+            return None  # keyword-only: positional count can't cover it
+    return None
+
+
+@register
+class SeedThreadingRule(Rule):
+    rule_id = "RL011"
+    title = "seed-threading"
+    rationale = (
+        "a caller holding an rng/seed must pass it to callees that "
+        "accept one; a dropped seed breaks reproducibility one frame "
+        "away from its source"
+    )
+
+    def finalize(self, project: "ProjectContext") -> Iterator[Violation]:
+        analysis = project.analysis
+        if analysis is None:  # pragma: no cover - engine always provides one
+            return
+        for context in project.modules:
+            module = context.analysis
+            if module is None:
+                continue
+            for func in module.functions.values():
+                carried = self._carried_seeds(func)
+                if not carried:
+                    continue
+                for call in func.calls:
+                    yield from self._check_call(
+                        analysis, context, module, func, call, carried
+                    )
+
+    def _carried_seeds(self, func) -> set[str]:
+        """Seed-ish names this function demonstrably has in scope."""
+        carried = {
+            param.name for param in func.params if param.name in _SEED_NAMES
+        }
+        carried |= {
+            access.attr
+            for access in func.accesses
+            if access.stem == "self" and access.attr.lstrip("_") in _SEED_NAMES
+        }
+        return carried
+
+    def _check_call(self, analysis, context, module, func, call, carried):
+        resolved = analysis.resolve_call(module, func, call)
+        if resolved is None or resolved not in analysis.functions:
+            return
+        if call.has_star_args:
+            return  # *args/**kwargs may forward the seed; unknowable
+        _, callee = analysis.functions[resolved]
+        if callee.cls is not None and callee.name == "__init__":
+            return  # constructor resolution is ambiguous; RL001 covers ctors
+        for param in callee.params:
+            if param.name not in _SEED_NAMES or not param.has_default:
+                continue
+            if param.name in call.keywords:
+                continue
+            index = _positional_index(callee.params, param.name)
+            offset = 1 if callee.cls is not None else 0
+            if index is not None and call.n_positional + offset > index:
+                continue  # covered positionally
+            yield Violation(
+                rule_id=self.rule_id,
+                path=context.display_path,
+                line=call.lineno,
+                col=call.col + 1,
+                message=(
+                    f"'{func.qualname}' holds a seed source "
+                    f"({', '.join(sorted(carried))}) but calls "
+                    f"'{callee.qualname}' without its {param.name!r} "
+                    "parameter; the seed is dropped at this boundary"
+                ),
+            )
+            return  # one finding per call site is enough
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        """Constant literal seeds baked into function bodies."""
+        import ast
+
+        rng_aliases = self._rng_aliases(module)
+        if not rng_aliases:
+            return
+        for outer in ast.walk(module.tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(outer):
+                if not (
+                    isinstance(node, ast.Call)
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, int)
+                ):
+                    continue
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name in rng_aliases:
+                    yield module.violation(
+                        self.rule_id,
+                        node,
+                        f"hardcoded seed {node.args[0].value} in "
+                        f"'{outer.name}'; accept it as a parameter so "
+                        "callers control determinism",
+                    )
+
+    @staticmethod
+    def _rng_aliases(module: "ModuleContext") -> frozenset[str]:
+        """Local names that refer to ``numpy.random.default_rng``."""
+        if module.analysis is None:
+            return frozenset()
+        aliases = {
+            local
+            for local, target in module.analysis.imports.items()
+            if target.endswith("default_rng")
+        }
+        if any(
+            target in ("numpy", "numpy.random")
+            for target in module.analysis.imports.values()
+        ):
+            aliases.add("default_rng")
+        return frozenset(aliases)

@@ -407,8 +407,11 @@ class DeltaJoinPool:
             return len(self._couples)
 
     def _state_for(
-        self, key: tuple[str, str, int, bool]
+        self,
+        key: tuple[str, str, int, bool],
+        metrics: "MetricsRegistry | None" = None,
     ) -> _CoupleState:
+        evicted = 0
         with self._lock:
             state = self._couples.get(key)
             if state is None:
@@ -417,8 +420,12 @@ class DeltaJoinPool:
                 while len(self._couples) > self._max_couples:
                     self._couples.popitem(last=False)
                     self.evictions += 1
+                    evicted += 1
             self._couples.move_to_end(key)
-            return state
+        if metrics is not None:
+            for _ in range(evicted):
+                metrics.inc("repro_delta_evictions_total")
+        return state
 
     def invalidate(self, name: str) -> None:
         """Drop every maintainer involving ``name`` (re-registration)."""
@@ -454,7 +461,7 @@ class DeltaJoinPool:
             int(epsilon),
             bool(enforce_size_ratio),
         )
-        state = self._state_for(key)
+        state = self._state_for(key, metrics)
         with state.lock:
             summary = self._refresh_locked(state, key, metrics)
         with self._lock:
@@ -563,15 +570,16 @@ class DeltaJoinPool:
         return maintainer
 
     def stats(self) -> dict[str, object]:
+        # All counter reads under the lock: a snapshot taken between two
+        # mutations must be one consistent state, not a torn mix.
         with self._lock:
-            couples = len(self._couples)
-        return {
-            "couples": couples,
-            "max_couples": self._max_couples,
-            "refreshes": self.refreshes,
-            "rebuilds": self.rebuilds,
-            "evictions": self.evictions,
-        }
+            return {
+                "couples": len(self._couples),
+                "max_couples": self._max_couples,
+                "refreshes": self.refreshes,
+                "rebuilds": self.rebuilds,
+                "evictions": self.evictions,
+            }
 
 
 def _n_dims_of(vectors: object) -> int:

@@ -1,0 +1,33 @@
+"""RL007 bad fixture: blocking calls reachable from ``async def``."""
+
+import threading
+import time
+
+from repro.engine import BatchEngine
+
+REFRESH_LOCK = threading.Lock()
+
+
+def crunch(batch):
+    time.sleep(0.01)  # fine here: sync helper, flagged only via async callers
+    return batch
+
+
+async def handler(batch):
+    time.sleep(0.5)  # direct blocking sleep on the event loop
+    return crunch(batch)  # transitive: crunch() sleeps
+
+
+async def guarded():
+    with REFRESH_LOCK:  # sync lock acquisition stalls the loop
+        return 1
+
+
+async def acquirer(lock):
+    lock.acquire()  # bare .acquire() on a lock-ish receiver
+    return lock
+
+
+async def heavy(profiles):
+    engine = BatchEngine()  # O(n^2) join engine built on the loop thread
+    return engine, profiles

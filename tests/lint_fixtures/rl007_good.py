@@ -1,0 +1,36 @@
+"""RL007 good fixture: async code hops to an executor for blocking work."""
+
+import asyncio
+import time
+
+from repro.engine import BatchEngine
+
+
+def crunch(batch):
+    time.sleep(0.01)  # blocking is fine off the loop
+    return batch
+
+
+def build_engine():
+    return BatchEngine()
+
+
+def drain(lock):
+    lock.acquire()  # sync context: no event loop to stall
+    try:
+        return True
+    finally:
+        lock.release()
+
+
+async def handler(batch):
+    await asyncio.sleep(0.5)  # cooperative sleep
+    loop = asyncio.get_running_loop()
+    # blocking helpers are handed over by reference, never called here
+    return await loop.run_in_executor(None, crunch, batch)
+
+
+async def heavy(profiles):
+    loop = asyncio.get_running_loop()
+    engine = await loop.run_in_executor(None, build_engine)
+    return engine, profiles

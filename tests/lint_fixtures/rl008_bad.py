@@ -1,0 +1,24 @@
+"""RL008 bad fixture: guarded attributes touched on unlocked paths."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.log = []
+
+    def record(self, item):
+        with self._lock:
+            self.hits += 1
+            self.log.append(item)
+
+    def peek(self):
+        return self.hits  # unlocked read of a guarded counter
+
+    def drop(self):
+        self.log.append(None)  # unlocked mutation of a guarded list
+
+    def reset(self):
+        self.hits = 0  # unlocked write of a guarded counter

@@ -1,0 +1,34 @@
+"""RL008 good fixture: every guarded attribute stays behind its lock."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.log = []
+
+    def record(self, item):
+        with self._lock:
+            self.hits += 1
+            self.log.append(item)
+            self._trim()
+
+    def peek(self):
+        with self._lock:
+            return self.hits
+
+    def drain(self):
+        with self._lock:
+            items, self.log = self.log, []
+        return items
+
+    def _summary_locked(self):
+        # ``_locked`` suffix: callers are contractually lock holders.
+        return {"hits": self.hits, "pending": len(self.log)}
+
+    def _trim(self):
+        # Only ever called under ``record``'s lock: the held-lock
+        # fixpoint proves every call site holds ``self._lock``.
+        del self.log[:-16]

@@ -1,0 +1,17 @@
+"""RL008 suppressed fixture: acknowledged lock-free fast paths."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def peek_racy(self):
+        # Monitoring-only read; a stale int is acceptable here.
+        return self.hits  # repro-lint: disable=RL008

@@ -1,0 +1,22 @@
+"""Clients missing ``submit`` and issuing an undeclared ``legacy`` op."""
+
+
+class _EndpointMixin:
+    def ping(self):
+        return self.request("ping")
+
+    def state(self):
+        return self.request("state")
+
+
+class ServeClient(_EndpointMixin):
+    def request(self, op, **payload):
+        return {"op": op, **payload}
+
+
+class AsyncServeClient(_EndpointMixin):
+    async def request(self, op, **payload):
+        return {"op": op, **payload}
+
+    async def legacy(self):
+        return await self.request("legacy")

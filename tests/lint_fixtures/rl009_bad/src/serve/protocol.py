@@ -1,0 +1,3 @@
+"""Wire contract for the fixture serve surface (drifted)."""
+
+OPS = frozenset({"ping", "state", "submit"})

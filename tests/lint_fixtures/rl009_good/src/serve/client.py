@@ -1,0 +1,19 @@
+"""Blocking and async clients covering every declared op."""
+
+
+class _EndpointMixin:
+    def ping(self):
+        return self.request("ping")
+
+    def state(self):
+        return self.request("state")
+
+
+class ServeClient(_EndpointMixin):
+    def request(self, op, **payload):
+        return {"op": op, **payload}
+
+
+class AsyncServeClient(_EndpointMixin):
+    async def request(self, op, **payload):
+        return {"op": op, **payload}

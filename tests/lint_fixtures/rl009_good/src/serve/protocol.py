@@ -1,0 +1,3 @@
+"""Wire contract for the fixture serve surface."""
+
+OPS = frozenset({"ping", "state"})

@@ -1,0 +1,17 @@
+"""Dispatch loop covering every declared op."""
+
+
+def plan_ping(payload):
+    return {"op": "ping", "payload": payload}
+
+
+def execute_state_work(payload):
+    return {"op": "state", "healthy": True, "payload": payload}
+
+
+class CSJServer:
+    def dispatch(self, op, payload):
+        if op == "ping":
+            return plan_ping(payload)
+        else:  # state — decode guarantees op is declared
+            return execute_state_work(payload)

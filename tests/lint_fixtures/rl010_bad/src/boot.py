@@ -1,0 +1,8 @@
+"""Boot path that zero-initialises one family but forgets the other."""
+
+from families import init_alpha_metrics
+
+
+def boot(registry):
+    init_alpha_metrics(registry)
+    return registry

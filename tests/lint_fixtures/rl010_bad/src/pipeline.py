@@ -1,0 +1,17 @@
+"""Metric flows that drift from the registered/documented surface."""
+
+ENGINE_COUNTERS = (
+    "repro_engine_events_total",
+    "repro_engine_stale_total",  # registered but never incremented
+)
+
+
+class Pipeline:
+    def __init__(self, registry):
+        self._registry = registry
+
+    def run(self, batch):
+        self._registry.inc("repro_engine_events_total")
+        self._registry.inc("repro_engine_orphan_total")  # not registered
+        self._registry.observe("repro_engine_latency_seconds", 0.1)
+        return batch

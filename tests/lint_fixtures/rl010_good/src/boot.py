@@ -1,0 +1,9 @@
+"""Boot path covering every zero-init family."""
+
+from families import init_alpha_metrics, init_beta_metrics
+
+
+def boot(registry):
+    init_alpha_metrics(registry)
+    init_beta_metrics(registry)
+    return registry

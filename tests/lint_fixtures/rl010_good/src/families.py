@@ -1,0 +1,9 @@
+"""Zero-init hooks for two metric families."""
+
+
+def init_alpha_metrics(registry):
+    registry.set_gauge("repro_engine_queue_depth", 0.0)
+
+
+def init_beta_metrics(registry):
+    registry.set_gauge("repro_engine_pool_depth", 0.0)

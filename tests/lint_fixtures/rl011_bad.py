@@ -1,0 +1,27 @@
+"""RL011 bad fixture: seeds dropped at call boundaries or hardcoded."""
+
+from numpy.random import default_rng
+
+
+def sample(values, rng=None):
+    if rng is None:
+        raise ValueError("pass an explicit rng")
+    return rng.choice(values)
+
+
+def pipeline(values, rng):
+    return sample(values)  # caller holds ``rng`` but drops it here
+
+
+class Runner:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def run(self, values):
+        noise = self._rng.random()
+        return sample(values) + noise  # ``self._rng`` in scope, not passed
+
+
+def hardcoded(values):
+    rng = default_rng(1234)  # literal seed buried in a function body
+    return rng.choice(values)

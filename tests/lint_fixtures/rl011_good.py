@@ -1,0 +1,29 @@
+"""RL011 good fixture: seeds thread through every call boundary."""
+
+from numpy.random import default_rng
+
+DEFAULT_SEED = 1234  # module-level default: discoverable and overridable
+
+
+def sample(values, rng=None):
+    if rng is None:
+        raise ValueError("pass an explicit rng")
+    return rng.choice(values)
+
+
+def pipeline(values, rng):
+    return sample(values, rng=rng)
+
+
+class Runner:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def run(self, values):
+        noise = self._rng.random()
+        return sample(values, rng=self._rng) + noise
+
+
+def from_seed(values, seed=DEFAULT_SEED):
+    rng = default_rng(seed)
+    return sample(values, rng=rng)

@@ -1,0 +1,12 @@
+"""RL011 suppressed fixture: acknowledged seed drops."""
+
+
+def sample(values, rng=None):
+    if rng is None:
+        raise ValueError("pass an explicit rng")
+    return rng.choice(values)
+
+
+def smoke(values, rng):
+    # Smoke path: determinism deliberately not required here.
+    return sample(values)  # repro-lint: disable=RL011

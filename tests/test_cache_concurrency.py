@@ -96,3 +96,18 @@ def test_cache_counters_exact_under_contention():
     metrics = cache.metrics
     assert metrics.counter("repro_engine_cache_hits_total") == cache.hits
     assert metrics.counter("repro_engine_cache_misses_total") == cache.misses
+
+
+def test_repr_is_a_consistent_snapshot():
+    """``__repr__`` reads entries/hits/misses under the cache lock —
+    regression for the torn-read RL008 finding; the rendered counters
+    must agree with the cache's own fields."""
+    cache = JoinResultCache(max_entries=CAPACITY)
+    for index in range(4):
+        key = join_key("a", f"b{index}", 1, "Ex-MinMax")
+        assert cache.get(key) is None
+        cache.put(key, _result(index))
+    rendered = repr(cache)
+    assert f"entries={len(cache)}/{CAPACITY}" in rendered
+    assert f"hits={cache.hits}" in rendered
+    assert f"misses={cache.misses}" in rendered

@@ -410,6 +410,44 @@ def test_pool_lru_eviction():
     assert pool.refresh("a", "b", 1)["mode"] == "rebuild"
 
 
+def test_pool_eviction_increments_metric():
+    """``repro_delta_evictions_total`` mirrors ``pool.evictions`` —
+    regression for the counter being registered but never incremented."""
+    from repro.obs import MetricsRegistry
+    from repro.serve.store import init_delta_metrics
+
+    registry = MetricsRegistry()
+    init_delta_metrics(registry)
+    assert registry.counter("repro_delta_evictions_total") == 0
+
+    store = CommunityStore()
+    rng = np.random.default_rng(23)
+    for name in ("a", "b", "c"):
+        store.register(name, rng.integers(0, 6, size=(5, 3)).tolist())
+    pool = DeltaJoinPool(store, max_couples=1)
+    pool.refresh("a", "b", 1, metrics=registry)
+    pool.refresh("a", "c", 1, metrics=registry)  # evicts (a, b)
+    assert registry.counter("repro_delta_evictions_total") == pool.evictions == 1
+
+
+def test_pool_stats_snapshot_is_consistent():
+    """``stats()`` reads every counter under the pool lock — regression
+    for the torn-read RL008 finding; the snapshot must agree with the
+    pool's own fields."""
+    store = CommunityStore()
+    rng = np.random.default_rng(29)
+    for name in ("a", "b", "c"):
+        store.register(name, rng.integers(0, 6, size=(5, 3)).tolist())
+    pool = DeltaJoinPool(store, max_couples=1)
+    pool.refresh("a", "b", 1)
+    pool.refresh("a", "c", 1)
+    snapshot = pool.stats()
+    assert snapshot["couples"] == len(pool)
+    assert snapshot["refreshes"] == pool.refreshes
+    assert snapshot["rebuilds"] == pool.rebuilds
+    assert snapshot["evictions"] == pool.evictions == 1
+
+
 # ----------------------------------------------------------------------
 # serve: update endpoint end-to-end + concurrency
 # ----------------------------------------------------------------------

@@ -15,23 +15,41 @@ Three layers:
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
 
 from repro.lint import LintReport, Violation, lint_paths
+from repro.lint.analysis import AnalysisCache
+from repro.lint.baseline import Baseline
 from repro.lint.cli import main as lint_main
+from repro.lint.diff import git_changed_lines, parse_unified_diff
 from repro.lint.engine import PARSE_RULE, discover_files
-from repro.lint.report import json_report, text_report
+from repro.lint.report import json_report, sarif_report, text_report
 from repro.lint.rules import all_rules, rule_ids
 
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-ALL_RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+ALL_RULE_IDS = (
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL006",
+    "RL007",
+    "RL008",
+    "RL009",
+    "RL010",
+    "RL011",
+)
 
-#: rule id -> (bad target, good target, suppressed target).  RL006 is a
-#: cross-file rule, so its fixtures are miniature project trees.
+#: rule id -> (bad target, good target, suppressed target).  The
+#: cross-file rules (RL006, RL009, RL010) use miniature project trees;
+#: trees have no suppressed variant (the comment syntax is per-line and
+#: already covered by the single-file rules).
 FIXTURE_TARGETS = {
     "RL001": ("rl001_bad.py", "rl001_good.py", "rl001_suppressed.py"),
     "RL002": ("rl002_bad.py", "rl002_good.py", "rl002_suppressed.py"),
@@ -39,6 +57,11 @@ FIXTURE_TARGETS = {
     "RL004": ("rl004_bad.py", "rl004_good.py", "rl004_suppressed.py"),
     "RL005": ("rl005_bad.py", "rl005_good.py", "rl005_suppressed.py"),
     "RL006": ("rl006_bad", "rl006_good", None),
+    "RL007": ("rl007_bad.py", "rl007_good.py", "rl007_suppressed.py"),
+    "RL008": ("rl008_bad.py", "rl008_good.py", "rl008_suppressed.py"),
+    "RL009": ("rl009_bad", "rl009_good", None),
+    "RL010": ("rl010_bad", "rl010_good", None),
+    "RL011": ("rl011_bad.py", "rl011_good.py", "rl011_suppressed.py"),
 }
 
 
@@ -94,6 +117,14 @@ def test_bad_fixture_violation_counts():
         #              subsystem, missing _total, label drift
         "RL005": 3,  # bare except, silent Exception, silent BaseException tuple
         "RL006": 1,  # undocumented_thing missing from docs/api.md
+        "RL007": 5,  # direct sleep, transitive sleep, with-lock, .acquire,
+        #              BatchEngine construction — all inside async defs
+        "RL008": 3,  # unlocked read, unlocked mutating call, unlocked write
+        "RL009": 5,  # undispatched op, 2x missing client method,
+        #              undocumented op, undeclared client op
+        "RL010": 4,  # unregistered counter, dead counter, partial init
+        #              site, undocumented metric
+        "RL011": 3,  # dropped in function, dropped in method, literal seed
     }
     for rule_id, count in expected.items():
         bad, _, _ = FIXTURE_TARGETS[rule_id]
@@ -133,7 +164,7 @@ def test_rules_only_fire_for_their_own_id():
 # ---------------------------------------------------------------------------
 
 
-def test_registry_exposes_all_six_rules():
+def test_registry_exposes_all_eleven_rules():
     assert tuple(rule_ids()) == ALL_RULE_IDS
     rules = all_rules()
     assert [rule.rule_id for rule in rules] == list(ALL_RULE_IDS)
@@ -256,12 +287,341 @@ def test_cli_show_suppressed(capsys):
 
 
 # ---------------------------------------------------------------------------
+# graceful degradation (RL000)
+# ---------------------------------------------------------------------------
+
+
+def test_rl000_non_utf8_file_degrades_gracefully(tmp_path):
+    """A non-UTF-8 file yields one RL000 finding; siblings still lint."""
+    (tmp_path / "latin.py").write_bytes(b"# caf\xe9 au lait\nx = 1\n")
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    report = lint_paths([tmp_path])
+    # the parsable sibling is still analysed and counted
+    assert report.files_checked == 1
+    assert len(report.violations) == 1
+    violation = report.violations[0]
+    assert violation.rule_id == PARSE_RULE
+    assert violation.path.endswith("latin.py")
+    assert "UTF-8" in violation.message
+
+
+def test_rl000_null_byte_source_degrades_gracefully(tmp_path):
+    """Null bytes decode fine but ast.parse rejects them: RL000, no crash."""
+    (tmp_path / "nul.py").write_bytes(b"x = 1\x00\n")
+    report = lint_paths([tmp_path])
+    assert len(report.violations) == 1
+    violation = report.violations[0]
+    assert violation.rule_id == PARSE_RULE
+    assert "null bytes" in violation.message
+
+
+# ---------------------------------------------------------------------------
+# analysis cache
+# ---------------------------------------------------------------------------
+
+_LOCKED_TRACKER = """\
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def peek(self):
+        with self._lock:
+            return self.hits
+"""
+
+#: same class, but ``peek`` drops the lock — an RL008 violation.
+_RACY_TRACKER = _LOCKED_TRACKER.replace(
+    "    def peek(self):\n        with self._lock:\n            return self.hits\n",
+    "    def peek(self):\n        return self.hits\n",
+)
+
+
+def test_analysis_cache_reuse_and_invalidation(tmp_path):
+    assert _RACY_TRACKER != _LOCKED_TRACKER  # the replace above matched
+    src = tmp_path / "m.py"
+    src.write_text(_LOCKED_TRACKER, encoding="utf-8")
+    cache = AnalysisCache()
+    assert lint_paths([src], select=["RL008"], cache=cache).ok
+    assert (cache.misses, cache.hits) == (1, 0)
+    assert lint_paths([src], select=["RL008"], cache=cache).ok
+    assert (cache.misses, cache.hits) == (1, 1)
+    # Same path, new content: the stale analysis must not be reused.
+    src.write_text(_RACY_TRACKER, encoding="utf-8")
+    report = lint_paths([src], select=["RL008"], cache=cache)
+    assert not report.ok, "cache served a stale analysis for edited content"
+    assert (cache.misses, cache.hits) == (2, 1)
+
+
+# ---------------------------------------------------------------------------
+# diff-aware mode
+# ---------------------------------------------------------------------------
+
+
+def test_parse_unified_diff_tracks_new_side_lines():
+    diff = (
+        "diff --git a/pkg/m.py b/pkg/m.py\n"
+        "--- a/pkg/m.py\n"
+        "+++ b/pkg/m.py\n"
+        "@@ -10,2 +10,3 @@\n"
+        "-old\n"
+        "+new one\n"
+        "+new two\n"
+        " context\n"
+        "@@ -40 +42 @@\n"
+        "-x\n"
+        "+y\n"
+        "--- a/gone.py\n"
+        "+++ /dev/null\n"
+        "@@ -1,3 +0,0 @@\n"
+        "-a\n"
+        "-b\n"
+        "-c\n"
+    )
+    assert parse_unified_diff(diff) == {"pkg/m.py": {10, 11, 42}}
+
+
+def test_changed_lines_filter_excludes_untouched_findings(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return np.random.default_rng()\n"  # line 5
+        "\n"
+        "\n"
+        "def g():\n"
+        "    return np.random.default_rng()\n",  # line 9
+        encoding="utf-8",
+    )
+    full = lint_paths([src], select=["RL001"])
+    assert sorted(v.line for v in full.violations) == [5, 9]
+    filtered = lint_paths(
+        [src],
+        select=["RL001"],
+        changed_lines={src.resolve().as_posix(): {9}},
+    )
+    assert [v.line for v in filtered.violations] == [9]
+
+
+def test_cli_changed_only_bad_ref_fails_loudly(capsys):
+    """A ref git cannot resolve must exit 2, not lint nothing and pass."""
+    bad = str(FIXTURES / "rl001_bad.py")
+    assert lint_main([bad, "--changed-only", "no-such-ref-xyz"]) == 2
+    captured = capsys.readouterr()
+    assert "no-such-ref-xyz" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_round_trips_and_filters(tmp_path):
+    report = lint_paths([FIXTURES / "rl008_bad.py"], select=["RL008"])
+    assert len(report.violations) == 3
+    baseline = Baseline.from_violations(report.violations)
+    path = tmp_path / "lint_baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert len(loaded.entries) == 3
+    assert all(
+        entry.justification.startswith("TODO") for entry in loaded.entries
+    )
+    filtered = lint_paths(
+        [FIXTURES / "rl008_bad.py"], select=["RL008"], baseline=loaded
+    )
+    assert filtered.ok
+    assert not filtered.violations
+    assert len(filtered.baselined) == 3
+
+
+def test_baseline_update_preserves_justifications():
+    report = lint_paths([FIXTURES / "rl008_bad.py"], select=["RL008"])
+    first = Baseline.from_violations(report.violations)
+    reviewed = Baseline(
+        entries=[
+            type(entry)(
+                rule_id=entry.rule_id,
+                path=entry.path,
+                message=entry.message,
+                justification="reviewed: fixture, intentionally racy",
+            )
+            for entry in first.entries
+        ]
+    )
+    regenerated = Baseline.from_violations(report.violations, keep=reviewed)
+    assert all(
+        entry.justification == "reviewed: fixture, intentionally racy"
+        for entry in regenerated.entries
+    )
+
+
+def test_committed_baseline_entries_are_justified_and_live():
+    """Every committed exemption still matches a finding and says why."""
+    baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+    assert baseline.entries
+    for entry in baseline.entries:
+        assert entry.justification, entry.message
+        assert not entry.justification.startswith("TODO"), entry.message
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_report_structure():
+    report = lint_paths([FIXTURES / "rl007_bad.py"], select=["RL007"])
+    log = json.loads(sarif_report(report))
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {rule["id"] for rule in run["tool"]["driver"]["rules"]} == {"RL007"}
+    assert len(run["results"]) == 5
+    result = run["results"][0]
+    assert result["ruleId"] == "RL007"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert location["region"]["startLine"] >= 1
+    assert location["region"]["startColumn"] >= 1
+
+
+def test_cli_sarif_format(capsys):
+    bad = str(FIXTURES / "rl007_bad.py")
+    assert (
+        lint_main([bad, "--select", "RL007", "--format", "sarif"]) == 1
+    )
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"]
+
+
+# ---------------------------------------------------------------------------
+# RL008 extras: await-under-lock, and the acceptance-criteria mutation
+# ---------------------------------------------------------------------------
+
+
+def test_rl008_flags_await_under_lock(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Pool:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.jobs = []\n"
+        "\n"
+        "    def add(self, job):\n"
+        "        with self._lock:\n"
+        "            self.jobs.append(job)\n"
+        "\n"
+        "    async def flush(self, sink):\n"
+        "        with self._lock:\n"
+        "            await sink.send(self.jobs)\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([src], select=["RL008"])
+    assert any(
+        "awaits while holding" in v.message for v in report.violations
+    ), [v.format() for v in report.violations]
+
+
+def test_rl008_catches_seeded_store_mutation_in_diff_mode(tmp_path):
+    """Acceptance check: moving one guarded write in ``serve/store.py``
+    outside its lock is caught by RL008, in diff mode, on the moved
+    lines — the exact drift the PR lint job exists to stop."""
+    source = (
+        REPO_ROOT / "src" / "repro" / "serve" / "store.py"
+    ).read_text(encoding="utf-8")
+    repo = tmp_path / "repo"
+    (repo / "serve").mkdir(parents=True)
+    target = repo / "serve" / "store.py"
+    target.write_text(source, encoding="utf-8")
+
+    def git(*args: str) -> None:
+        subprocess.run(
+            [
+                "git",
+                "-c",
+                "user.email=lint@test",
+                "-c",
+                "user.name=lint",
+                *args,
+            ],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    git("add", ".")
+    git("commit", "-q", "-m", "seed")
+
+    # Mutate: hoist the guarded ``entry.log.append(...)`` block in
+    # ``record_like`` out of its ``with entry.lock:`` region (a
+    # plausible "the append looks lock-free" refactor).
+    lines = source.splitlines(keepends=True)
+    start = next(
+        i for i, line in enumerate(lines) if "def record_like" in line
+    )
+    appender = next(
+        i for i in range(start, len(lines))
+        if "entry.log.append(" in lines[i]
+    )
+    closer = next(
+        i for i in range(appender, len(lines))
+        if lines[i].rstrip() == " " * 12 + ")"
+    )
+    with_line = next(
+        i for i in range(start, appender)
+        if "with entry.lock:" in lines[i]
+    )
+    block = [line[4:] for line in lines[appender : closer + 1]]
+    mutated = (
+        lines[:with_line]
+        + block
+        + lines[with_line:appender]
+        + lines[closer + 1 :]
+    )
+    target.write_text("".join(mutated), encoding="utf-8")
+
+    changed = git_changed_lines("HEAD", cwd=repo)
+    changed_for_file = changed[target.resolve().as_posix()]
+    assert changed_for_file, "mutation produced no diff"
+
+    report = lint_paths(
+        [target], select=["RL008"], changed_lines=changed
+    )
+    assert not report.ok, "RL008 missed the unlocked guarded write"
+    assert all(v.rule_id == "RL008" for v in report.violations)
+    assert any(".log" in v.message or "log" in v.message for v in report.violations)
+    assert all(v.line in changed_for_file for v in report.violations), (
+        "diff mode must anchor findings on the moved lines",
+        [v.format() for v in report.violations],
+    )
+
+
+# ---------------------------------------------------------------------------
 # the tree polices itself
 # ---------------------------------------------------------------------------
 
 
-def test_live_tree_is_lint_clean():
-    report = lint_paths([REPO_ROOT / "src" / "repro"])
+def test_live_tree_is_lint_clean_modulo_baseline():
+    """All eleven rules over ``src/repro``: clean except the committed,
+    justified baseline — which must itself still be live."""
+    baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+    report = lint_paths([REPO_ROOT / "src" / "repro"], baseline=baseline)
     assert report.ok, "\n".join(v.format() for v in report.violations)
     assert report.files_checked > 50
     assert report.rules_run == ALL_RULE_IDS
+    assert report.baselined, "committed baseline matched nothing"
