@@ -46,6 +46,7 @@ from .core import (
     SizeRatioError,
     ValidationError,
 )
+from .catalog import PersistentCatalog
 from .datasets import (
     SYNTHETIC_EPSILON,
     VK_EPSILON,
@@ -112,6 +113,7 @@ __all__ = [
     "VKGenerator",
     "SyntheticGenerator",
     "build_couple",
+    "PersistentCatalog",
     "VK_EPSILON",
     "SYNTHETIC_EPSILON",
     "BatchEngine",

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..catalog import PersistentCatalog
 from ..core.errors import ConfigurationError
 from ..core.types import Community, CSJResult
 from ..datasets.couples import CoupleSpec, build_couple
@@ -24,7 +25,13 @@ from ..engine import BatchEngine, CheckpointLog, FaultPolicy, JoinResultCache, P
 from ..obs import JoinTelemetry, MetricsRegistry
 from ..sketch import SketchPrefilter
 
-__all__ = ["SweepPoint", "epsilon_sweep", "scale_sweep", "render_sweep"]
+__all__ = [
+    "SweepPoint",
+    "catalog_epsilon_sweep",
+    "epsilon_sweep",
+    "scale_sweep",
+    "render_sweep",
+]
 
 
 def _point(parameter: float, result: CSJResult) -> "SweepPoint":
@@ -99,6 +106,61 @@ def epsilon_sweep(
         _point(float(epsilon), outcome.result)
         for epsilon, outcome in zip(epsilons, outcomes)
     ]
+
+
+def catalog_epsilon_sweep(
+    catalog: PersistentCatalog,
+    key_b: str,
+    key_a: str,
+    epsilons: list[int],
+    *,
+    method: str = "ex-minmax",
+    n_jobs: int = 1,
+    cache: JoinResultCache | int | None = None,
+    metrics: MetricsRegistry | None = None,
+    telemetry: list[JoinTelemetry] | None = None,
+    fault_policy: FaultPolicy | None = None,
+    checkpoint: CheckpointLog | str | Path | None = None,
+    prefilter: SketchPrefilter | None = None,
+    **options: object,
+) -> list[SweepPoint]:
+    """:func:`epsilon_sweep` over a couple stored in a persistent catalog.
+
+    The stored envelopes are consulted first: when they prove a zero
+    similarity at *every* requested epsilon (epsilon-monotone — if the
+    largest epsilon is separated, all smaller ones are), the whole
+    curve is synthesised from metadata and **no vectors are loaded**.
+    Otherwise both communities load once and the sweep runs on the
+    engine exactly as the in-memory variant — the curves are identical.
+    """
+    if not epsilons:
+        raise ConfigurationError("epsilon_sweep needs at least one epsilon")
+    if sorted(epsilons) != list(epsilons):
+        raise ConfigurationError("epsilons must be given in ascending order")
+    if catalog.pair_screened(key_b, key_a, max(epsilons)):
+        return [
+            SweepPoint(
+                parameter=float(epsilon),
+                similarity_percent=0.0,
+                n_matched=0,
+                elapsed_seconds=0.0,
+            )
+            for epsilon in epsilons
+        ]
+    return epsilon_sweep(
+        catalog.get(key_b),
+        catalog.get(key_a),
+        epsilons,
+        method=method,
+        n_jobs=n_jobs,
+        cache=cache,
+        metrics=metrics,
+        telemetry=telemetry,
+        fault_policy=fault_policy,
+        checkpoint=checkpoint,
+        prefilter=prefilter,
+        **options,
+    )
 
 
 def scale_sweep(

@@ -18,13 +18,15 @@ baseline the engine benchmarks measure against.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..algorithms import get_algorithm
+from ..algorithms import ALGORITHMS, get_algorithm
+from ..catalog import CatalogRecord, PersistentCatalog
 from ..core.errors import ConfigurationError
-from ..core.types import Community, CSJResult
+from ..core.types import Community, CSJResult, EventCounts
 from ..engine import (
     BatchEngine,
     CheckpointLog,
@@ -33,6 +35,7 @@ from ..engine import (
     PairJob,
     canonical_options,
 )
+from ..engine.batch import SCREEN_ENGINE
 from ..obs import JoinTelemetry, MetricsRegistry
 from ..sketch import SketchPrefilter
 
@@ -53,9 +56,13 @@ class PairScore:
         return f"<{self.name_b}, {self.name_a}>"
 
 
+def _ratio_ok(n_first: int, n_second: int) -> bool:
+    small, large = sorted((n_first, n_second))
+    return small * 2 >= large
+
+
 def _joinable(first: Community, second: Community) -> bool:
-    small, large = sorted((first, second), key=len)
-    return len(small) * 2 >= len(large)
+    return _ratio_ok(len(first), len(second))
 
 
 def _validate(communities: list[Community], k: int, screen_margin: float) -> None:
@@ -75,7 +82,7 @@ def _pool_size(n_screened: int, k: int, screen_margin: float) -> int:
 
 
 def top_k_pairs(
-    communities: list[Community],
+    communities: "list[Community] | PersistentCatalog",
     *,
     epsilon: int,
     k: int,
@@ -90,6 +97,7 @@ def top_k_pairs(
     fault_policy: FaultPolicy | None = None,
     checkpoint: CheckpointLog | str | Path | None = None,
     prefilter: SketchPrefilter | None = None,
+    keys: list[str] | None = None,
     **options: object,
 ) -> list[PairScore]:
     """The k most similar pairs among ``communities``.
@@ -118,7 +126,41 @@ def top_k_pairs(
     tier (``target_recall < 1``) the measured recall is folded into
     every surviving result's ``p``, so the ranking's similarities carry
     the candidate-generation error honestly (see ``docs/approx.md``).
+
+    ``communities`` may also be a
+    :class:`~repro.catalog.PersistentCatalog` (optionally restricted to
+    ``keys``): the candidate screen then runs as the catalog's indexed
+    window query and only the surviving communities' vectors are loaded
+    from disk — pairs the envelopes rule out are ranked at similarity 0
+    from metadata alone, so a sweep over thousands of on-disk
+    communities touches O(survivors) vector rows.  Communities are
+    ranked under their catalog keys (keys are unique; stored display
+    names may not be).  The returned ranking is identical to loading
+    everything and calling this function with the in-memory list.
     """
+    if isinstance(communities, PersistentCatalog):
+        return _top_k_pairs_catalog(
+            communities,
+            epsilon=epsilon,
+            k=k,
+            screen_method=screen_method,
+            refine_method=refine_method,
+            screen_margin=screen_margin,
+            n_jobs=n_jobs,
+            cache=cache,
+            envelope_screen=envelope_screen,
+            metrics=metrics,
+            telemetry=telemetry,
+            fault_policy=fault_policy,
+            checkpoint=checkpoint,
+            prefilter=prefilter,
+            keys=keys,
+            **options,
+        )
+    if keys is not None:
+        raise ConfigurationError(
+            "keys= only applies when ranking from a PersistentCatalog"
+        )
     _validate(communities, k, screen_margin)
     job_options = canonical_options(options)
     joinable = [
@@ -171,6 +213,151 @@ def top_k_pairs(
             )
         if telemetry is not None:
             telemetry.extend(engine.telemetry)
+    refined.sort(key=lambda score: (-score.similarity, score.name_b, score.name_a))
+    return refined[:k]
+
+
+def _zero_score(
+    first: CatalogRecord,
+    second: CatalogRecord,
+    *,
+    method: str,
+    epsilon: int,
+) -> PairScore:
+    """A similarity-0 score synthesised from two metadata records.
+
+    Mirrors the engine's screened-result convention exactly (method
+    name, exactness, orientation, the ``envelope-screen`` engine label)
+    so rankings mixing computed and screened pairs sort identically to
+    the in-memory path.
+    """
+    algorithm_cls = ALGORITHMS[method.strip().lower()]
+    swapped = first.n_users > second.n_users
+    community_b, community_a = (second, first) if swapped else (first, second)
+    result = CSJResult(
+        method=algorithm_cls.name,
+        exact=algorithm_cls.exact,
+        size_b=community_b.n_users,
+        size_a=community_a.n_users,
+        epsilon=int(epsilon),
+        pairs=[],
+        events=EventCounts(),
+        elapsed_seconds=0.0,
+        engine=SCREEN_ENGINE,
+        swapped=swapped,
+    )
+    return PairScore(
+        name_b=community_b.key,
+        name_a=community_a.key,
+        similarity=0.0,
+        result=result,
+    )
+
+
+def _top_k_pairs_catalog(
+    catalog: PersistentCatalog,
+    *,
+    epsilon: int,
+    k: int,
+    screen_method: str,
+    refine_method: str,
+    screen_margin: float,
+    n_jobs: int,
+    cache: JoinResultCache | int | None,
+    envelope_screen: bool,
+    metrics: MetricsRegistry | None,
+    telemetry: list[JoinTelemetry] | None,
+    fault_policy: FaultPolicy | None,
+    checkpoint: CheckpointLog | str | Path | None,
+    prefilter: SketchPrefilter | None,
+    keys: list[str] | None,
+    **options: object,
+) -> list[PairScore]:
+    """Catalog-backed top-k: screen in SQL, load only the survivors."""
+    _validate([], k, screen_margin)
+    selected = sorted(set(keys)) if keys is not None else catalog.keys()
+    records = {key: catalog.metadata(key) for key in selected}
+    joinable = [
+        (selected[i], selected[j])
+        for i, j in itertools.combinations(range(len(selected)), 2)
+        if _ratio_ok(records[selected[i]].n_users, records[selected[j]].n_users)
+    ]
+    if envelope_screen:
+        surviving = set(catalog.candidate_pairs(epsilon, keys=selected))
+    else:
+        surviving = set(joinable)
+    live_pairs = [pair for pair in joinable if pair in surviving]
+    needed = sorted({key for pair in live_pairs for key in pair})
+    # The only vector loads of the whole ranking: one per survivor.
+    loaded: dict[str, Community] = {}
+    for key in needed:
+        community = catalog.get(key)
+        if community.name != key:
+            community = dataclasses.replace(community, name=key)
+        loaded[key] = community
+    roster = [loaded[key] for key in needed]
+    index_of = {key: index for index, key in enumerate(needed)}
+    job_options = canonical_options(options)
+
+    def run_jobs(pairs: list[tuple[str, str]], method: str) -> list[CSJResult]:
+        if not pairs:
+            return []
+        jobs = [
+            PairJob(index_of[first], index_of[second], method, epsilon, job_options)
+            for first, second in pairs
+        ]
+        with BatchEngine(
+            roster,
+            n_jobs=n_jobs,
+            screen=envelope_screen,
+            cache=cache,
+            metrics=metrics,
+            fault_policy=fault_policy,
+            checkpoint=checkpoint,
+            prefilter=prefilter,
+        ) as engine:
+            outcomes = engine.run(jobs)
+            if telemetry is not None:
+                telemetry.extend(engine.telemetry)
+        return [outcome.result for outcome in outcomes]
+
+    screen_results = dict(zip(live_pairs, run_jobs(live_pairs, screen_method)))
+    screened = [
+        (
+            screen_results[pair].similarity if pair in screen_results else 0.0,
+            pair[0],
+            pair[1],
+        )
+        for pair in joinable
+    ]
+    screened.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+    pool = screened[: _pool_size(len(screened), k, screen_margin)]
+    refine_pairs = [
+        (first, second) for _, first, second in pool if (first, second) in surviving
+    ]
+    refine_results = dict(zip(refine_pairs, run_jobs(refine_pairs, refine_method)))
+    refined: list[PairScore] = []
+    for _, first, second in pool:
+        result = refine_results.get((first, second))
+        if result is None:
+            refined.append(
+                _zero_score(
+                    records[first],
+                    records[second],
+                    method=refine_method,
+                    epsilon=epsilon,
+                )
+            )
+            continue
+        name_b, name_a = (second, first) if result.swapped else (first, second)
+        refined.append(
+            PairScore(
+                name_b=name_b,
+                name_a=name_a,
+                similarity=result.similarity,
+                result=result,
+            )
+        )
     refined.sort(key=lambda score: (-score.similarity, score.name_b, score.name_a))
     return refined[:k]
 

@@ -1,0 +1,24 @@
+"""Persistent community catalog: SQLite-backed storage with indexed
+envelope screening, lazy vector loads and a crash-safe join-result
+cache.  See ``docs/catalog.md`` for the schema and the window-query
+SQL; :class:`~repro.datasets.catalog.CommunityCatalog` remains as a
+thin filesystem-format shim sharing this package's fingerprinting.
+"""
+
+from .fingerprint import content_fingerprint
+from .store import (
+    CATALOG_COUNTERS,
+    CatalogRecord,
+    CatalogSimilarity,
+    PersistentCatalog,
+    init_catalog_metrics,
+)
+
+__all__ = [
+    "CATALOG_COUNTERS",
+    "CatalogRecord",
+    "CatalogSimilarity",
+    "PersistentCatalog",
+    "content_fingerprint",
+    "init_catalog_metrics",
+]

@@ -1,0 +1,28 @@
+"""Dtype-aware content fingerprints for catalog storage layers.
+
+Both persistent catalogs key their similarity caches by the *content*
+of the joined communities, so a fingerprint collision serves one
+community's cached result for another.  Hashing shape + raw bytes is
+not enough: the same byte buffer reinterpreted under a different dtype
+is a different matrix (``float64 1.0`` and ``int64
+4607182418800017408`` share all eight bytes), so the dtype — including
+endianness — is part of the content and belongs in the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["content_fingerprint"]
+
+
+def content_fingerprint(matrix: object) -> str:
+    """SHA-256 hex digest over dtype + shape + row-major bytes."""
+    array = np.ascontiguousarray(matrix)
+    digest = hashlib.sha256()
+    digest.update(array.dtype.str.encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()

@@ -370,6 +370,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dataset", choices=("vk", "synthetic"), default="vk")
     serve.add_argument("--scale", type=float, default=DEFAULT_SCALE / 4)
     serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DB",
+        help=(
+            "back the store with a persistent catalog database; communities "
+            "fault in lazily on first request (see docs/catalog.md)"
+        ),
+    )
+
+    catalog = subparsers.add_parser(
+        "catalog", help="manage a persistent community catalog database"
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    cat_import = catalog_sub.add_parser(
+        "import", help="import a directory-based community catalog"
+    )
+    cat_import.add_argument("db", help="catalog database path (created if missing)")
+    cat_import.add_argument("directory", help="CommunityCatalog root to import")
+
+    cat_export = catalog_sub.add_parser(
+        "export", help="export communities to a directory-based catalog"
+    )
+    cat_export.add_argument("db", help="catalog database path")
+    cat_export.add_argument("directory", help="destination CommunityCatalog root")
+    cat_export.add_argument(
+        "--keys", nargs="*", default=None, help="export only these keys"
+    )
+
+    cat_ls = catalog_sub.add_parser("ls", help="list catalogued communities")
+    cat_ls.add_argument("db", help="catalog database path")
+
+    cat_query = catalog_sub.add_parser(
+        "query", help="indexed candidate-window query around one community"
+    )
+    cat_query.add_argument("db", help="catalog database path")
+    cat_query.add_argument("key", help="probe community key")
+    cat_query.add_argument(
+        "--epsilon", type=int, default=1, help="per-dimension join threshold"
+    )
 
     lint = subparsers.add_parser(
         "lint", help="run the repro.lint invariant checker"
@@ -414,12 +455,72 @@ def main(argv: list[str] | None = None) -> int:
             baseline_update=args.baseline_update,
         )
 
+    if command == "catalog":
+        from .catalog import PersistentCatalog
+
+        with PersistentCatalog(args.db) as catalog:
+            if args.catalog_command == "import":
+                imported = catalog.import_directory(args.directory)
+                print(
+                    f"imported {len(imported)} communities from "
+                    f"{args.directory} into {args.db}"
+                )
+                return 0
+
+            if args.catalog_command == "export":
+                exported = catalog.export_directory(
+                    args.directory, keys=args.keys
+                )
+                print(
+                    f"exported {len(exported)} communities from "
+                    f"{args.db} to {args.directory}"
+                )
+                return 0
+
+            if args.catalog_command == "ls":
+                keys = catalog.keys()
+                for key in keys:
+                    record = catalog.metadata(key)
+                    print(
+                        f"{record.key}  users={record.n_users} "
+                        f"dims={record.n_dims} category={record.category} "
+                        f"fingerprint={record.fingerprint[:12]}"
+                    )
+                storage = catalog.storage_stats()
+                print(
+                    f"{storage['communities']} communities, "
+                    f"{storage['vector_bytes']} vector bytes, "
+                    f"{storage['cache_entries']} cached joins"
+                )
+                return 0
+
+            # query
+            survivors = catalog.candidate_keys(args.key, args.epsilon)
+            for key in survivors:
+                print(key)
+            stats = catalog.io_stats()
+            print(
+                f"{len(survivors)} candidates for {args.key!r} at "
+                f"epsilon={args.epsilon} "
+                f"(rows scanned: {stats['repro_catalog_rows_scanned_total']}, "
+                f"vector loads: {stats['repro_catalog_vector_loads_total']})"
+            )
+            return 0
+
     if command == "serve":
         import asyncio
 
         from .serve import AdmissionPolicy, CommunityStore, CSJServer, ServeConfig
 
-        store = CommunityStore()
+        if args.catalog is not None:
+            from .catalog import PersistentCatalog
+            from .serve import CatalogBackedStore
+
+            store: CommunityStore = CatalogBackedStore(
+                PersistentCatalog(args.catalog)
+            )
+        else:
+            store = CommunityStore()
         if args.preload:
             import dataclasses
 
@@ -534,6 +635,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.prometheus:
             snapshot = (trailer or {}).get("metrics")
             if snapshot:
+                from .catalog import init_catalog_metrics
                 from .serve.store import init_delta_metrics
                 from .sketch import init_sketch_metrics
 
@@ -544,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
                 # recorded values pass through unchanged).
                 init_sketch_metrics(registry)
                 init_delta_metrics(registry)
+                init_catalog_metrics(registry)
                 registry.merge(snapshot)
                 print()
                 print(registry.to_prometheus(), end="")

@@ -8,18 +8,25 @@ plus a JSON cache of similarity results keyed by the pair, the method,
 epsilon and the content fingerprints of both sides — so a cache entry
 is automatically invalidated the moment a community is re-registered
 with different vectors.
+
+This class is the small-scale / human-inspectable format; the scalable
+store is :class:`repro.catalog.PersistentCatalog` (SQLite, indexed
+envelope screening, lazy vectors), which can ``import_directory`` /
+``export_directory`` this layout.  The shim shares the persistent
+catalog's dtype-aware content fingerprinting so the two caches agree
+on what "same content" means.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
+import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
 from ..algorithms import get_algorithm
+from ..catalog.fingerprint import content_fingerprint
 from ..core.errors import ValidationError
 from ..core.types import Community
 from .io import load_communities, save_communities
@@ -28,11 +35,8 @@ __all__ = ["CachedSimilarity", "CommunityCatalog"]
 
 
 def _fingerprint(community: Community) -> str:
-    """Content hash of a community's vectors (order-sensitive)."""
-    digest = hashlib.sha256()
-    digest.update(str(community.vectors.shape).encode())
-    digest.update(np.ascontiguousarray(community.vectors).tobytes())
-    return digest.hexdigest()[:16]
+    """Content hash of a community's vectors (dtype- and order-sensitive)."""
+    return content_fingerprint(community.vectors)[:16]
 
 
 @dataclass(frozen=True)
@@ -64,16 +68,32 @@ class CommunityCatalog:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._cache_path = self.root / self._CACHE_FILE
+        self._cache: dict[str, dict] = {}
         if self._cache_path.exists():
-            self._cache: dict[str, dict] = json.loads(self._cache_path.read_text())
-        else:
-            self._cache = {}
+            try:
+                loaded = json.loads(self._cache_path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                loaded = None
+            if isinstance(loaded, dict):
+                self._cache = loaded
+            else:
+                # A torn or foreign file must not brick the catalog:
+                # results are recomputable, so degrade to empty.
+                warnings.warn(
+                    f"discarding undecodable similarity cache at "
+                    f"{self._cache_path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     # ------------------------------------------------------------------
     # community management
     # ------------------------------------------------------------------
     def _archive_path(self, key: str) -> Path:
-        if not key or any(ch in key for ch in "/\\"):
+        # "|" is additionally rejected because it is the cache-key
+        # delimiter: a key containing it could forge another pair's
+        # cache entry.
+        if not key or any(ch in key for ch in "/\\|"):
             raise ValidationError(f"invalid catalog key {key!r}")
         return self.root / f"{key}.npz"
 
@@ -96,7 +116,7 @@ class CommunityCatalog:
         )
 
     def remove(self, key: str) -> None:
-        """Delete a community and its metadata."""
+        """Delete a community, its metadata and its cache entries."""
         path = self._archive_path(key)
         if not path.exists():
             raise ValidationError(f"no community registered under {key!r}")
@@ -104,6 +124,17 @@ class CommunityCatalog:
         meta = path.with_name(path.stem + ".meta.json")
         if meta.exists():
             meta.unlink()
+        # Entries naming the removed key can never be served again
+        # (keys are pipe-free, so splitting the joined key is exact).
+        stale = [
+            cache_key
+            for cache_key in self._cache
+            if key in cache_key.split("|")[:2]
+        ]
+        if stale:
+            for cache_key in stale:
+                del self._cache[cache_key]
+            self._save_cache()
 
     # ------------------------------------------------------------------
     # cached similarity
@@ -112,7 +143,20 @@ class CommunityCatalog:
         self, key_b: str, key_a: str, method: str, epsilon: int,
         print_b: str, print_a: str,
     ) -> str:
-        return "|".join([key_b, key_a, method, str(epsilon), print_b, print_a])
+        parts = [key_b, key_a, method, str(epsilon), print_b, print_a]
+        for part in parts:
+            if "|" in part:
+                raise ValidationError(
+                    f"cache-key component {part!r} contains the "
+                    "reserved delimiter '|'"
+                )
+        return "|".join(parts)
+
+    def _save_cache(self) -> None:
+        """Atomic cache write: a crash leaves old content, never torn."""
+        tmp_path = self._cache_path.with_name(self._CACHE_FILE + ".tmp")
+        tmp_path.write_text(json.dumps(self._cache, indent=2, sort_keys=True))
+        os.replace(tmp_path, self._cache_path)
 
     def similarity(
         self,
@@ -152,7 +196,7 @@ class CommunityCatalog:
             "similarity": result.similarity,
             "n_matched": result.n_matched,
         }
-        self._cache_path.write_text(json.dumps(self._cache, indent=2, sort_keys=True))
+        self._save_cache()
         return CachedSimilarity(
             key_b=key_b,
             key_a=key_a,

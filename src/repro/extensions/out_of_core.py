@@ -36,12 +36,36 @@ from ..core.types import Community, CSJResult, MatchedPair, as_counter_matrix
 __all__ = ["OnDiskCommunity", "out_of_core_similarity"]
 
 
+class _ClosedVectors:
+    """Placeholder for released vectors: shape survives, data access raises."""
+
+    __slots__ = ("shape",)
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.shape = shape
+
+    def _refuse(self, *_args: object, **_kwargs: object) -> object:
+        raise ValueError(
+            "on-disk community is closed; its vectors are no longer mapped"
+        )
+
+    __array__ = _refuse
+    __getitem__ = _refuse
+    __iter__ = _refuse
+
+    def __len__(self) -> int:
+        return int(self.shape[0])
+
+
 @dataclass(frozen=True)
 class OnDiskCommunity:
     """A community stored as an ``.npy`` file plus JSON metadata.
 
     ``vectors`` is a read-only memmap: element access touches only the
-    pages actually read.
+    pages actually read.  The memmap holds an open file handle until
+    :meth:`close` releases it — a long-running process opening many
+    communities must close them (or use the instance as a context
+    manager), or it leaks one handle per community.
     """
 
     path: Path
@@ -59,6 +83,36 @@ class OnDiskCommunity:
 
     def __len__(self) -> int:
         return self.n_users
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the underlying mapping."""
+        return bool(self.__dict__.get("_closed", False))
+
+    def close(self) -> None:
+        """Release the memmap's file handle (idempotent).
+
+        Vector access after closing raises ``ValueError``; metadata
+        (``name``, ``n_users`` via the cached shape, ...) needs no file
+        and stays available.  The mapping is released by dropping this
+        instance's reference — never by force-closing the ``mmap``
+        object, which would turn any still-held view of the array into
+        a use-after-unmap crash.  When nobody else holds the array (the
+        normal case) the file handle is freed here, deterministically.
+        """
+        if self.closed:
+            return
+        shape = tuple(int(extent) for extent in self.vectors.shape)
+        # frozen dataclass: mutate via object.__setattr__.
+        object.__setattr__(self, "vectors", _ClosedVectors(shape))
+        object.__setattr__(self, "_closed", True)
+
+    def __enter__(self) -> "OnDiskCommunity":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -126,8 +180,8 @@ class OnDiskCommunity:
 
 
 def out_of_core_similarity(
-    disk_b: OnDiskCommunity,
-    disk_a: OnDiskCommunity,
+    disk_b: OnDiskCommunity | str | Path,
+    disk_a: OnDiskCommunity | str | Path,
     *,
     epsilon: int,
     chunk_size: int = 4096,
@@ -137,9 +191,39 @@ def out_of_core_similarity(
 
     ``disk_b`` must be the smaller community (the paper's ``B`` role);
     pass the pair accordingly — on-disk inputs are not auto-oriented.
+
+    Either side may be given as a path: the function opens it itself
+    and closes it again on every exit path, so repeated calls never
+    accumulate file handles.  Caller-provided ``OnDiskCommunity``
+    instances are left open (the caller owns their lifetime).
     """
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    opened: list[OnDiskCommunity] = []
+    try:
+        if not isinstance(disk_b, OnDiskCommunity):
+            disk_b = OnDiskCommunity.open(disk_b)
+            opened.append(disk_b)
+        if not isinstance(disk_a, OnDiskCommunity):
+            disk_a = OnDiskCommunity.open(disk_a)
+            opened.append(disk_a)
+        return _out_of_core_similarity(
+            disk_b, disk_a,
+            epsilon=epsilon, chunk_size=chunk_size, matcher=matcher,
+        )
+    finally:
+        for community in opened:
+            community.close()
+
+
+def _out_of_core_similarity(
+    disk_b: OnDiskCommunity,
+    disk_a: OnDiskCommunity,
+    *,
+    epsilon: int,
+    chunk_size: int,
+    matcher: str,
+) -> CSJResult:
     if disk_b.n_dims != disk_a.n_dims:
         raise ValidationError(
             f"dimension mismatch: d={disk_b.n_dims} vs d={disk_a.n_dims}"

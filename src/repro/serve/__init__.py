@@ -40,6 +40,7 @@ from .protocol import (
 )
 from .server import CSJServer, ServeConfig, ServerThread
 from .store import (
+    CatalogBackedStore,
     CommunityStore,
     DeltaJoinPool,
     MutationRecord,
@@ -53,6 +54,7 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     # store
+    "CatalogBackedStore",
     "CommunityStore",
     "StoreSnapshot",
     "UnknownCommunityError",

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .._version import __version__
+from ..catalog import init_catalog_metrics
 from ..core.errors import ReproError
 from ..engine import FaultPolicy, JoinResultCache
 from ..obs import MetricsRegistry
@@ -139,6 +140,7 @@ class CSJServer:
         # expose them before the first approximate topk / update request.
         init_sketch_metrics(self.metrics)
         init_delta_metrics(self.metrics)
+        init_catalog_metrics(self.metrics)
         self.delta_pool: DeltaJoinPool | None = None
         if self.config.delta_maintenance:
             self.delta_pool = DeltaJoinPool(

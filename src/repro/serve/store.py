@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "UnknownCommunityError",
     "CommunityStore",
+    "CatalogBackedStore",
     "StoreSnapshot",
     "MutationRecord",
     "DeltaJoinPool",
@@ -325,6 +326,70 @@ class CommunityStore:
         }
         info.update(extra)
         return info
+
+
+class CatalogBackedStore(CommunityStore):
+    """A community store that faults entries in from a persistent catalog.
+
+    ``repro-csj serve --catalog <db>`` preloads *lazily*: at startup
+    the store knows every catalog key (metadata only — no vectors), and
+    a community's vectors load from the catalog the first time a
+    request names it.  Cold start therefore touches only the rows that
+    are actually requested; an idle server over a 100k-community
+    catalog holds zero vector bytes.
+
+    Once faulted in, a community behaves exactly like a registered one
+    (mutable, versioned, delta-maintainable); the catalog is the *seed*
+    state, not a write-through backend — mutations stay in the store.
+    """
+
+    def __init__(self, catalog: "PersistentCatalog") -> None:
+        super().__init__()
+        self._catalog = catalog
+
+    # -- lazy materialisation ------------------------------------------
+    def _entry(self, name: str) -> _Entry:
+        with self._registry_lock:
+            entry = self._entries.get(name)
+        if entry is not None:
+            return entry
+        if name not in self._catalog:
+            raise UnknownCommunityError(name, self.names())
+        # The only vector load of the path, outside every store lock.
+        community = self._catalog.get(name)
+        mutable = IncrementalCommunity(
+            name,
+            community.n_dims,
+            category=community.category,
+            page_id=community.page_id,
+            vectors=community.vectors,
+        )
+        fresh = _Entry(mutable)
+        with self._registry_lock:
+            # Another thread may have faulted the same key in; keep the
+            # first registration so versions stay monotonic.
+            entry = self._entries.setdefault(name, fresh)
+        return entry
+
+    # -- reads spanning catalog + materialised entries ------------------
+    def names(self) -> list[str]:
+        with self._registry_lock:
+            registered = set(self._entries)
+        return sorted(registered | set(self._catalog.keys()))
+
+    def loaded_names(self) -> list[str]:
+        """Only the communities whose vectors are materialised."""
+        return super().names()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return super().__contains__(name) or name in self._catalog
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..catalog import PersistentCatalog
 
 
 #: Counter families of the delta layer, zero-initialised at server

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import json
+import os
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro.core.errors import ValidationError
 from repro.core.types import Community
-from repro.datasets.catalog import CommunityCatalog
+from repro.datasets.catalog import CommunityCatalog, _fingerprint
 
 
 def make_community(name: str, seed: int, n: int = 20) -> Community:
@@ -98,3 +102,123 @@ class TestSimilarityCache:
         catalog.clear_cache()
         assert catalog.cache_size() == 0
         assert not catalog.similarity("a", "b", epsilon=1).from_cache
+
+
+class TestFingerprintDtype:
+    def test_same_bytes_different_dtype_differ(self):
+        # 4607182418800017408 is the int64 whose bit pattern equals the
+        # IEEE-754 encoding of float64 1.0 — byte-identical buffers.
+        as_int = np.array([[4607182418800017408]], dtype=np.int64)
+        as_float = np.array([[1.0]], dtype=np.float64)
+        assert as_int.tobytes() == as_float.tobytes()
+        print_int = _fingerprint(SimpleNamespace(vectors=as_int))
+        print_float = _fingerprint(SimpleNamespace(vectors=as_float))
+        assert print_int != print_float
+
+    def test_same_bytes_different_shape_differ(self):
+        flat = np.arange(6, dtype=np.int64).reshape(1, 6)
+        tall = np.arange(6, dtype=np.int64).reshape(6, 1)
+        assert flat.tobytes() == tall.tobytes()
+        assert _fingerprint(SimpleNamespace(vectors=flat)) != _fingerprint(
+            SimpleNamespace(vectors=tall)
+        )
+
+    def test_stable_for_equal_content(self):
+        one = make_community("X", 50)
+        two = Community("Y", one.vectors.copy(), "Media")
+        assert _fingerprint(one) == _fingerprint(two)
+
+
+class TestCacheKeyInjection:
+    def test_pipe_in_key_rejected_at_registration(self, catalog):
+        with pytest.raises(ValidationError, match="invalid catalog key"):
+            catalog.register("a|b", make_community("X", 51))
+
+    def test_pipe_in_cache_key_component_rejected(self, catalog):
+        # Keys are pipe-free by registration, but the delimiter check
+        # guards every component (method names, fingerprints) too.
+        with pytest.raises(ValidationError, match="reserved delimiter"):
+            catalog._cache_key("a", "b", "ex|minmax", 1, "p1", "p2")
+
+    def test_forged_pair_cannot_collide(self, catalog):
+        # Without the guard, ("x", "y|z") and ("x|y", "z") could join to
+        # the same cache key; with it neither composite key can exist.
+        for key in ("y|z", "x|y"):
+            with pytest.raises(ValidationError):
+                catalog.register(key, make_community("X", 52))
+
+
+class TestRemovePurgesCache:
+    def test_remove_drops_cache_entries(self, catalog):
+        catalog.register("a", make_community("A", 53))
+        catalog.register("b", make_community("B", 53))
+        catalog.register("c", make_community("C", 53))
+        catalog.similarity("a", "b", epsilon=1)
+        catalog.similarity("b", "c", epsilon=1)
+        catalog.remove("a")
+        assert catalog.cache_size() == 1  # (b, c) survives
+        reopened = CommunityCatalog(catalog.root)
+        assert reopened.cache_size() == 1
+        assert reopened.similarity("b", "c", epsilon=1).from_cache
+
+    def test_removed_then_reregistered_key_recomputes(self, catalog):
+        catalog.register("a", make_community("A", 54))
+        catalog.register("b", make_community("B", 54))
+        catalog.similarity("a", "b", epsilon=1)
+        catalog.remove("a")
+        catalog.register("a", make_community("A2", 55))
+        assert not catalog.similarity("a", "b", epsilon=1).from_cache
+
+
+class TestCacheFileRobustness:
+    def test_torn_cache_degrades_with_warning(self, tmp_path):
+        root = tmp_path / "torn"
+        catalog = CommunityCatalog(root)
+        catalog.register("a", make_community("A", 56))
+        catalog.register("b", make_community("B", 56))
+        catalog.similarity("a", "b", epsilon=1)
+        # Simulate a torn write: truncate the file mid-JSON.
+        cache_path = root / "similarity_cache.json"
+        cache_path.write_text(cache_path.read_text()[: 10])
+        with pytest.warns(RuntimeWarning, match="undecodable similarity cache"):
+            reopened = CommunityCatalog(root)
+        assert reopened.cache_size() == 0
+        assert not reopened.similarity("a", "b", epsilon=1).from_cache
+
+    def test_foreign_json_shape_degrades(self, tmp_path):
+        root = tmp_path / "foreign"
+        root.mkdir()
+        (root / "similarity_cache.json").write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning):
+            catalog = CommunityCatalog(root)
+        assert catalog.cache_size() == 0
+
+    def test_save_is_atomic_under_crash(self, tmp_path, monkeypatch):
+        root = tmp_path / "atomic"
+        catalog = CommunityCatalog(root)
+        catalog.register("a", make_community("A", 57))
+        catalog.register("b", make_community("B", 57))
+        catalog.register("c", make_community("C", 57))
+        catalog.similarity("a", "b", epsilon=1)
+        cache_path = root / "similarity_cache.json"
+        before = cache_path.read_text()
+
+        def crash(*_args: object, **_kwargs: object) -> None:
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            catalog.similarity("b", "c", epsilon=1)
+        monkeypatch.undo()
+        # The visible cache file is bitwise untouched — old content,
+        # never a torn half-write — and still valid JSON.
+        assert cache_path.read_text() == before
+        assert isinstance(json.loads(cache_path.read_text()), dict)
+        reopened = CommunityCatalog(root)
+        assert reopened.cache_size() == 1
+
+    def test_no_tmp_file_left_behind(self, catalog):
+        catalog.register("a", make_community("A", 58))
+        catalog.register("b", make_community("B", 58))
+        catalog.similarity("a", "b", epsilon=1)
+        assert not list(catalog.root.glob("*.tmp"))

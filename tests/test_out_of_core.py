@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -112,3 +114,109 @@ class TestOutOfCoreJoin:
         )
         result = out_of_core_similarity(disk_b, disk_a, epsilon=1)
         assert result.n_matched == 0
+
+
+class TestClose:
+    def test_close_releases_mapping(self, tmp_path):
+        disk = OnDiskCommunity.create(
+            tmp_path / "c", np.arange(12).reshape(4, 3)
+        )
+        assert not disk.closed
+        disk.close()
+        assert disk.closed
+        with pytest.raises(ValueError, match="closed"):
+            np.asarray(disk.vectors)
+        with pytest.raises(ValueError, match="closed"):
+            disk.row_sums(4)
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs procfs"
+    )
+    def test_close_releases_file_handle(self, tmp_path):
+        disk = OnDiskCommunity.create(tmp_path / "c", np.ones((4, 2)))
+        target = os.path.realpath(disk.path)
+
+        def held() -> bool:
+            for entry in os.listdir("/proc/self/fd"):
+                try:
+                    if os.path.realpath(f"/proc/self/fd/{entry}") == target:
+                        return True
+                except OSError:
+                    continue
+            return False
+
+        assert held()
+        disk.close()
+        assert not held()
+
+    def test_close_is_idempotent(self, tmp_path):
+        disk = OnDiskCommunity.create(tmp_path / "c", np.ones((3, 2)))
+        disk.close()
+        disk.close()
+        assert disk.closed
+
+    def test_context_manager_closes(self, tmp_path):
+        with OnDiskCommunity.create(tmp_path / "c", np.ones((3, 2))) as disk:
+            assert disk.n_users == 3
+            assert not disk.closed
+        assert disk.closed
+
+    def test_metadata_survives_close(self, tmp_path):
+        disk = OnDiskCommunity.create(
+            tmp_path / "c", np.ones((4, 2)), name="N", category="Sport"
+        )
+        disk.close()
+        assert disk.name == "N"
+        assert disk.category == "Sport"
+
+    def test_join_accepts_paths_and_closes_them(self, tmp_path, monkeypatch):
+        vectors_b, vectors_a = random_couple(618, n_b=10, n_a=14)
+        OnDiskCommunity.create(tmp_path / "b", vectors_b, name="B")
+        OnDiskCommunity.create(tmp_path / "a", vectors_a, name="A")
+        opened: list[OnDiskCommunity] = []
+        real_open = OnDiskCommunity.open
+
+        def spy(path):
+            disk = real_open(path)
+            opened.append(disk)
+            return disk
+
+        monkeypatch.setattr(OnDiskCommunity, "open", spy)
+        from_paths = out_of_core_similarity(
+            str(tmp_path / "b"), tmp_path / "a", epsilon=1
+        )
+        assert len(opened) == 2
+        assert all(disk.closed for disk in opened)
+        monkeypatch.undo()
+        from_instances = out_of_core_similarity(
+            OnDiskCommunity.open(tmp_path / "b"),
+            OnDiskCommunity.open(tmp_path / "a"),
+            epsilon=1,
+        )
+        assert set(from_paths.pair_tuples()) == set(from_instances.pair_tuples())
+
+    def test_path_inputs_closed_even_on_error(self, tmp_path, monkeypatch):
+        vectors_b, vectors_a = random_couple(619, n_b=10, n_a=14)
+        OnDiskCommunity.create(tmp_path / "b", vectors_b)
+        OnDiskCommunity.create(tmp_path / "mismatch", np.ones((20, 2)))
+        opened: list[OnDiskCommunity] = []
+        real_open = OnDiskCommunity.open
+
+        def spy(path):
+            disk = real_open(path)
+            opened.append(disk)
+            return disk
+
+        monkeypatch.setattr(OnDiskCommunity, "open", spy)
+        with pytest.raises(ValidationError, match="dimension mismatch"):
+            out_of_core_similarity(
+                tmp_path / "b", tmp_path / "mismatch", epsilon=1
+            )
+        assert len(opened) == 2
+        assert all(disk.closed for disk in opened)
+
+    def test_caller_instances_left_open(self, disk_couple):
+        disk_b, disk_a, _, _ = disk_couple
+        out_of_core_similarity(disk_b, disk_a, epsilon=1)
+        assert not disk_b.closed
+        assert not disk_a.closed
