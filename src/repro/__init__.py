@@ -80,6 +80,13 @@ from .serve import (
     ServeConfig,
     ServerThread,
 )
+from .shard import (
+    PartitionPlan,
+    ShardCoordinator,
+    ShardFleet,
+    partition_catalog,
+    plan_partition,
+)
 
 from ._version import __version__  # noqa: E402
 
@@ -139,6 +146,11 @@ __all__ = [
     "ServeClient",
     "CommunityStore",
     "AdmissionPolicy",
+    "PartitionPlan",
+    "ShardCoordinator",
+    "ShardFleet",
+    "plan_partition",
+    "partition_catalog",
 ]
 
 

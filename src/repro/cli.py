@@ -412,6 +412,115 @@ def build_parser() -> argparse.ArgumentParser:
         "--epsilon", type=int, default=1, help="per-dimension join threshold"
     )
 
+    shard = subparsers.add_parser(
+        "shard",
+        help="shard a catalog and run distributed queries (docs/sharding.md)",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_partition = shard_sub.add_parser(
+        "partition", help="split a catalog into per-shard catalogs"
+    )
+    shard_partition.add_argument("db", help="source catalog database path")
+    shard_partition.add_argument(
+        "out_dir", help="partition directory (plan.json + shard_NNN.db)"
+    )
+    shard_partition.add_argument(
+        "--shards", type=int, default=4, help="number of shards"
+    )
+    shard_partition.add_argument(
+        "--epsilon",
+        type=int,
+        default=1,
+        help="plan epsilon: candidate pairs at or below it stay co-located",
+    )
+    shard_partition.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=1.0,
+        help="components costing more than this fraction of the per-shard "
+        "budget are split pair-wise with replicated endpoints",
+    )
+    shard_partition.add_argument(
+        "--no-replicate",
+        action="store_true",
+        help="plain LPT bin-packing, never split a hot component",
+    )
+    shard_partition.add_argument(
+        "--sample-pairs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="calibrate the cost model by timing N sampled candidate joins",
+    )
+    shard_partition.add_argument("--seed", type=int, default=7)
+
+    shard_serve = shard_sub.add_parser(
+        "serve", help="serve every shard of a partition directory"
+    )
+    shard_serve.add_argument("plan_dir", help="partition directory")
+
+    shard_topk = shard_sub.add_parser(
+        "topk", help="distributed all-pairs top-k across the shards"
+    )
+    shard_topk.add_argument("plan_dir", help="partition directory")
+    shard_topk.add_argument(
+        "--epsilon", type=int, default=1, help="per-dimension join threshold"
+    )
+    shard_topk.add_argument("--k", type=int, default=10)
+    shard_topk.add_argument(
+        "--screen-method", choices=tuple(ALGORITHMS), default="ap-minmax"
+    )
+    shard_topk.add_argument(
+        "--refine-method", choices=tuple(ALGORITHMS), default="ex-minmax"
+    )
+    shard_topk.add_argument("--screen-margin", type=float, default=0.8)
+    shard_topk.add_argument(
+        "--addresses",
+        nargs="+",
+        default=None,
+        metavar="HOST:PORT",
+        help="running shard servers, one per shard in plan order "
+        "(default: self-host an in-process fleet)",
+    )
+    shard_topk.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="return a degraded ranking instead of failing when shards are down",
+    )
+
+    shard_sweep = shard_sub.add_parser(
+        "sweep", help="distributed epsilon sweep over selected couples"
+    )
+    shard_sweep.add_argument("plan_dir", help="partition directory")
+    shard_sweep.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        required=True,
+        metavar=("FIRST", "SECOND"),
+        dest="pairs",
+        help="a couple of catalog keys (repeatable)",
+    )
+    shard_sweep.add_argument(
+        "--epsilons", type=int, nargs="+", required=True,
+        help="ascending per-dimension thresholds",
+    )
+    shard_sweep.add_argument(
+        "--method", choices=tuple(ALGORITHMS), default="ex-minmax"
+    )
+    shard_sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="JSONL checkpoint: completed cells are skipped on re-run",
+    )
+    shard_sweep.add_argument(
+        "--addresses", nargs="+", default=None, metavar="HOST:PORT",
+        help="running shard servers (default: self-host)",
+    )
+    shard_sweep.add_argument("--allow-partial", action="store_true")
+
     lint = subparsers.add_parser(
         "lint", help="run the repro.lint invariant checker"
     )
@@ -506,6 +615,159 @@ def main(argv: list[str] | None = None) -> int:
                 f"vector loads: {stats['repro_catalog_vector_loads_total']})"
             )
             return 0
+
+    if command == "shard":
+        from pathlib import Path
+
+        from .shard import (
+            PLAN_FILENAME,
+            PartitionPlan,
+            ShardCoordinator,
+            ShardFleet,
+            partition_catalog,
+        )
+
+        def _parse_addresses(raw: list[str]) -> list[tuple[str, int]]:
+            addresses = []
+            for item in raw:
+                host, _, port = item.rpartition(":")
+                addresses.append((host or "127.0.0.1", int(port)))
+            return addresses
+
+        def _render_topk(result) -> None:
+            for rank, score in enumerate(result.scores, start=1):
+                print(
+                    f"{rank:3d}. {score.label}  "
+                    f"similarity={score.similarity:.6f} "
+                    f"matched={score.result.n_matched}"
+                )
+            if result.degraded:
+                print(
+                    f"DEGRADED: missing shards {list(result.missing)}, "
+                    f"{len(result.dropped_keys)} dropped communities, "
+                    f"{len(result.lost_pairs)} lost pairs"
+                )
+
+        if args.shard_command == "partition":
+            from .catalog import PersistentCatalog
+
+            with PersistentCatalog(args.db) as catalog:
+                plan = partition_catalog(
+                    catalog,
+                    args.out_dir,
+                    args.shards,
+                    epsilon=args.epsilon,
+                    hot_fraction=args.hot_fraction,
+                    replicate=not args.no_replicate,
+                    sample_pairs=args.sample_pairs,
+                    seed=args.seed,
+                )
+            stats = plan.stats
+            print(
+                f"partitioned {stats['communities']} communities into "
+                f"{plan.n_shards} shards at epsilon={plan.epsilon} "
+                f"({args.out_dir})"
+            )
+            for spec in plan.shards:
+                print(
+                    f"  shard {spec.shard}: {len(spec.keys)} communities, "
+                    f"cost {spec.cost} ({spec.db})"
+                )
+            print(
+                f"  components={stats['components']} "
+                f"split={stats['split_components']} "
+                f"replicated_keys={len(plan.replicated)} "
+                f"imbalance={stats['imbalance']:.3f}"
+            )
+            return 0
+
+        if args.shard_command == "serve":
+            import time as _time
+
+            with ShardFleet(args.plan_dir) as fleet:
+                for shard, (host, port) in enumerate(fleet.addresses):
+                    print(f"shard {shard}: {host}:{port}")
+                print(
+                    f"serving {fleet.plan.n_shards} shards from "
+                    f"{args.plan_dir} (Ctrl+C to stop)"
+                )
+                try:
+                    while True:
+                        _time.sleep(3600)
+                except KeyboardInterrupt:
+                    print("shutting down fleet")
+            return 0
+
+        if args.shard_command == "topk":
+            if args.addresses:
+                plan = PartitionPlan.load(
+                    Path(args.plan_dir) / PLAN_FILENAME
+                )
+                with ShardCoordinator(
+                    plan, _parse_addresses(args.addresses)
+                ) as coordinator:
+                    result = coordinator.top_k(
+                        epsilon=args.epsilon,
+                        k=args.k,
+                        screen_method=args.screen_method,
+                        refine_method=args.refine_method,
+                        screen_margin=args.screen_margin,
+                        allow_partial=args.allow_partial,
+                    )
+            else:
+                with ShardFleet(args.plan_dir) as fleet:
+                    with fleet.coordinator() as coordinator:
+                        result = coordinator.top_k(
+                            epsilon=args.epsilon,
+                            k=args.k,
+                            screen_method=args.screen_method,
+                            refine_method=args.refine_method,
+                            screen_margin=args.screen_margin,
+                            allow_partial=args.allow_partial,
+                        )
+            _render_topk(result)
+            return 0
+
+        # sweep
+        pairs = [tuple(pair) for pair in args.pairs]
+        if args.addresses:
+            plan = PartitionPlan.load(Path(args.plan_dir) / PLAN_FILENAME)
+            with ShardCoordinator(
+                plan, _parse_addresses(args.addresses)
+            ) as coordinator:
+                sweep_result = coordinator.sweep(
+                    pairs,
+                    args.epsilons,
+                    method=args.method,
+                    checkpoint=args.checkpoint,
+                    allow_partial=args.allow_partial,
+                )
+        else:
+            with ShardFleet(args.plan_dir) as fleet:
+                with fleet.coordinator() as coordinator:
+                    sweep_result = coordinator.sweep(
+                        pairs,
+                        args.epsilons,
+                        method=args.method,
+                        checkpoint=args.checkpoint,
+                        allow_partial=args.allow_partial,
+                    )
+        for (first, second), points in sweep_result.curves.items():
+            print(f"{first} | {second}")
+            for point in points:
+                print(
+                    f"  epsilon={point.parameter:g} "
+                    f"similarity={point.similarity_percent:.2f}% "
+                    f"matched={point.n_matched}"
+                )
+        if sweep_result.resumed_cells:
+            print(f"resumed {sweep_result.resumed_cells} checkpointed cells")
+        if sweep_result.degraded:
+            print(
+                f"DEGRADED: missing shards {list(sweep_result.missing)}, "
+                f"{len(sweep_result.lost_cells)} lost cells"
+            )
+        return 0
 
     if command == "serve":
         import asyncio
@@ -637,6 +899,7 @@ def main(argv: list[str] | None = None) -> int:
             if snapshot:
                 from .catalog import init_catalog_metrics
                 from .serve.store import init_delta_metrics
+                from .shard.metrics import init_shard_metrics
                 from .sketch import init_sketch_metrics
 
                 registry = MetricsRegistry()
@@ -647,6 +910,7 @@ def main(argv: list[str] | None = None) -> int:
                 init_sketch_metrics(registry)
                 init_delta_metrics(registry)
                 init_catalog_metrics(registry)
+                init_shard_metrics(registry)
                 registry.merge(snapshot)
                 print()
                 print(registry.to_prometheus(), end="")

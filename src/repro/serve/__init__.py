@@ -24,6 +24,7 @@ from .client import (
     AsyncServeClient,
     DeadlineExceededError,
     OverloadedError,
+    ReconnectingClient,
     ServeClient,
     ServeError,
 )
@@ -79,6 +80,7 @@ __all__ = [
     # clients
     "ServeClient",
     "AsyncServeClient",
+    "ReconnectingClient",
     "ServeError",
     "OverloadedError",
     "DeadlineExceededError",

@@ -17,7 +17,8 @@ type instead of parsing payloads.
 from __future__ import annotations
 
 import socket
-from typing import Mapping
+import time
+from typing import Mapping, Sequence
 
 from ..core.errors import ReproError
 from .protocol import decode_response, encode_request
@@ -28,6 +29,7 @@ __all__ = [
     "DeadlineExceededError",
     "ServeClient",
     "AsyncServeClient",
+    "ReconnectingClient",
 ]
 
 
@@ -183,6 +185,34 @@ class _EndpointMixin:
             },
         )
 
+    def candidates(self, *, epsilon: int, deadline_ms: float | None = None):
+        """The store's local candidate pairs at ``epsilon`` (shard op)."""
+        return self.request(  # type: ignore[attr-defined]
+            "candidates", {"epsilon": epsilon}, deadline_ms=deadline_ms
+        )
+
+    def join_batch(
+        self,
+        pairs: Sequence[tuple[str, str]] | Sequence[Sequence[str]],
+        *,
+        epsilon: int,
+        method: str = "ap-minmax",
+        options: Mapping[str, object] | None = None,
+        include_results: bool = False,
+        deadline_ms: float | None = None,
+    ):
+        """Join many couples in one round trip, ranked server-side."""
+        args: dict[str, object] = {
+            "pairs": [[first, second] for first, second in pairs],
+            "epsilon": epsilon,
+            "method": method,
+        }
+        if options:
+            args["options"] = dict(options)
+        if include_results:
+            args["include_results"] = True
+        return self.request("join_batch", args, deadline_ms=deadline_ms)  # type: ignore[attr-defined]
+
     def stats(self):
         return self.request("stats")  # type: ignore[attr-defined]
 
@@ -241,6 +271,129 @@ class ServeClient(_EndpointMixin):
             self._sock.close()
 
     def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+#: Ops safe to *resend* after a connection died mid-request: they read
+#: or recompute, so a duplicate execution cannot corrupt server state.
+#: ``register`` / ``mutate`` / ``update`` are not in the set — if the
+#: connection dies after sending one, the client cannot know whether it
+#: was applied, and resending could double-apply.
+_RETRY_SAFE_OPS = frozenset(
+    {"join", "topk", "stats", "health", "candidates", "join_batch"}
+)
+
+
+def _connection_lost(exc: Exception) -> bool:
+    """Did this exception mean the TCP connection is gone?"""
+    if isinstance(exc, (TimeoutError, OSError)):
+        return True
+    # A server that is killed mid-request surfaces as an empty read,
+    # which ServeClient reports as this specific internal error.
+    return (
+        isinstance(exc, ServeError)
+        and exc.code == "internal"
+        and "server closed the connection" in str(exc)
+    )
+
+
+class ReconnectingClient(_EndpointMixin):
+    """A :class:`ServeClient` wrapper that survives server restarts.
+
+    The plain client binds one socket for life: a server restart (or an
+    idle-timeout RST from a middlebox) kills every subsequent request.
+    This wrapper lazily dials on first use, detects connection loss
+    (``ECONNRESET`` / broken pipe / EOF-mid-response), reconnects with a
+    small backoff, and **resends only retry-safe ops** — a lost
+    ``mutate`` or ``register`` is surfaced as an error instead, because
+    the client cannot prove the server didn't already apply it; the
+    *next* request transparently reconnects either way.
+
+    ``reconnects`` counts successful redials; the shard coordinator
+    folds it into ``repro_shard_retries_total``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        retries: int = 1,
+        backoff_seconds: float = 0.05,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff = max(0.0, float(backoff_seconds))
+        self._client: ServeClient | None = None
+        self.reconnects = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._client is not None
+
+    def _connect(self) -> ServeClient:
+        if self._client is None:
+            self._client = ServeClient(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._client
+
+    def _drop(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:
+                pass  # socket already dead; dropping it is the point
+
+    def request(
+        self,
+        op: str,
+        args: Mapping[str, object] | None = None,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        for attempt in range(self._retries + 1):
+            final = attempt == self._retries
+            if attempt:
+                time.sleep(self._backoff)
+            try:
+                client = self._connect()
+            except OSError as exc:
+                # Dial failures are always retryable: nothing was sent.
+                self._drop()
+                if final:
+                    raise ServeError(
+                        "internal",
+                        f"cannot connect to {self._host}:{self._port}: {exc}",
+                    ) from exc
+                continue
+            if attempt:
+                self.reconnects += 1
+            try:
+                return client.request(op, args, deadline_ms=deadline_ms)
+            except Exception as exc:
+                if not _connection_lost(exc):
+                    raise  # a real server response (invalid, overloaded, ...)
+                self._drop()
+                if op not in _RETRY_SAFE_OPS or final:
+                    raise ServeError(
+                        "internal",
+                        f"connection to {self._host}:{self._port} lost "
+                        f"during {op!r}: {exc}",
+                    ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "ReconnectingClient":
         return self
 
     def __exit__(self, *_exc: object) -> None:

@@ -37,7 +37,14 @@ from ..algorithms.baseline import ExBaseline
 from ..algorithms.registry import ALGORITHMS
 from ..apps import top_k_pairs
 from ..core.types import Community
-from ..engine import BatchEngine, FaultPolicy, JoinResultCache, PairJob, PairOutcome
+from ..engine import (
+    BatchEngine,
+    FaultPolicy,
+    JoinResultCache,
+    PairJob,
+    PairOutcome,
+    canonical_options,
+)
 from ..obs import MetricsRegistry
 from ..sketch import SketchPrefilter
 from .protocol import ProtocolError
@@ -50,18 +57,24 @@ __all__ = [
     "JoinWork",
     "TopkWork",
     "UpdateWork",
+    "CandidatesWork",
+    "JoinBatchWork",
     "plan_join",
     "plan_topk",
     "plan_update",
+    "plan_candidates",
+    "plan_join_batch",
     "execute_join_work",
     "execute_topk_work",
     "execute_update_work",
+    "execute_candidates_work",
+    "execute_join_batch_work",
     "handle_register",
     "handle_mutate",
 ]
 
 #: Ops whose execute step runs on the thread executor.
-HEAVY_OPS = frozenset({"join", "topk", "update"})
+HEAVY_OPS = frozenset({"join", "topk", "update", "candidates", "join_batch"})
 
 #: JSON-representable option value types accepted in ``args.options``.
 _OPTION_TYPES = (bool, int, float, str, type(None))
@@ -318,6 +331,161 @@ def plan_update(server: "CSJServer", args: Mapping[str, object]) -> UpdateWork:
         mutation=mutation,
         collect_metrics=True,
     )
+
+
+@dataclass
+class CandidatesWork:
+    """One planned local candidate scan (vector-free where possible)."""
+
+    store: CommunityStore
+    epsilon: int
+
+
+@dataclass
+class JoinBatchWork:
+    """One planned batch of joins over frozen snapshots.
+
+    The distributed coordinator's workhorse: a shard evaluates many
+    couples in one round trip, through one short-lived engine over the
+    union roster — the exact execution shape of the single-host
+    catalog ranking, so the returned similarities are byte-identical
+    to it.
+    """
+
+    snapshots: dict[str, StoreSnapshot]
+    pairs: list[tuple[str, str]]
+    method: str
+    epsilon: int
+    options: dict[str, object]
+    include_results: bool
+    cache: JoinResultCache | None
+    screen: bool
+    fault_policy: FaultPolicy | None
+    collect_metrics: bool = False
+
+
+def plan_candidates(
+    server: "CSJServer", args: Mapping[str, object]
+) -> CandidatesWork:
+    """Validate ``candidates`` arguments (the scan itself runs off-loop)."""
+    epsilon = _arg_int(args, "epsilon", minimum=0, required=True)
+    assert epsilon is not None
+    return CandidatesWork(store=server.store, epsilon=epsilon)
+
+
+def plan_join_batch(
+    server: "CSJServer", args: Mapping[str, object]
+) -> JoinBatchWork:
+    """Validate ``join_batch`` arguments and freeze every named community."""
+    epsilon = _arg_int(args, "epsilon", minimum=0, required=True)
+    assert epsilon is not None
+    pairs_arg = args.get("pairs")
+    if not isinstance(pairs_arg, list) or not pairs_arg:
+        raise ProtocolError(
+            "invalid", "'pairs' must be a non-empty list of [first, second]"
+        )
+    pairs: list[tuple[str, str]] = []
+    for entry in pairs_arg:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not all(isinstance(name, str) and name for name in entry)
+        ):
+            raise ProtocolError(
+                "invalid",
+                "each pair must be a [first, second] list of non-empty "
+                "strings",
+            )
+        if entry[0] == entry[1]:
+            raise ProtocolError(
+                "invalid", f"pair names must differ, got {entry[0]!r} twice"
+            )
+        pairs.append((entry[0], entry[1]))
+    names = sorted({name for pair in pairs for name in pair})
+    config = server.config
+    return JoinBatchWork(
+        snapshots={name: server.store.snapshot(name) for name in names},
+        pairs=pairs,
+        method=_arg_method(args, "method", "ap-minmax"),
+        epsilon=epsilon,
+        options=_arg_options(args),
+        include_results=_arg_bool(args, "include_results", False),
+        cache=server.cache,
+        screen=_arg_bool(args, "screen", config.screen),
+        fault_policy=config.fault_policy,
+        collect_metrics=True,
+    )
+
+
+def execute_candidates_work(work: CandidatesWork) -> tuple[dict, dict | None]:
+    """Run one local candidate scan (executor thread).
+
+    A catalog-backed store answers from its indexed envelope screen
+    (zero vector loads for never-materialised keys); a plain store
+    screens its snapshots' envelopes.  Either way the result is the
+    store's local slice of the surviving-pair set.
+    """
+    pairs = work.store.candidate_pairs(work.epsilon)
+    result = {
+        "epsilon": work.epsilon,
+        "count": len(pairs),
+        "pairs": [[first, second] for first, second in pairs],
+    }
+    return result, None
+
+
+def execute_join_batch_work(work: JoinBatchWork) -> tuple[dict, dict | None]:
+    """Run one batch of joins (executor thread).
+
+    Mirrors the single-host catalog ranking's engine call exactly —
+    one serial :class:`~repro.engine.BatchEngine` over the union
+    roster, canonical options, default size-ratio handling — so a
+    similarity computed here is bit-for-bit the one
+    :func:`~repro.apps.top_k_pairs` computes for the same couple.
+    Entries come back ranked by ``(-similarity, first, second)`` in
+    request orientation, ready for the coordinator's k-way merge.
+    """
+    scratch = MetricsRegistry() if work.collect_metrics else None
+    roster_names = sorted(work.snapshots)
+    roster = [work.snapshots[name].community for name in roster_names]
+    index_of = {name: index for index, name in enumerate(roster_names)}
+    job_options = canonical_options(work.options)
+    jobs = [
+        PairJob(index_of[first], index_of[second], work.method, work.epsilon, job_options)
+        for first, second in work.pairs
+    ]
+    with BatchEngine(
+        roster,
+        n_jobs=1,
+        screen=work.screen,
+        cache=work.cache,
+        metrics=scratch,
+        fault_policy=work.fault_policy,
+    ) as engine:
+        outcomes = engine.run(jobs)
+    entries: list[dict[str, object]] = []
+    for (first, second), outcome in zip(work.pairs, outcomes):
+        result = outcome.result
+        entry: dict[str, object] = {
+            "first": first,
+            "second": second,
+            "similarity": result.similarity,
+            "n_matched": result.n_matched,
+            "swapped": result.swapped,
+        }
+        if work.include_results:
+            entry["result"] = result.to_dict()
+        entries.append(entry)
+    entries.sort(
+        key=lambda entry: (-entry["similarity"], entry["first"], entry["second"])  # type: ignore[operator]
+    )
+    result_payload = {
+        "epsilon": work.epsilon,
+        "method": work.method,
+        "count": len(entries),
+        "pairs": entries,
+    }
+    return result_payload, (scratch.snapshot() if scratch is not None else None)
 
 
 def execute_update_work(work: UpdateWork) -> tuple[dict, dict | None]:

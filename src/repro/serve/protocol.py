@@ -61,9 +61,22 @@ PROTOCOL_VERSION = 1
 #: split into ``register`` + ``mutate`` calls.
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
-#: The service's endpoints.
+#: The service's endpoints.  ``candidates`` and ``join_batch`` are the
+#: shard-fleet ops the distributed coordinator fans out (see
+#: ``docs/sharding.md``); they are ordinary endpoints any client may
+#: call.
 OPS = frozenset(
-    {"register", "join", "topk", "mutate", "update", "stats", "health"}
+    {
+        "register",
+        "join",
+        "topk",
+        "mutate",
+        "update",
+        "stats",
+        "health",
+        "candidates",
+        "join_batch",
+    }
 )
 
 #: Error codes a response may carry.

@@ -43,14 +43,24 @@ from ..core.errors import ReproError
 from ..engine import FaultPolicy, JoinResultCache
 from ..obs import MetricsRegistry
 from ..sketch import init_sketch_metrics
+
+# Submodule-direct import on purpose: repro.shard's package init pulls
+# in the coordinator, which imports repro.serve.client — going through
+# the repro.shard package here would close that cycle.  metrics.py is
+# dependency-light, so the direct import is always safe.
+from ..shard.metrics import init_shard_metrics
 from .admission import AdmissionController, AdmissionPolicy, Rejection
 from .handlers import (
+    execute_candidates_work,
+    execute_join_batch_work,
     execute_join_work,
     execute_topk_work,
     execute_update_work,
     handle_mutate,
     handle_register,
+    plan_candidates,
     plan_join,
+    plan_join_batch,
     plan_topk,
     plan_update,
 )
@@ -141,6 +151,7 @@ class CSJServer:
         init_sketch_metrics(self.metrics)
         init_delta_metrics(self.metrics)
         init_catalog_metrics(self.metrics)
+        init_shard_metrics(self.metrics)
         self.delta_pool: DeltaJoinPool | None = None
         if self.config.delta_maintenance:
             self.delta_pool = DeltaJoinPool(
@@ -325,6 +336,14 @@ class CSJServer:
                 result, snapshot = await self._run_in_executor(
                     execute_update_work, plan_update(self, request.args)
                 )
+            elif op == "candidates":
+                result, snapshot = await self._run_in_executor(
+                    execute_candidates_work, plan_candidates(self, request.args)
+                )
+            elif op == "join_batch":
+                result, snapshot = await self._run_in_executor(
+                    execute_join_batch_work, plan_join_batch(self, request.args)
+                )
             else:  # topk — decode_request guarantees op is in OPS
                 result, snapshot = await self._run_in_executor(
                     execute_topk_work, plan_topk(self, request.args)
@@ -410,6 +429,14 @@ class CSJServer:
                     if self.delta_pool is not None
                     else {}
                 ),
+            },
+            "shard": {
+                # Zero on a standalone shard server; live when a
+                # coordinator shares this registry (the self-hosted
+                # fleet path), where they count its fan-out traffic.
+                "requests": self.metrics.counter("repro_shard_requests_total"),
+                "failures": self.metrics.counter("repro_shard_failures_total"),
+                "degraded": self.metrics.counter("repro_shard_degraded_total"),
             },
         }
         if self.cache is not None:

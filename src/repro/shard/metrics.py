@@ -1,0 +1,38 @@
+"""Metric family of the sharding subsystem.
+
+Kept in its own dependency-light module so the serve layer and the CLI
+can zero-initialise the ``repro_shard_*`` family without importing the
+coordinator (which itself imports the serve client — the import would
+otherwise be circular).  Counter semantics are documented in
+``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
+__all__ = ["SHARD_COUNTERS", "init_shard_metrics"]
+
+#: Counter family of the sharding layer, zero-initialised at every
+#: metrics init site so stats/scrapes expose the series before the
+#: first partition or distributed query.
+SHARD_COUNTERS = (
+    "repro_shard_plans_total",
+    "repro_shard_replicas_total",
+    "repro_shard_requests_total",
+    "repro_shard_retries_total",
+    "repro_shard_failures_total",
+    "repro_shard_pairs_deduped_total",
+    "repro_shard_pairs_merged_total",
+    "repro_shard_degraded_total",
+    "repro_shard_resumed_total",
+)
+
+
+def init_shard_metrics(metrics: "MetricsRegistry") -> None:
+    """Create the ``repro_shard_*`` family at zero in ``metrics``."""
+    for name in SHARD_COUNTERS:
+        metrics.inc(name, 0)
